@@ -1,0 +1,63 @@
+//! Attack hot paths: lie construction must be cheap enough to serve every
+//! probe (it runs inside the simulator's innermost loop).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use vcoord::attacks::geometry::{anti_detection_lie, repulsion_lie};
+use vcoord::space::Space;
+
+fn bench_repulsion_lie(c: &mut Criterion) {
+    let space = Space::Euclidean(2);
+    let mut rng = ChaCha12Rng::seed_from_u64(1);
+    let victim = space.random_coord(150.0, &mut rng);
+    let target = space.random_coord(10_000.0, &mut rng);
+    c.bench_function("repulsion_lie_2d", |b| {
+        b.iter(|| repulsion_lie(&space, black_box(&victim), black_box(&target), 0.25, &mut rng))
+    });
+}
+
+fn bench_anti_detection_lie(c: &mut Criterion) {
+    let space = Space::Euclidean(8);
+    let mut rng = ChaCha12Rng::seed_from_u64(2);
+    let victim = space.random_coord(150.0, &mut rng);
+    let attacker = space.random_coord(150.0, &mut rng);
+    let d = space.distance(&victim, &attacker);
+    let mut group = c.benchmark_group("anti_detection_lie_8d");
+    group.bench_function("with_knowledge", |b| {
+        b.iter(|| {
+            anti_detection_lie(
+                &space,
+                black_box(&victim),
+                black_box(&attacker),
+                d,
+                199.0,
+                0.9,
+                true,
+                &mut rng,
+            )
+        })
+    });
+    group.bench_function("guessing", |b| {
+        b.iter(|| {
+            anti_detection_lie(
+                &space,
+                black_box(&attacker),
+                black_box(&attacker),
+                d / 2.0,
+                199.0,
+                0.9,
+                false,
+                &mut rng,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_repulsion_lie, bench_anti_detection_lie
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Hot-path kernels: the per-event work of both simulators.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use vcoord::metrics::EvalPlan;
+use vcoord::netsim::SeedStream;
+use vcoord::space::{simplex_downhill, Coord, SimplexOptions, Space};
+use vcoord::topo::{KingLike, KingLikeConfig};
+use vcoord::vivaldi::node::vivaldi_update;
+
+fn bench_vivaldi_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vivaldi_update");
+    for space in [Space::Euclidean(2), Space::Euclidean(5), Space::EuclideanHeight(2)] {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let mut coord = space.random_coord(100.0, &mut rng);
+        let mut error = 0.5;
+        let remote = space.random_coord(100.0, &mut rng);
+        group.bench_function(space.label(), |b| {
+            b.iter(|| {
+                vivaldi_update(
+                    &space,
+                    0.25,
+                    (1e-6, 1e3),
+                    black_box(&mut coord),
+                    black_box(&mut error),
+                    black_box(&remote),
+                    0.3,
+                    85.0,
+                    &mut rng,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_downhill");
+    for dim in [2usize, 8] {
+        // A representative NPS positioning objective: 20 references.
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let space = Space::Euclidean(dim);
+        let refs: Vec<(Coord, f64)> = (0..20)
+            .map(|_| (space.random_coord(150.0, &mut rng), 80.0))
+            .collect();
+        let objective = |x: &[f64]| -> f64 {
+            let p = Coord::from_vec(x.to_vec());
+            refs.iter()
+                .map(|(c, d)| {
+                    let e = (space.distance(&p, c) - d) / d;
+                    e * e
+                })
+                .sum()
+        };
+        let opts = SimplexOptions {
+            max_iterations: 150,
+            initial_step: 20.0,
+            ..SimplexOptions::default()
+        };
+        let start = vec![1.0; dim];
+        group.bench_function(format!("{dim}D_20refs"), |b| {
+            b.iter(|| simplex_downhill(&objective, black_box(&start), &opts))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eval_plan(c: &mut Criterion) {
+    let seeds = SeedStream::new(3);
+    let matrix = KingLike::new(KingLikeConfig::with_nodes(400))
+        .generate(&mut seeds.rng("topo"));
+    let space = Space::Euclidean(2);
+    let mut rng = seeds.rng("plan");
+    let nodes: Vec<usize> = (0..400).collect();
+    let plan = EvalPlan::with_params(&nodes, 128, 96, &mut rng);
+    let coords: Vec<Coord> = (0..400)
+        .map(|_| space.random_coord(150.0, &mut rng))
+        .collect();
+    c.bench_function("eval_plan_avg_error_400n_96peers", |b| {
+        b.iter(|| plan.avg_error(black_box(&coords), &space, &matrix))
+    });
+}
+
+fn bench_matrix_ops(c: &mut Criterion) {
+    let seeds = SeedStream::new(4);
+    let matrix = KingLike::new(KingLikeConfig::with_nodes(400))
+        .generate(&mut seeds.rng("topo"));
+    c.bench_function("rtt_matrix_random_subset_100_of_400", |b| {
+        let mut rng = seeds.rng("subset");
+        b.iter(|| matrix.random_subset(100, &mut rng))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_vivaldi_update, bench_simplex, bench_eval_plan, bench_matrix_ops
+}
+criterion_main!(benches);

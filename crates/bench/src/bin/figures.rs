@@ -1,0 +1,146 @@
+//! Regenerate the paper's evaluation figures.
+//!
+//! ```text
+//! figures [IDS...] [--full|--quick|--smoke] [--seed N] [--out DIR] [--list]
+//!
+//!   IDS        figure ids (fig1 .. fig26) or `all` (default: all)
+//!   --quick    400 nodes, 3 repetitions (default; minutes)
+//!   --full     1740 nodes, 10 repetitions (paper scale; hours)
+//!   --smoke    72 nodes, 1 repetition (seconds; sanity only)
+//!   --seed N   master seed (default 2006, the paper's year)
+//!   --out DIR  CSV output directory (default ./results)
+//!   --list     print the figure index and exit
+//! ```
+//!
+//! Each figure prints as an aligned table and is written to
+//! `DIR/<id>.csv`. Shape notes (the qualitative claims the paper makes
+//! about each figure) are embedded as `#`-comments.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+use vcoord::experiments::{registry, Scale};
+
+struct Args {
+    ids: Vec<String>,
+    scale: Scale,
+    scale_name: &'static str,
+    seed: u64,
+    out: PathBuf,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut ids = Vec::new();
+    let mut scale = Scale::quick();
+    let mut scale_name = "quick";
+    let mut seed = 2006u64;
+    let mut out = PathBuf::from(vcoord_bench::DEFAULT_OUT_DIR);
+    let mut list = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--quick" => {
+                scale = Scale::quick();
+                scale_name = "quick";
+            }
+            "--full" => {
+                scale = Scale::full();
+                scale_name = "full";
+            }
+            "--smoke" => {
+                scale = Scale::smoke();
+                scale_name = "smoke";
+            }
+            "--seed" => {
+                seed = argv
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--out" => {
+                out = PathBuf::from(argv.next().ok_or("--out needs a value")?);
+            }
+            "--list" => list = true,
+            "--help" | "-h" => {
+                return Err("usage: figures [IDS...|all] [--quick|--full|--smoke] [--seed N] [--out DIR] [--list]".into());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}"));
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    Ok(Args {
+        ids,
+        scale,
+        scale_name,
+        seed,
+        out,
+        list,
+    })
+}
+
+fn main() {
+    vcoord::netsim::simlog::init();
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    if args.list {
+        println!("available figures:");
+        for id in registry::figure_ids() {
+            println!("  {id:<7} {}", registry::describe(id).unwrap_or(""));
+        }
+        return;
+    }
+
+    let ids: Vec<String> = if args.ids.is_empty() || args.ids.iter().any(|i| i == "all") {
+        registry::figure_ids().iter().map(|s| s.to_string()).collect()
+    } else {
+        args.ids.clone()
+    };
+
+    std::fs::create_dir_all(&args.out).expect("create output directory");
+    println!(
+        "# vcoord figure harness — scale={} nodes={} reps={} seed={}",
+        args.scale_name, args.scale.nodes, args.scale.repetitions, args.seed
+    );
+
+    let mut failures = 0;
+    let total_start = Instant::now();
+    for id in &ids {
+        let start = Instant::now();
+        match registry::run_figure(id, &args.scale, args.seed) {
+            Some(fig) => {
+                println!("{}", fig.to_table());
+                let path = args.out.join(format!("{id}.csv"));
+                let mut file = std::fs::File::create(&path).expect("create CSV");
+                file.write_all(fig.to_csv().as_bytes()).expect("write CSV");
+                println!(
+                    "wrote {} ({} rows) in {:.1}s\n",
+                    path.display(),
+                    fig.rows.len(),
+                    start.elapsed().as_secs_f64()
+                );
+            }
+            None => {
+                eprintln!("unknown figure id: {id} (try --list)");
+                failures += 1;
+            }
+        }
+    }
+    println!(
+        "# done: {} figures in {:.1}s",
+        ids.len() - failures,
+        total_start.elapsed().as_secs_f64()
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

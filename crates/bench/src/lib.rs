@@ -1,0 +1,14 @@
+//! # vcoord-bench
+//!
+//! Benchmark harness for the `vcoord` workspace:
+//!
+//! * the **`figures` binary** — regenerates the data behind every figure of
+//!   the paper's evaluation (`cargo run -p vcoord-bench --release --bin
+//!   figures -- all`), printing the series and writing CSVs;
+//! * **Criterion benches** (`cargo bench`) — hot-path kernels
+//!   (`kernels`), whole-simulator throughput (`simulators`), attack lie
+//!   construction (`attacks`), design-choice ablations (`ablations`), and a
+//!   smoke pass over representative figure runners (`figures_smoke`).
+
+/// Default output directory for figure CSVs.
+pub const DEFAULT_OUT_DIR: &str = "results";

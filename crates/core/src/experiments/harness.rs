@@ -1,0 +1,356 @@
+//! Per-run drivers: converge a clean system, inject an attack, record.
+//!
+//! Both drivers follow the paper's *injection* protocol (§5.2): the system
+//! first converges cleanly (warm-up), the malicious population is then
+//! selected at random and activated, and metrics are recorded before and
+//! after. Every run is fully determined by `(master_seed, repetition)`.
+
+use crate::experiments::Scale;
+use vcoord_metrics::{random_baseline, EvalPlan, FilterLedger, TimeSeries};
+use vcoord_netsim::SeedStream;
+use vcoord_nps::{NpsAdversary, NpsConfig, NpsSim};
+use vcoord_space::Space;
+use vcoord_topo::{KingLike, KingLikeConfig};
+use vcoord_vivaldi::{VivaldiAdversary, VivaldiConfig, VivaldiSim};
+
+/// The random-coordinate interval of the paper's worst-case baseline.
+pub const RANDOM_RANGE: f64 = 50_000.0;
+
+/// Outcome of one Vivaldi attack run.
+#[derive(Debug, Clone)]
+pub struct VivaldiRun {
+    /// Average relative error of (eventually honest) nodes, sampled during
+    /// warm-up.
+    pub clean_series: TimeSeries,
+    /// Average relative error of honest nodes after injection.
+    pub attack_series: TimeSeries,
+    /// Converged clean error (tail mean of the warm-up series) — the
+    /// denominator of the paper's *error ratio*.
+    pub clean_ref: f64,
+    /// Per-honest-node relative errors at the end of the run (CDF input).
+    pub final_errors: Vec<f64>,
+    /// Error of the focus set (e.g. the isolation target), when tracked.
+    pub focus_series: Option<TimeSeries>,
+    /// Average error of the random-coordinate baseline on this topology.
+    pub random_baseline: f64,
+    /// Number of attackers injected.
+    pub attackers: usize,
+}
+
+/// Builds the adversary once the attacker set is known. Returns the boxed
+/// strategy plus an optional *focus set* of nodes whose error the harness
+/// should track separately (isolation targets, designated victims).
+pub type VivaldiFactory<'a> =
+    &'a (dyn Fn(&mut VivaldiSim, &[usize], &SeedStream) -> (Box<dyn VivaldiAdversary>, Option<Vec<usize>>)
+         + Sync);
+
+/// Run one Vivaldi injection experiment.
+///
+/// `nodes` overrides `scale.nodes` (system-size sweeps); `fraction` is the
+/// malicious share of the population.
+#[allow(clippy::too_many_arguments)]
+pub fn run_vivaldi(
+    scale: &Scale,
+    space: Space,
+    nodes: usize,
+    fraction: f64,
+    master_seed: u64,
+    rep: u64,
+    factory: VivaldiFactory<'_>,
+) -> VivaldiRun {
+    let seeds = SeedStream::new(master_seed).derive_indexed("vivaldi-rep", rep);
+    let matrix = KingLike::new(KingLikeConfig::with_nodes(nodes))
+        .generate(&mut seeds.rng("topo"));
+    let config = VivaldiConfig::in_space(space);
+    let mut sim = VivaldiSim::new(matrix, config, &seeds);
+
+    let all: Vec<usize> = (0..nodes).collect();
+    let mut plan_rng = seeds.rng("eval-plan");
+    let plan_all = EvalPlan::with_params(
+        &all,
+        scale.eval_all_pairs_threshold,
+        scale.eval_sample_peers,
+        &mut plan_rng,
+    );
+
+    // Warm-up: converge cleanly, recording the reference series.
+    let mut clean_series = TimeSeries::new();
+    let mut t = 0;
+    while t < scale.vivaldi_warmup_ticks {
+        sim.run_ticks(scale.vivaldi_record_every);
+        t += scale.vivaldi_record_every;
+        clean_series.push(sim.now_ticks(), plan_all.avg_error(sim.coords(), sim.space(), sim.matrix()));
+    }
+    let clean_ref = clean_series.tail_mean(5).max(1e-6);
+
+    // Injection.
+    let attackers = sim.pick_attackers(fraction);
+    let n_attackers = attackers.len();
+    let (adversary, focus) = factory(&mut sim, &attackers, &seeds);
+    sim.inject_adversary(&attackers, adversary);
+
+    // Honest-population evaluation plan (the paper measures victims).
+    let honest = sim.honest_nodes();
+    let plan_honest = EvalPlan::with_params(
+        &honest,
+        scale.eval_all_pairs_threshold,
+        scale.eval_sample_peers,
+        &mut plan_rng,
+    );
+    let focus_indices: Option<Vec<usize>> = focus.as_ref().map(|f| {
+        f.iter()
+            .filter_map(|id| plan_honest.nodes().iter().position(|&n| n == *id))
+            .collect()
+    });
+
+    let mut attack_series = TimeSeries::new();
+    let mut focus_series = focus_indices.as_ref().map(|_| TimeSeries::new());
+    let mut final_errors: Vec<f64> = Vec::new();
+    let mut t = 0;
+    while t < scale.vivaldi_attack_ticks {
+        sim.run_ticks(scale.vivaldi_record_every);
+        t += scale.vivaldi_record_every;
+        let errs = plan_honest.per_node_errors(sim.coords(), sim.space(), sim.matrix());
+        let avg = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
+        attack_series.push(sim.now_ticks(), avg);
+        if let (Some(fs), Some(fi)) = (focus_series.as_mut(), focus_indices.as_ref()) {
+            let favg =
+                fi.iter().map(|&k| errs[k]).sum::<f64>() / fi.len().max(1) as f64;
+            fs.push(sim.now_ticks(), favg);
+        }
+        final_errors = errs;
+    }
+
+    let random_baseline = random_baseline(
+        &plan_honest,
+        sim.space(),
+        sim.matrix(),
+        RANDOM_RANGE,
+        &mut seeds.rng("random-baseline"),
+    );
+
+    VivaldiRun {
+        clean_series,
+        attack_series,
+        clean_ref,
+        final_errors,
+        focus_series,
+        random_baseline,
+        attackers: n_attackers,
+    }
+}
+
+/// Outcome of one NPS attack run.
+#[derive(Debug, Clone)]
+pub struct NpsRun {
+    /// Average relative error during warm-up.
+    pub clean_series: TimeSeries,
+    /// Average relative error of honest ordinary nodes after injection.
+    pub attack_series: TimeSeries,
+    /// Converged clean error (ratio denominator).
+    pub clean_ref: f64,
+    /// Per-honest-node errors at the end (CDF input), in eval-plan order.
+    pub final_errors: Vec<f64>,
+    /// Per-layer average error series (layer, series) — figure 25.
+    pub layer_series: Vec<(u8, TimeSeries)>,
+    /// Error of the focus set (designated victims), when tracked.
+    pub focus_series: Option<TimeSeries>,
+    /// Security-filter events attributable to the attack window.
+    pub ledger: FilterLedger,
+    /// Probe-threshold eliminations during the attack window.
+    pub threshold_ledger: FilterLedger,
+    /// Average error of the random-coordinate baseline on this topology.
+    pub random_baseline: f64,
+    /// Number of attackers injected.
+    pub attackers: usize,
+}
+
+/// Adversary factory for NPS runs (see [`VivaldiFactory`]).
+pub type NpsFactory<'a> =
+    &'a (dyn Fn(&mut NpsSim, &[usize], &SeedStream) -> (Box<dyn NpsAdversary>, Option<Vec<usize>>)
+         + Sync);
+
+/// Run one NPS injection experiment.
+pub fn run_nps(
+    scale: &Scale,
+    config: NpsConfig,
+    nodes: usize,
+    fraction: f64,
+    master_seed: u64,
+    rep: u64,
+    factory: NpsFactory<'_>,
+) -> NpsRun {
+    let seeds = SeedStream::new(master_seed).derive_indexed("nps-rep", rep);
+    let matrix = KingLike::new(KingLikeConfig::with_nodes(nodes))
+        .generate(&mut seeds.rng("topo"));
+    let layers = config.layers;
+    let mut sim = NpsSim::new(matrix, config, &seeds);
+    let mut plan_rng = seeds.rng("eval-plan");
+
+    // Warm-up: staggered joins + clean repositioning.
+    let mut clean_series = TimeSeries::new();
+    let mut r = 0;
+    while r < scale.nps_warmup_rounds {
+        sim.run_rounds(scale.nps_record_every);
+        r += scale.nps_record_every;
+        let eval = sim.eval_nodes();
+        if eval.len() < 8 {
+            clean_series.push(sim.now_rounds(), f64::NAN);
+            continue; // joins still in progress
+        }
+        let plan = EvalPlan::with_params(
+            &eval,
+            scale.eval_all_pairs_threshold,
+            scale.eval_sample_peers,
+            &mut plan_rng,
+        );
+        clean_series.push(
+            sim.now_rounds(),
+            plan.avg_error(sim.coords(), sim.space(), sim.matrix()),
+        );
+    }
+    let clean_tail: Vec<f64> = clean_series
+        .points()
+        .iter()
+        .rev()
+        .take(5)
+        .map(|&(_, v)| v)
+        .filter(|v| v.is_finite())
+        .collect();
+    let clean_ref = if clean_tail.is_empty() {
+        1e-6
+    } else {
+        (clean_tail.iter().sum::<f64>() / clean_tail.len() as f64).max(1e-6)
+    };
+
+    let ledger_before = sim.ledger();
+    let counters_before = sim.counters();
+    let threshold_before = sim.threshold_ledger();
+    let _ = counters_before;
+
+    // Injection.
+    let attackers = sim.pick_attackers(fraction);
+    let n_attackers = attackers.len();
+    let (adversary, focus) = factory(&mut sim, &attackers, &seeds);
+    sim.inject_adversary(&attackers, adversary);
+
+    let honest = sim.eval_nodes();
+    let plan_honest = EvalPlan::with_params(
+        &honest,
+        scale.eval_all_pairs_threshold,
+        scale.eval_sample_peers,
+        &mut plan_rng,
+    );
+    let node_layers: Vec<u8> = plan_honest
+        .nodes()
+        .iter()
+        .map(|&i| sim.layers_of()[i])
+        .collect();
+    let focus_indices: Option<Vec<usize>> = focus.as_ref().map(|f| {
+        f.iter()
+            .filter_map(|id| plan_honest.nodes().iter().position(|&n| n == *id))
+            .collect()
+    });
+
+    let mut attack_series = TimeSeries::new();
+    let mut layer_acc: Vec<(u8, TimeSeries)> = (1..layers)
+        .map(|l| (l as u8, TimeSeries::new()))
+        .collect();
+    let mut focus_series = focus_indices.as_ref().map(|_| TimeSeries::new());
+    let mut final_errors: Vec<f64> = Vec::new();
+    let mut r = 0;
+    while r < scale.nps_attack_rounds {
+        sim.run_rounds(scale.nps_record_every);
+        r += scale.nps_record_every;
+        let errs = plan_honest.per_node_errors(sim.coords(), sim.space(), sim.matrix());
+        let avg = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
+        attack_series.push(sim.now_rounds(), avg);
+        for (l, series) in layer_acc.iter_mut() {
+            let vals: Vec<f64> = errs
+                .iter()
+                .zip(&node_layers)
+                .filter(|(_, &nl)| nl == *l)
+                .map(|(&e, _)| e)
+                .collect();
+            if !vals.is_empty() {
+                series.push(
+                    sim.now_rounds(),
+                    vals.iter().sum::<f64>() / vals.len() as f64,
+                );
+            }
+        }
+        if let (Some(fs), Some(fi)) = (focus_series.as_mut(), focus_indices.as_ref()) {
+            if !fi.is_empty() {
+                let favg = fi.iter().map(|&k| errs[k]).sum::<f64>() / fi.len() as f64;
+                fs.push(sim.now_rounds(), favg);
+            }
+        }
+        final_errors = errs;
+    }
+
+    let ledger_after = sim.ledger();
+    let threshold_after = sim.threshold_ledger();
+    let ledger = FilterLedger {
+        filtered_malicious: ledger_after.filtered_malicious - ledger_before.filtered_malicious,
+        filtered_honest: ledger_after.filtered_honest - ledger_before.filtered_honest,
+    };
+    let threshold_ledger = FilterLedger {
+        filtered_malicious: threshold_after.filtered_malicious
+            - threshold_before.filtered_malicious,
+        filtered_honest: threshold_after.filtered_honest - threshold_before.filtered_honest,
+    };
+
+    let random_baseline = random_baseline(
+        &plan_honest,
+        sim.space(),
+        sim.matrix(),
+        RANDOM_RANGE,
+        &mut seeds.rng("random-baseline"),
+    );
+
+    NpsRun {
+        clean_series,
+        attack_series,
+        clean_ref,
+        final_errors,
+        layer_series: layer_acc,
+        focus_series,
+        ledger,
+        threshold_ledger,
+        random_baseline,
+        attackers: n_attackers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attacks::vivaldi::VivaldiDisorder;
+
+    #[test]
+    fn vivaldi_run_produces_complete_record() {
+        let scale = Scale::smoke();
+        let run = run_vivaldi(
+            &scale,
+            Space::Euclidean(2),
+            scale.nodes,
+            0.3,
+            7,
+            0,
+            &|_sim, _attackers, _seeds| (Box::new(VivaldiDisorder::default()), None),
+        );
+        assert!(run.clean_series.len() >= 5);
+        assert!(run.attack_series.len() >= 5);
+        assert!(run.clean_ref > 0.0 && run.clean_ref < 2.0, "clean_ref={}", run.clean_ref);
+        assert!(!run.final_errors.is_empty());
+        assert_eq!(run.attackers, (scale.nodes as f64 * 0.3).round() as usize);
+        assert!(run.random_baseline > 10.0);
+        // The attack must visibly degrade accuracy.
+        let attacked = run.attack_series.tail_mean(3);
+        assert!(
+            attacked > 3.0 * run.clean_ref,
+            "disorder had no effect: clean={} attacked={attacked}",
+            run.clean_ref
+        );
+    }
+}

@@ -1,0 +1,32 @@
+
+use vcoord::attacks::nps::NpsSimpleDisorder;
+use vcoord::netsim::SeedStream;
+use vcoord::nps::{NpsConfig, NpsSim};
+use vcoord::metrics::EvalPlan;
+use vcoord::topo::{KingLike, KingLikeConfig};
+
+#[test]
+#[ignore]
+fn diag_disorder_filter() {
+    let seeds = SeedStream::new(77);
+    let matrix = KingLike::new(KingLikeConfig::with_nodes(400)).generate(&mut seeds.rng("topo"));
+    let mut sim = NpsSim::new(matrix, NpsConfig::default(), &seeds);
+    sim.run_rounds(25);
+    let plan = EvalPlan::new(&sim.eval_nodes(), &mut seeds.rng("plan"));
+    let clean = plan.avg_error(sim.coords(), sim.space(), sim.matrix());
+    let l0 = sim.ledger();
+    let attackers = sim.pick_attackers(0.2);
+    sim.inject_adversary(&attackers, Box::new(NpsSimpleDisorder::default()));
+    for k in 0..5 {
+        sim.run_rounds(10);
+        let plan2 = EvalPlan::new(&sim.eval_nodes(), &mut seeds.rng("plan"));
+        let err = plan2.avg_error(sim.coords(), sim.space(), sim.matrix());
+        let l = sim.ledger();
+        let c = sim.counters();
+        println!("round +{}: err={:.2} (clean {:.2}) filter_mal={} filter_hon={} threshold={} skipped={}",
+            (k+1)*10, err, clean,
+            l.filtered_malicious - l0.filtered_malicious,
+            l.filtered_honest - l0.filtered_honest,
+            sim.threshold_ledger().total(), c.skipped_rounds);
+    }
+}

@@ -1,0 +1,146 @@
+//! Empirical cumulative distribution functions.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a set of sample values.
+///
+/// ```
+/// use vcoord_metrics::Cdf;
+///
+/// let cdf = Cdf::from_samples(&[0.1, 0.4, 0.2, 0.8]);
+/// assert_eq!(cdf.fraction_below(0.3), 0.5);
+/// assert_eq!(cdf.quantile(1.0), 0.8);
+/// ```
+///
+/// Non-finite samples are dropped at construction (and counted), matching
+/// the defensive posture of the rest of the metrics pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+    /// Number of non-finite samples dropped at construction.
+    pub dropped: usize,
+}
+
+impl Cdf {
+    /// Build from raw samples.
+    pub fn from_samples(samples: &[f64]) -> Cdf {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+        let dropped = samples.len() - sorted.len();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("filtered to finite"));
+        Cdf { sorted, dropped }
+    }
+
+    /// Number of (finite) samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when no finite samples were provided.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Value at quantile `q ∈ [0, 1]` (nearest rank).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        self.sorted[idx]
+    }
+
+    /// Median sample.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// `(value, cumulative_fraction)` points, downsampled to at most
+    /// `max_points` for plotting / CSV emission. Always includes the first
+    /// and last sample.
+    pub fn points(&self, max_points: usize) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        if n == 0 || max_points == 0 {
+            return Vec::new();
+        }
+        let step = (n as f64 / max_points as f64).max(1.0);
+        let mut out = Vec::with_capacity(max_points.min(n) + 1);
+        let mut k = 0.0;
+        while (k as usize) < n {
+            let i = k as usize;
+            out.push((self.sorted[i], (i + 1) as f64 / n as f64));
+            k += step;
+        }
+        let last = (self.sorted[n - 1], 1.0);
+        if out.last() != Some(&last) {
+            out.push(last);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_below_is_monotone() {
+        let c = Cdf::from_samples(&[3.0, 1.0, 2.0, 2.0, 10.0]);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.fraction_below(0.5), 0.0);
+        assert_eq!(c.fraction_below(1.0), 0.2);
+        assert_eq!(c.fraction_below(2.0), 0.6);
+        assert_eq!(c.fraction_below(100.0), 1.0);
+        let mut prev = 0.0;
+        for x in [0.0, 1.0, 1.5, 2.0, 3.0, 10.0, 11.0] {
+            let f = c.fraction_below(x);
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn quantiles() {
+        let c = Cdf::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.median(), 3.0);
+        assert_eq!(c.quantile(1.0), 5.0);
+    }
+
+    #[test]
+    fn drops_non_finite() {
+        let c = Cdf::from_samples(&[1.0, f64::NAN, f64::INFINITY, 2.0]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.dropped, 2);
+    }
+
+    #[test]
+    fn points_downsample_and_terminate_at_one() {
+        let samples: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let pts = Cdf::from_samples(&samples).points(50);
+        assert!(pts.len() <= 52);
+        assert_eq!(pts.last().unwrap().1, 1.0);
+        // x and y both non-decreasing
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn empty_cdf_is_sane() {
+        let c = Cdf::from_samples(&[]);
+        assert!(c.is_empty());
+        assert_eq!(c.fraction_below(1.0), 0.0);
+        assert_eq!(c.quantile(0.5), 0.0);
+        assert!(c.points(10).is_empty());
+    }
+}

@@ -1,0 +1,336 @@
+//! Relative-error evaluation against a latency matrix.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use vcoord_space::{Coord, Space};
+use vcoord_topo::RttMatrix;
+
+/// The paper's relative-error definition (§3.1):
+/// `|actual − predicted| / min(actual, predicted)`.
+///
+/// Degenerate inputs are handled defensively: a non-positive or non-finite
+/// denominator yields `f64::INFINITY` when the numerator is meaningful and
+/// `0.0` when both distances are (numerically) zero, so adversarial
+/// coordinates cannot inject NaNs into aggregates.
+#[inline]
+pub fn relative_error(actual: f64, predicted: f64) -> f64 {
+    if !actual.is_finite() || !predicted.is_finite() {
+        return f64::INFINITY;
+    }
+    let denom = actual.min(predicted);
+    let num = (actual - predicted).abs();
+    if denom <= 0.0 {
+        if num <= f64::EPSILON {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num / denom
+    }
+}
+
+/// A fixed evaluation plan: which peers each node's error is measured
+/// against.
+///
+/// For systems up to `all_pairs_threshold` nodes every ordered pair inside
+/// the evaluation set is used; above it, each node gets a fixed random
+/// sample of `sample_peers` peers, drawn once at construction so time series
+/// are not perturbed by resampling noise (see DESIGN.md "Error sampling").
+#[derive(Debug, Clone)]
+pub struct EvalPlan {
+    /// Node ids being evaluated (typically the honest nodes).
+    nodes: Vec<usize>,
+    /// For each entry of `nodes`, the peers to measure against.
+    peers: Vec<Vec<usize>>,
+}
+
+impl EvalPlan {
+    /// Default cut-over from all-pairs to sampled evaluation.
+    pub const ALL_PAIRS_THRESHOLD: usize = 512;
+
+    /// Default number of sampled peers per node above the threshold.
+    pub const SAMPLE_PEERS: usize = 256;
+
+    /// Build a plan over `nodes` (peers are drawn from the same set).
+    pub fn new<R: Rng + ?Sized>(nodes: &[usize], rng: &mut R) -> EvalPlan {
+        Self::with_params(
+            nodes,
+            Self::ALL_PAIRS_THRESHOLD,
+            Self::SAMPLE_PEERS,
+            rng,
+        )
+    }
+
+    /// Build a plan with explicit threshold and sample size.
+    pub fn with_params<R: Rng + ?Sized>(
+        nodes: &[usize],
+        all_pairs_threshold: usize,
+        sample_peers: usize,
+        rng: &mut R,
+    ) -> EvalPlan {
+        let nodes: Vec<usize> = nodes.to_vec();
+        let peers = if nodes.len() <= all_pairs_threshold {
+            nodes
+                .iter()
+                .map(|&i| nodes.iter().copied().filter(|&j| j != i).collect())
+                .collect()
+        } else {
+            nodes
+                .iter()
+                .map(|&i| {
+                    let mut pool: Vec<usize> =
+                        nodes.iter().copied().filter(|&j| j != i).collect();
+                    pool.shuffle(rng);
+                    pool.truncate(sample_peers);
+                    pool
+                })
+                .collect()
+        };
+        EvalPlan { nodes, peers }
+    }
+
+    /// The evaluated node ids.
+    pub fn nodes(&self) -> &[usize] {
+        &self.nodes
+    }
+
+    /// Relative error of the `k`-th planned node given current coordinates.
+    ///
+    /// Infinite per-pair errors (degenerate predictions) are clamped to
+    /// `clamp` to keep averages finite; the paper's plots are bounded the
+    /// same way by construction.
+    pub fn node_error(
+        &self,
+        k: usize,
+        coords: &[Coord],
+        space: &Space,
+        matrix: &RttMatrix,
+    ) -> f64 {
+        const CLAMP: f64 = 1.0e6;
+        let i = self.nodes[k];
+        let peers = &self.peers[k];
+        if peers.is_empty() {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for &j in peers {
+            let actual = matrix.rtt(i, j);
+            let predicted = space.distance(&coords[i], &coords[j]);
+            sum += relative_error(actual, predicted).min(CLAMP);
+        }
+        sum / peers.len() as f64
+    }
+
+    /// Median relative error of the `k`-th planned node — the robust
+    /// per-node statistic used for convergence detection (a node's *mean*
+    /// error is dominated by its smallest-RTT peers, whose relative errors
+    /// swing wildly on tiny coordinate movements).
+    pub fn node_error_median(
+        &self,
+        k: usize,
+        coords: &[Coord],
+        space: &Space,
+        matrix: &RttMatrix,
+    ) -> f64 {
+        const CLAMP: f64 = 1.0e6;
+        let i = self.nodes[k];
+        let peers = &self.peers[k];
+        if peers.is_empty() {
+            return 0.0;
+        }
+        let mut errs: Vec<f64> = peers
+            .iter()
+            .map(|&j| {
+                relative_error(matrix.rtt(i, j), space.distance(&coords[i], &coords[j]))
+                    .min(CLAMP)
+            })
+            .collect();
+        errs.sort_by(|a, b| a.partial_cmp(b).expect("clamped finite"));
+        errs[(errs.len() - 1) / 2]
+    }
+
+    /// Per-node median relative errors, in `nodes()` order.
+    pub fn per_node_median_errors(
+        &self,
+        coords: &[Coord],
+        space: &Space,
+        matrix: &RttMatrix,
+    ) -> Vec<f64> {
+        (0..self.nodes.len())
+            .map(|k| self.node_error_median(k, coords, space, matrix))
+            .collect()
+    }
+
+    /// Per-node relative errors, in `nodes()` order.
+    pub fn per_node_errors(
+        &self,
+        coords: &[Coord],
+        space: &Space,
+        matrix: &RttMatrix,
+    ) -> Vec<f64> {
+        (0..self.nodes.len())
+            .map(|k| self.node_error(k, coords, space, matrix))
+            .collect()
+    }
+
+    /// System-wide average relative error (the paper's headline accuracy
+    /// indicator).
+    pub fn avg_error(&self, coords: &[Coord], space: &Space, matrix: &RttMatrix) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = (0..self.nodes.len())
+            .map(|k| self.node_error(k, coords, space, matrix))
+            .sum();
+        total / self.nodes.len() as f64
+    }
+}
+
+/// Average relative error of the paper's worst-case *random coordinate
+/// system*: every node draws each coordinate component uniformly from
+/// `[-range, range]` (§5.1 uses `range = 50 000`).
+pub fn random_baseline<R: Rng + ?Sized>(
+    plan: &EvalPlan,
+    space: &Space,
+    matrix: &RttMatrix,
+    range: f64,
+    rng: &mut R,
+) -> f64 {
+    let coords: Vec<Coord> = (0..matrix.len())
+        .map(|_| space.random_coord(range, rng))
+        .collect();
+    plan.avg_error(&coords, space, matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn relative_error_definition() {
+        assert_eq!(relative_error(100.0, 100.0), 0.0);
+        assert_eq!(relative_error(100.0, 50.0), 1.0); // |100-50|/50
+        assert_eq!(relative_error(50.0, 100.0), 1.0);
+        assert_eq!(relative_error(100.0, 300.0), 2.0);
+    }
+
+    #[test]
+    fn relative_error_degenerate_inputs() {
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(0.0, 10.0), f64::INFINITY);
+        assert_eq!(relative_error(f64::NAN, 10.0), f64::INFINITY);
+        assert_eq!(relative_error(10.0, f64::INFINITY), f64::INFINITY);
+    }
+
+    fn line_matrix() -> RttMatrix {
+        // Nodes on a line at 0, 10, 25 → perfectly 1-D embeddable.
+        let mut m = RttMatrix::zeros(3);
+        m.set(0, 1, 10.0);
+        m.set(0, 2, 25.0);
+        m.set(1, 2, 15.0);
+        m
+    }
+
+    fn line_coords() -> Vec<Coord> {
+        vec![
+            Coord::from_vec(vec![0.0]),
+            Coord::from_vec(vec![10.0]),
+            Coord::from_vec(vec![25.0]),
+        ]
+    }
+
+    #[test]
+    fn perfect_embedding_has_zero_error() {
+        let m = line_matrix();
+        let space = Space::Euclidean(1);
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let plan = EvalPlan::new(&[0, 1, 2], &mut rng);
+        let coords = line_coords();
+        assert_eq!(plan.avg_error(&coords, &space, &m), 0.0);
+        assert_eq!(plan.per_node_errors(&coords, &space, &m), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn displaced_node_raises_its_error() {
+        let m = line_matrix();
+        let space = Space::Euclidean(1);
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let plan = EvalPlan::new(&[0, 1, 2], &mut rng);
+        let mut coords = line_coords();
+        coords[2] = Coord::from_vec(vec![50.0]); // should be at 25
+        let errs = plan.per_node_errors(&coords, &space, &m);
+        assert!(errs[2] > 0.5);
+        assert!(errs[0] > 0.0); // pairwise, so peers see it too
+    }
+
+    #[test]
+    fn plan_excludes_nodes_outside_eval_set() {
+        let m = line_matrix();
+        let space = Space::Euclidean(1);
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        // Node 2 (e.g. malicious) excluded: its lie must not affect the metric.
+        let plan = EvalPlan::new(&[0, 1], &mut rng);
+        let mut coords = line_coords();
+        coords[2] = Coord::from_vec(vec![1.0e9]);
+        assert_eq!(plan.avg_error(&coords, &space, &m), 0.0);
+    }
+
+    #[test]
+    fn median_errors_are_robust_to_one_bad_peer() {
+        let m = line_matrix();
+        let space = Space::Euclidean(1);
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let plan = EvalPlan::new(&[0, 1, 2], &mut rng);
+        let mut coords = line_coords();
+        coords[2] = Coord::from_vec(vec![1.0e6]); // one blown-up node
+        let means = plan.per_node_errors(&coords, &space, &m);
+        let medians = plan.per_node_median_errors(&coords, &space, &m);
+        // Node 0 has peers {1 (fine), 2 (blown up)}: its mean explodes but
+        // its median stays moderate.
+        assert!(means[0] > 1_000.0);
+        assert!(medians[0] < means[0]);
+    }
+
+    #[test]
+    fn sampled_plan_bounds_peer_count() {
+        let n = 40;
+        let mut m = RttMatrix::zeros(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                m.set(i, j, (i + j) as f64 + 1.0);
+            }
+        }
+        let nodes: Vec<usize> = (0..n).collect();
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let plan = EvalPlan::with_params(&nodes, 10, 5, &mut rng);
+        for k in 0..n {
+            assert_eq!(plan.peers[k].len(), 5);
+            assert!(!plan.peers[k].contains(&nodes[k]));
+        }
+    }
+
+    #[test]
+    fn random_baseline_is_terrible() {
+        let m = line_matrix();
+        let space = Space::Euclidean(2);
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let plan = EvalPlan::new(&[0, 1, 2], &mut rng);
+        let base = random_baseline(&plan, &space, &m, 50_000.0, &mut rng);
+        assert!(base > 100.0, "baseline {base} suspiciously good");
+    }
+
+    #[test]
+    fn errors_are_always_finite() {
+        let m = line_matrix();
+        let space = Space::Euclidean(1);
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let plan = EvalPlan::new(&[0, 1, 2], &mut rng);
+        let mut coords = line_coords();
+        coords[1] = Coord::from_vec(vec![f64::NAN]);
+        let errs = plan.per_node_errors(&coords, &space, &m);
+        assert!(errs.iter().all(|e| e.is_finite()), "{errs:?}");
+    }
+}

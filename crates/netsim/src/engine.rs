@@ -1,0 +1,370 @@
+//! The discrete-event engine: queue, scheduler and event loop.
+
+use crate::time::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Index of a simulated node.
+pub type NodeId = usize;
+
+/// An event delivered to a [`World`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event<P> {
+    /// A timer registered by the world fired at `node` with an opaque `tag`.
+    Timer {
+        /// Node the timer belongs to.
+        node: NodeId,
+        /// Caller-defined discriminator (e.g. "probe round", "reposition").
+        tag: u64,
+    },
+    /// A message sent from `from` arrives at `to`.
+    Message {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Protocol-defined payload.
+        payload: P,
+    },
+}
+
+struct Scheduled<P> {
+    at: Time,
+    seq: u64,
+    event: Event<P>,
+}
+
+// Order by (at, seq) only — `seq` gives deterministic FIFO among ties.
+// BinaryHeap is a max-heap, so comparisons are reversed.
+impl<P> Ord for Scheduled<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+impl<P> PartialOrd for Scheduled<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> PartialEq for Scheduled<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<P> Eq for Scheduled<P> {}
+
+/// The scheduling interface handed to [`World`] callbacks.
+///
+/// Worlds schedule timers and message deliveries at *absolute* or *relative*
+/// simulated times; the engine owns the clock. Scheduling in the past is
+/// clamped to "now" (and logged at DEBUG as an exceptional event) rather
+/// than panicking, so adversarial arithmetic cannot wedge a run.
+pub struct Scheduler<P> {
+    now: Time,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<P>>,
+}
+
+impl<P> Scheduler<P> {
+    fn new() -> Self {
+        Scheduler {
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+        }
+    }
+
+    /// Current simulated time (ms).
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events still queued.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn push(&mut self, at: Time, event: Event<P>) {
+        let at = if at < self.now {
+            log::debug!("event scheduled in the past (at={at}, now={}); clamping", self.now);
+            self.now
+        } else {
+            at
+        };
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, event });
+    }
+
+    /// Fire a timer for `node` at absolute time `at`.
+    pub fn timer_at(&mut self, at: Time, node: NodeId, tag: u64) {
+        self.push(at, Event::Timer { node, tag });
+    }
+
+    /// Fire a timer for `node` after `delay` ms.
+    pub fn timer_after(&mut self, delay: Time, node: NodeId, tag: u64) {
+        self.timer_at(self.now.saturating_add(delay), node, tag);
+    }
+
+    /// Deliver `payload` from `from` to `to` at absolute time `at`.
+    pub fn deliver_at(&mut self, at: Time, from: NodeId, to: NodeId, payload: P) {
+        self.push(at, Event::Message { from, to, payload });
+    }
+
+    /// Deliver `payload` after `delay` ms (the one-way or round-trip latency,
+    /// as the protocol chooses to model it).
+    pub fn deliver_after(&mut self, delay: Time, from: NodeId, to: NodeId, payload: P) {
+        self.deliver_at(self.now.saturating_add(delay), from, to, payload);
+    }
+}
+
+/// A protocol simulation driven by the engine.
+///
+/// Implementations hold all protocol state (node tables, coordinates,
+/// adversaries) and react to timers and message arrivals, scheduling further
+/// events through the [`Scheduler`].
+pub trait World {
+    /// Message payload type carried between nodes.
+    type Payload;
+
+    /// A timer fired.
+    fn on_timer(&mut self, sched: &mut Scheduler<Self::Payload>, node: NodeId, tag: u64);
+
+    /// A message arrived.
+    fn on_message(
+        &mut self,
+        sched: &mut Scheduler<Self::Payload>,
+        from: NodeId,
+        to: NodeId,
+        payload: Self::Payload,
+    );
+}
+
+/// The event loop: a clock plus a deterministic priority queue.
+///
+/// ```
+/// use vcoord_netsim::{Engine, Event, NodeId, Scheduler, World};
+///
+/// struct PingPong { pings: u32 }
+/// impl World for PingPong {
+///     type Payload = &'static str;
+///     fn on_timer(&mut self, s: &mut Scheduler<&'static str>, node: NodeId, _tag: u64) {
+///         s.deliver_after(10, node, 1 - node, "ping");
+///     }
+///     fn on_message(&mut self, s: &mut Scheduler<&'static str>, from: NodeId, to: NodeId, m: &'static str) {
+///         if m == "ping" {
+///             self.pings += 1;
+///             s.deliver_after(10, to, from, "pong");
+///         }
+///     }
+/// }
+///
+/// let mut engine = Engine::new();
+/// engine.scheduler().timer_at(0, 0, 0);
+/// let mut world = PingPong { pings: 0 };
+/// engine.run_until(&mut world, 100);
+/// assert_eq!(world.pings, 1);
+/// ```
+pub struct Engine<P> {
+    sched: Scheduler<P>,
+}
+
+impl<P> Default for Engine<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> Engine<P> {
+    /// A fresh engine with the clock at zero and an empty queue.
+    pub fn new() -> Self {
+        Engine {
+            sched: Scheduler::new(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.sched.now()
+    }
+
+    /// Access the scheduler (e.g. to seed initial timers).
+    pub fn scheduler(&mut self) -> &mut Scheduler<P> {
+        &mut self.sched
+    }
+
+    /// Process one event; returns `false` when the queue is empty.
+    pub fn step<W: World<Payload = P>>(&mut self, world: &mut W) -> bool {
+        let Some(s) = self.sched.queue.pop() else {
+            return false;
+        };
+        debug_assert!(s.at >= self.sched.now, "time went backwards");
+        self.sched.now = s.at;
+        match s.event {
+            Event::Timer { node, tag } => world.on_timer(&mut self.sched, node, tag),
+            Event::Message { from, to, payload } => {
+                world.on_message(&mut self.sched, from, to, payload)
+            }
+        }
+        true
+    }
+
+    /// Run until the clock would pass `t` (events at exactly `t` are
+    /// processed). Returns the number of events processed.
+    pub fn run_until<W: World<Payload = P>>(&mut self, world: &mut W, t: Time) -> usize {
+        let mut processed = 0;
+        while let Some(head) = self.sched.queue.peek() {
+            if head.at > t {
+                break;
+            }
+            self.step(world);
+            processed += 1;
+        }
+        // Advance the clock to t even if the queue drained early.
+        if self.sched.now < t {
+            self.sched.now = t;
+        }
+        processed
+    }
+
+    /// Run until the queue is empty. Returns events processed.
+    pub fn run_to_completion<W: World<Payload = P>>(&mut self, world: &mut W) -> usize {
+        let mut processed = 0;
+        while self.step(world) {
+            processed += 1;
+        }
+        processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    /// Records the order events were seen in.
+    struct Recorder {
+        log: RefCell<Vec<(Time, String)>>,
+    }
+
+    impl World for Recorder {
+        type Payload = String;
+        fn on_timer(&mut self, s: &mut Scheduler<String>, node: NodeId, tag: u64) {
+            self.log.borrow_mut().push((s.now(), format!("t{node}:{tag}")));
+        }
+        fn on_message(&mut self, s: &mut Scheduler<String>, from: NodeId, to: NodeId, p: String) {
+            self.log.borrow_mut().push((s.now(), format!("m{from}->{to}:{p}")));
+        }
+    }
+
+    fn recorder() -> Recorder {
+        Recorder {
+            log: RefCell::new(Vec::new()),
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut e: Engine<String> = Engine::new();
+        e.scheduler().timer_at(30, 0, 3);
+        e.scheduler().timer_at(10, 0, 1);
+        e.scheduler().timer_at(20, 0, 2);
+        let mut w = recorder();
+        e.run_to_completion(&mut w);
+        let log = w.log.into_inner();
+        assert_eq!(
+            log,
+            vec![
+                (10, "t0:1".into()),
+                (20, "t0:2".into()),
+                (30, "t0:3".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn same_time_events_are_fifo() {
+        let mut e: Engine<String> = Engine::new();
+        for tag in 0..5 {
+            e.scheduler().timer_at(7, 0, tag);
+        }
+        let mut w = recorder();
+        e.run_to_completion(&mut w);
+        let tags: Vec<String> = w.log.into_inner().into_iter().map(|(_, s)| s).collect();
+        assert_eq!(tags, vec!["t0:0", "t0:1", "t0:2", "t0:3", "t0:4"]);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut e: Engine<String> = Engine::new();
+        e.scheduler().timer_at(10, 0, 0);
+        e.scheduler().timer_at(50, 0, 1);
+        let mut w = recorder();
+        let n = e.run_until(&mut w, 20);
+        assert_eq!(n, 1);
+        assert_eq!(e.now(), 20);
+        assert_eq!(e.scheduler().pending(), 1);
+        // Resume picks up the rest.
+        e.run_until(&mut w, 100);
+        assert_eq!(e.now(), 100);
+        assert_eq!(w.log.into_inner().len(), 2);
+    }
+
+    #[test]
+    fn past_scheduling_is_clamped_to_now() {
+        struct PastSched;
+        impl World for PastSched {
+            type Payload = ();
+            fn on_timer(&mut self, s: &mut Scheduler<()>, node: NodeId, tag: u64) {
+                if tag == 0 {
+                    // Absolute time 5 is in the past once now=10.
+                    s.timer_at(5, node, 1);
+                }
+            }
+            fn on_message(&mut self, _: &mut Scheduler<()>, _: NodeId, _: NodeId, _: ()) {}
+        }
+        let mut e: Engine<()> = Engine::new();
+        e.scheduler().timer_at(10, 0, 0);
+        let n = e.run_to_completion(&mut PastSched);
+        assert_eq!(n, 2, "clamped event still fires");
+        assert_eq!(e.now(), 10);
+    }
+
+    #[test]
+    fn message_roundtrip_latency() {
+        struct Echo;
+        impl World for Echo {
+            type Payload = u32;
+            fn on_timer(&mut self, s: &mut Scheduler<u32>, _: NodeId, _: u64) {
+                s.deliver_after(25, 0, 1, 99);
+            }
+            fn on_message(&mut self, s: &mut Scheduler<u32>, from: NodeId, to: NodeId, p: u32) {
+                if p == 99 {
+                    s.deliver_after(25, to, from, 100);
+                } else {
+                    assert_eq!(s.now(), 50);
+                }
+            }
+        }
+        let mut e: Engine<u32> = Engine::new();
+        e.scheduler().timer_at(0, 0, 0);
+        assert_eq!(e.run_to_completion(&mut Echo), 3);
+        assert_eq!(e.now(), 50);
+    }
+
+    #[test]
+    fn deterministic_event_counts() {
+        // Two identical runs process identical event sequences.
+        let run = || {
+            let mut e: Engine<String> = Engine::new();
+            for i in 0..100u64 {
+                e.scheduler().timer_at(i % 17, (i % 5) as NodeId, i);
+            }
+            let mut w = recorder();
+            e.run_to_completion(&mut w);
+            w.log.into_inner()
+        };
+        assert_eq!(run(), run());
+    }
+}

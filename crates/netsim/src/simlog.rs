@@ -1,0 +1,69 @@
+//! Minimal `log` backend for workspace binaries.
+//!
+//! The library crates only *emit* through the `log` facade (TRACE for normal
+//! events, DEBUG for exceptional events, following the smoltcp convention);
+//! this module lets examples and the figure harness print those records
+//! without pulling in a logging framework. The level comes from the
+//! `VCOORD_LOG` environment variable (`error`..`trace`, default `warn`).
+
+use log::{Level, LevelFilter, Metadata, Record};
+use std::sync::Once;
+
+struct SimLogger {
+    level: LevelFilter,
+}
+
+impl log::Log for SimLogger {
+    fn enabled(&self, metadata: &Metadata) -> bool {
+        metadata.level() <= self.level
+    }
+
+    fn log(&self, record: &Record) {
+        if !self.enabled(record.metadata()) {
+            return;
+        }
+        let tag = match record.level() {
+            Level::Error => "E",
+            Level::Warn => "W",
+            Level::Info => "I",
+            Level::Debug => "D",
+            Level::Trace => "T",
+        };
+        eprintln!("[{tag} {}] {}", record.target(), record.args());
+    }
+
+    fn flush(&self) {}
+}
+
+static INIT: Once = Once::new();
+
+/// Install the logger (idempotent). Reads `VCOORD_LOG` for the level.
+pub fn init() {
+    INIT.call_once(|| {
+        let level = match std::env::var("VCOORD_LOG").as_deref() {
+            Ok("error") => LevelFilter::Error,
+            Ok("warn") => LevelFilter::Warn,
+            Ok("info") => LevelFilter::Info,
+            Ok("debug") => LevelFilter::Debug,
+            Ok("trace") => LevelFilter::Trace,
+            Ok("off") => LevelFilter::Off,
+            _ => LevelFilter::Warn,
+        };
+        // Leak one small allocation for the lifetime of the process; this is
+        // the standard pattern for installing a global logger.
+        let logger: &'static SimLogger = Box::leak(Box::new(SimLogger { level }));
+        if log::set_logger(logger).is_ok() {
+            log::set_max_level(level);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn init_is_idempotent() {
+        super::init();
+        super::init();
+        log::debug!("logger smoke test");
+    }
+}

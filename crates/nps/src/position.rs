@@ -1,0 +1,469 @@
+//! Node positioning and the reference-point security filter, as pure
+//! functions (directly testable against §3.1 of the paper).
+
+use serde::{Deserialize, Serialize};
+use vcoord_space::{simplex_downhill, Coord, SimplexOptions, Space};
+
+/// The latency-fit objective minimized by Simplex Downhill.
+///
+/// GNP's *paper* normalizes by the measured distance; the reference
+/// implementation lineage (and the attack dynamics the CoNEXT'06 paper
+/// observes — delay inflation destroying accuracy, fig. 14) corresponds to
+/// the **absolute** squared error: a relative objective down-weights an
+/// inflated measurement by `1/D²`, making delay attacks nearly harmless,
+/// which contradicts every NPS figure in the paper. Both are provided; the
+/// ablation bench and `tests/` compare them, and `SquaredAbsolute` is the
+/// default used by the experiments. The security filter's fitting error is
+/// *always* the paper's relative form, independent of this choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FitObjective {
+    /// `Σ (dist(x, P_Ri) − D_Ri)²` — delay-sensitive (default).
+    SquaredAbsolute,
+    /// `Σ ((dist(x, P_Ri) − D_Ri) / D_Ri)²` — GNP-paper form.
+    SquaredRelative,
+}
+
+/// One reference-point measurement: the coordinates the reference
+/// *reported* and the RTT the node *measured* (both possibly adversarial).
+#[derive(Debug, Clone)]
+pub struct RefSample {
+    /// Reference point's node id.
+    pub id: usize,
+    /// Reported reference coordinates `P_Ri`.
+    pub coord: Coord,
+    /// Measured distance `D_Ri` (ms).
+    pub rtt: f64,
+}
+
+/// The NPS malicious-reference detection policy (§3.1).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SecurityPolicy {
+    /// Master switch.
+    pub enabled: bool,
+    /// Sensitivity constant `C`.
+    pub c: f64,
+    /// Absolute floor: condition (1) `max E_Ri > min_error`.
+    pub min_error: f64,
+}
+
+impl SecurityPolicy {
+    /// The paper's configuration: `C = 4`, floor `0.01`, enabled.
+    pub fn paper() -> SecurityPolicy {
+        SecurityPolicy {
+            enabled: true,
+            c: 4.0,
+            min_error: 0.01,
+        }
+    }
+
+    /// Detection disabled.
+    pub fn off() -> SecurityPolicy {
+        SecurityPolicy {
+            enabled: false,
+            c: 4.0,
+            min_error: 0.01,
+        }
+    }
+}
+
+/// Result of one positioning round.
+#[derive(Debug, Clone)]
+pub struct PositionOutcome {
+    /// The minimizing coordinates found.
+    pub coord: Coord,
+    /// Final objective value (sum of squared relative fitting errors).
+    pub objective: f64,
+    /// Per-reference fitting errors `E_Ri`, parallel to the input samples.
+    pub fit_errors: Vec<f64>,
+    /// Reference point the security filter eliminated, if any (at most one
+    /// per positioning — load-bearing for the paper's attack analysis).
+    pub filtered: Option<usize>,
+}
+
+/// Fitting error of one reference after positioning:
+/// `E_Ri = |dist(P_H, P_Ri) − D_Ri| / D_Ri`.
+fn fit_error(space: &Space, at: &Coord, s: &RefSample) -> f64 {
+    if s.rtt <= 0.0 {
+        return f64::INFINITY;
+    }
+    (space.distance(at, &s.coord) - s.rtt).abs() / s.rtt
+}
+
+/// Position a node against `samples` using Simplex Downhill, then apply the
+/// security filter.
+///
+/// Returns `None` when fewer than `dim + 1` usable samples are available
+/// (the embedding would be under-constrained); the caller should skip the
+/// round and retry after refreshing its reference set.
+///
+/// The objective is GNP's: `f(x) = Σ ((dist(x, P_Ri) − D_Ri) / D_Ri)²`.
+pub fn position_node(
+    space: &Space,
+    samples: &[RefSample],
+    start: &Coord,
+    security: SecurityPolicy,
+    opts: &SimplexOptions,
+) -> Option<PositionOutcome> {
+    position_node_with(
+        space,
+        samples,
+        start,
+        None,
+        security,
+        opts,
+        FitObjective::SquaredAbsolute,
+    )
+}
+
+/// Run one Simplex fit over `samples`, minimizing `objective_kind`.
+fn fit_samples(
+    space: &Space,
+    samples: &[&RefSample],
+    start: &Coord,
+    opts: &SimplexOptions,
+    objective_kind: FitObjective,
+) -> (Coord, f64) {
+    let objective = |x: &[f64]| -> f64 {
+        let p = Coord::from_vec(x.to_vec());
+        samples
+            .iter()
+            .map(|s| {
+                let diff = space.distance(&p, &s.coord) - s.rtt;
+                match objective_kind {
+                    FitObjective::SquaredAbsolute => diff * diff,
+                    FitObjective::SquaredRelative => (diff / s.rtt) * (diff / s.rtt),
+                }
+            })
+            .sum()
+    };
+    let result = simplex_downhill(objective, &start.vec, opts);
+    let mut coord = Coord::from_vec(result.point);
+    coord.sanitize();
+    (coord, result.value)
+}
+
+/// [`position_node`] with an explicit fit objective and an optional
+/// *incumbent* position.
+///
+/// The incumbent — the node's position from its previous round, when it has
+/// one — is the reference frame for the security filter: fitting errors are
+/// evaluated against the stable incumbent, the worst outlier (if any) is
+/// rejected, and only then is the new position fitted from the surviving
+/// samples. Judging errors against the freshly-dragged fit instead would
+/// systematically blame *nearby honest* references (their small measured
+/// RTT is the denominator of `E_Ri`) whenever an attacker drags the fit —
+/// inverting the filter into a weapon. The reject-then-fit order is the
+/// reading under which the paper's observed filter efficacy (figure 14,
+/// effective up to ~30 % simple-disorder attackers) is reproducible, and it
+/// leaves the anti-detection attacks exactly their published loophole:
+/// a *consistent* lie has near-zero error against the incumbent. First
+/// positionings (no incumbent) fall back to post-fit evaluation.
+pub fn position_node_with(
+    space: &Space,
+    samples: &[RefSample],
+    start: &Coord,
+    incumbent: Option<&Coord>,
+    security: SecurityPolicy,
+    opts: &SimplexOptions,
+    objective_kind: FitObjective,
+) -> Option<PositionOutcome> {
+    let usable: Vec<&RefSample> = samples
+        .iter()
+        .filter(|s| s.rtt > 0.0 && s.rtt.is_finite() && s.coord.is_finite())
+        .collect();
+    if usable.len() < space.dim() + 1 {
+        log::debug!(
+            "nps: under-constrained positioning ({} refs for {}-D)",
+            usable.len(),
+            space.dim()
+        );
+        return None;
+    }
+
+    // Reference frame for outlier rejection: the incumbent when available,
+    // otherwise a provisional fit over all samples.
+    let frame: Coord = match incumbent {
+        Some(c) => c.clone(),
+        None => fit_samples(space, &usable, start, opts, objective_kind).0,
+    };
+    let fit_errors: Vec<f64> = samples.iter().map(|s| fit_error(space, &frame, s)).collect();
+    let filtered = if security.enabled {
+        apply_filter(&fit_errors, security).map(|idx| samples[idx].id)
+    } else {
+        None
+    };
+
+    // Final fit over the surviving samples (at most one eliminated).
+    let surviving: Vec<&RefSample> = usable
+        .iter()
+        .copied()
+        .filter(|s| Some(s.id) != filtered)
+        .collect();
+    let (coord, objective_value) = if surviving.len() >= space.dim() + 1 {
+        fit_samples(space, &surviving, start, opts, objective_kind)
+    } else {
+        fit_samples(space, &usable, start, opts, objective_kind)
+    };
+
+    Some(PositionOutcome {
+        coord,
+        objective: objective_value,
+        fit_errors,
+        filtered,
+    })
+}
+
+/// The filter decision alone: index of the sample to eliminate, if both
+/// conditions hold. Exposed for direct unit testing.
+pub fn apply_filter(fit_errors: &[f64], policy: SecurityPolicy) -> Option<usize> {
+    if !policy.enabled || fit_errors.is_empty() {
+        return None;
+    }
+    let (max_idx, max_err) = fit_errors
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))?;
+    let median = {
+        let mut v: Vec<f64> = fit_errors.iter().copied().filter(|e| e.is_finite()).collect();
+        if v.is_empty() {
+            return Some(max_idx); // everything infinite: drop the max
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v[v.len() / 2]
+    };
+    if *max_err > policy.min_error && *max_err > policy.c * median {
+        Some(max_idx)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> Space {
+        Space::Euclidean(2)
+    }
+
+    /// References on a square, target at the center.
+    fn square_samples(rtts: &[f64]) -> Vec<RefSample> {
+        let pts = [
+            [0.0, 0.0],
+            [100.0, 0.0],
+            [100.0, 100.0],
+            [0.0, 100.0],
+            [50.0, 0.0],
+        ];
+        pts.iter()
+            .zip(rtts)
+            .enumerate()
+            .map(|(i, (p, &rtt))| RefSample {
+                id: i + 100,
+                coord: Coord::from_vec(p.to_vec()),
+                rtt,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn positions_at_geometric_solution() {
+        // Distances consistent with the point (50, 50).
+        let d = 50.0 * std::f64::consts::SQRT_2;
+        let samples = square_samples(&[d, d, d, d, 50.0]);
+        let out = position_node(
+            &space(),
+            &samples,
+            &Coord::from_vec(vec![10.0, 10.0]),
+            SecurityPolicy::paper(),
+            &SimplexOptions::default(),
+        )
+        .unwrap();
+        assert!((out.coord.vec[0] - 50.0).abs() < 1.0, "{:?}", out.coord);
+        assert!((out.coord.vec[1] - 50.0).abs() < 1.0);
+        assert!(out.filtered.is_none(), "clean refs must not be filtered");
+        assert!(out.objective < 1e-4);
+    }
+
+    #[test]
+    fn filters_the_single_liar_with_robust_fit() {
+        // Under the relative (GNP-paper) objective the fit stays pinned by
+        // the honest majority, so the inflating liar is the clear outlier
+        // and the filter names it.
+        let d = 50.0 * std::f64::consts::SQRT_2;
+        let samples = square_samples(&[d, d, d, d, 5000.0]);
+        let out = position_node_with(
+            &space(),
+            &samples,
+            &Coord::from_vec(vec![10.0, 10.0]),
+            None,
+            SecurityPolicy::paper(),
+            &SimplexOptions::default(),
+            FitObjective::SquaredRelative,
+        )
+        .unwrap();
+        assert_eq!(out.filtered, Some(104), "the inflated ref must be caught");
+    }
+
+    #[test]
+    fn absolute_objective_can_shift_blame() {
+        // Under the absolute objective a massive liar drags the fit far
+        // enough that honest references also look wrong — the median rises
+        // and the C·median condition shields the liar. This is the
+        // mechanism behind the paper's false-positive observations
+        // (figures 20/22).
+        let d = 50.0 * std::f64::consts::SQRT_2;
+        let samples = square_samples(&[d, d, d, d, 5000.0]);
+        let out = position_node_with(
+            &space(),
+            &samples,
+            &Coord::from_vec(vec![10.0, 10.0]),
+            None,
+            SecurityPolicy::paper(),
+            &SimplexOptions::default(),
+            FitObjective::SquaredAbsolute,
+        )
+        .unwrap();
+        // The dragged fit inflates every fitting error, not just the liar's.
+        let honest_max = out.fit_errors[..4]
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max);
+        assert!(honest_max > 0.5, "honest refs get blamed too: {honest_max}");
+    }
+
+    #[test]
+    fn security_off_never_filters() {
+        let d = 50.0 * std::f64::consts::SQRT_2;
+        let samples = square_samples(&[d, d, d, d, 5000.0]);
+        let out = position_node(
+            &space(),
+            &samples,
+            &Coord::from_vec(vec![10.0, 10.0]),
+            SecurityPolicy::off(),
+            &SimplexOptions::default(),
+        )
+        .unwrap();
+        assert!(out.filtered.is_none());
+    }
+
+    #[test]
+    fn under_constrained_returns_none() {
+        let samples = square_samples(&[70.0, 70.0, 70.0, 70.0, 50.0]);
+        assert!(position_node(
+            &space(),
+            &samples[..2],
+            &Coord::origin(2),
+            SecurityPolicy::paper(),
+            &SimplexOptions::default(),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn threshold_condition_one_blocks_tiny_errors() {
+        // Max error below the 0.01 floor: no filtering even if it dominates
+        // the median.
+        let errs = [0.0001, 0.0001, 0.0001, 0.009];
+        assert_eq!(apply_filter(&errs, SecurityPolicy::paper()), None);
+    }
+
+    #[test]
+    fn median_condition_two_blocks_uniform_badness() {
+        // Everyone is bad: max not > 4×median → nothing filtered. This is
+        // exactly how a large colluding population survives the filter.
+        let errs = [0.5, 0.6, 0.55, 0.62, 0.58];
+        assert_eq!(apply_filter(&errs, SecurityPolicy::paper()), None);
+    }
+
+    #[test]
+    fn filter_picks_the_max() {
+        let errs = [0.001, 0.002, 0.9, 0.003];
+        assert_eq!(apply_filter(&errs, SecurityPolicy::paper()), Some(2));
+    }
+
+    #[test]
+    fn at_most_one_filtered_per_positioning() {
+        // Two equally terrible refs: the filter still names only one index.
+        let errs = [0.9, 0.9, 0.001, 0.002, 0.001];
+        let idx = apply_filter(&errs, SecurityPolicy::paper());
+        assert!(idx == Some(0) || idx == Some(1));
+    }
+
+    #[test]
+    fn incumbent_frame_catches_delayer_despite_dragged_fit() {
+        // With an incumbent position (the converged estimate), the filter
+        // judges errors in a stable frame: the delaying liar is the outlier
+        // and gets rejected BEFORE the fit, so the final position is
+        // computed from honest samples only — even under the drag-prone
+        // absolute objective.
+        let d = 50.0 * std::f64::consts::SQRT_2;
+        let samples = square_samples(&[d, d, d, d, 800.0]); // true rtt 50, delayed
+        let incumbent = Coord::from_vec(vec![50.0, 50.0]);
+        let out = position_node_with(
+            &space(),
+            &samples,
+            &incumbent,
+            Some(&incumbent),
+            SecurityPolicy::paper(),
+            &SimplexOptions::default(),
+            FitObjective::SquaredAbsolute,
+        )
+        .unwrap();
+        assert_eq!(out.filtered, Some(104), "the delayer must be rejected");
+        // Final position fitted without the liar: stays at the truth.
+        assert!((out.coord.vec[0] - 50.0).abs() < 1.0, "{:?}", out.coord);
+        assert!((out.coord.vec[1] - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn consistent_lie_evades_incumbent_filter() {
+        // The anti-detection loophole: a lie whose reported coordinate and
+        // measured RTT agree (as seen from the victim's incumbent) has a
+        // near-zero fitting error and is never filtered — but it still
+        // drags the fit.
+        let d = 50.0 * std::f64::consts::SQRT_2;
+        let mut samples = square_samples(&[d, d, d, d, 50.0]);
+        // Attacker (id 104, truly at (50,0), 50 ms away) pretends to be at
+        // (50, -10000) and under-claims the RTT by 0.9 % — a fitting error
+        // of 0.009 < 0.01 at the victim's incumbent (50,50), yet a steady
+        // ~90 ms pull toward the fake coordinate.
+        samples[4].coord = Coord::from_vec(vec![50.0, -10_000.0]);
+        samples[4].rtt = 10_050.0 * 0.991;
+        let incumbent = Coord::from_vec(vec![50.0, 50.0]);
+        let out = position_node_with(
+            &space(),
+            &samples,
+            &incumbent,
+            Some(&incumbent),
+            SecurityPolicy::paper(),
+            &SimplexOptions::default(),
+            FitObjective::SquaredAbsolute,
+        )
+        .unwrap();
+        assert_eq!(out.filtered, None, "consistent lies evade the filter");
+        // And the fit is dragged away from the truth.
+        let displacement = ((out.coord.vec[0] - 50.0).powi(2)
+            + (out.coord.vec[1] - 50.0).powi(2))
+        .sqrt();
+        assert!(displacement > 10.0, "lie must drag the fit: {displacement}");
+    }
+
+    #[test]
+    fn rejects_invalid_samples_before_positioning() {
+        let d = 50.0 * std::f64::consts::SQRT_2;
+        let mut samples = square_samples(&[d, d, d, d, 50.0]);
+        samples[0].rtt = f64::NAN;
+        samples[1].rtt = -5.0;
+        samples[2].coord = Coord::from_vec(vec![f64::INFINITY, 0.0]);
+        // Only 2 usable refs left < dim+1 = 3.
+        assert!(position_node(
+            &space(),
+            &samples,
+            &Coord::origin(2),
+            SecurityPolicy::paper(),
+            &SimplexOptions::default(),
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,582 @@
+//! The NPS simulation world.
+//!
+//! Nodes join staggered by layer (reference layers first), then reposition
+//! periodically. A positioning round is executed *atomically* at its timer:
+//! all reference probes, the Simplex minimization, and the security filter
+//! happen at one simulated instant. This is faithful at NPS timescales —
+//! repositioning periods (≥ 60 s) dwarf probe RTTs (≤ 5 s threshold) — and
+//! the adversarial delay is what matters to the algorithm, which sees it in
+//! the *measured RTT value*; the authors' own event-driven simulator makes
+//! the same simplification.
+//!
+//! Landmarks embed themselves at construction time by iterative rounds of
+//! mutual positioning (each landmark runs the Simplex minimization against
+//! the others — NPS's decentralization of GNP), and are pinned thereafter:
+//! the paper's threat model assumes "landmarks are highly secure machines
+//! that never cheat".
+
+use crate::adversary::{NpsAdversary, NpsView, RefLie};
+use crate::config::NpsConfig;
+use crate::layers::{assign_layers, select_landmarks};
+use crate::membership::Membership;
+use crate::position::{position_node_with, RefSample, SecurityPolicy};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use vcoord_metrics::FilterLedger;
+use vcoord_netsim::{Engine, NodeId, Scheduler, SeedStream, World};
+use vcoord_space::{Coord, Space};
+use vcoord_topo::RttMatrix;
+
+const TAG_REPOSITION: u64 = 1;
+
+/// Positioning/probe counters, exposed for tests and diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NpsCounters {
+    /// Successful positioning rounds.
+    pub positionings: u64,
+    /// Rounds skipped for lack of usable references.
+    pub skipped_rounds: u64,
+    /// Probes discarded by the probe threshold.
+    pub probes_discarded: u64,
+    /// Probes lost to the benign link model.
+    pub probes_lost: u64,
+    /// References eliminated by the security filter.
+    pub refs_filtered: u64,
+    /// Replacement references granted by the membership server.
+    pub refs_replaced: u64,
+    /// Lies served by the adversary.
+    pub lies_served: u64,
+    /// Negative adversarial delays clamped (threat-model violations).
+    pub delay_clamped: u64,
+}
+
+struct NpsWorld {
+    config: NpsConfig,
+    matrix: RttMatrix,
+    membership: Membership,
+    layer: Vec<u8>,
+    is_ref: Vec<bool>,
+    coords: Vec<Coord>,
+    positioned: Vec<bool>,
+    refs: Vec<Vec<usize>>,
+    banned: Vec<Vec<usize>>,
+    malicious: Vec<bool>,
+    adversary: Option<Box<dyn NpsAdversary>>,
+    ledger: FilterLedger,
+    threshold_ledger: FilterLedger,
+    counters: NpsCounters,
+    probe_rng: ChaCha12Rng,
+    adv_rng: ChaCha12Rng,
+}
+
+impl NpsWorld {
+    fn security(&self) -> SecurityPolicy {
+        SecurityPolicy {
+            enabled: self.config.security,
+            c: self.config.security_c,
+            min_error: self.config.security_min_error,
+        }
+    }
+
+    /// Gather one reference probe, applying adversary and threshold rules.
+    /// Returns `None` if the probe was lost or discarded.
+    fn probe_ref(&mut self, node: usize, r: usize, now_ms: u64) -> Option<RefSample> {
+        let base_rtt = self.matrix.rtt(node, r);
+        let true_rtt = match self.config.link.apply(base_rtt, &mut self.probe_rng) {
+            Some(v) => v,
+            None => {
+                self.counters.probes_lost += 1;
+                return None;
+            }
+        };
+
+        let lie = if let (true, Some(adversary)) = (self.malicious[r], self.adversary.as_mut())
+        {
+            let view = NpsView {
+                space: &self.config.space,
+                coords: &self.coords,
+                layer: &self.layer,
+                malicious: &self.malicious,
+                is_ref: &self.is_ref,
+                probe_threshold_ms: self.config.probe_threshold_ms,
+                now_ms,
+            };
+            adversary.respond(r, node, true_rtt, &view, &mut self.adv_rng)
+        } else {
+            None
+        };
+
+        let (coord, rtt) = match lie {
+            Some(RefLie { coord, delay_ms }) => {
+                self.counters.lies_served += 1;
+                let delay = if delay_ms < 0.0 {
+                    self.counters.delay_clamped += 1;
+                    log::debug!("nps: adversary tried to shorten a probe; clamped");
+                    0.0
+                } else {
+                    delay_ms
+                };
+                (coord, true_rtt + delay)
+            }
+            None => (self.coords[r].clone(), true_rtt),
+        };
+
+        if rtt > self.config.probe_threshold_ms {
+            // The paper: such probes are "considered suspicious" and
+            // discarded. The requesting node additionally bans the offending
+            // reference — no benign probe can exceed a 5 s threshold, so
+            // this is a pure true-positive channel, and it is exactly what
+            // the *sophisticated* anti-detection attack evades by only
+            // striking nearby victims (§5.4.3).
+            self.counters.probes_discarded += 1;
+            self.threshold_ledger.record(self.malicious[r]);
+            self.ban_ref(node, r);
+            return None;
+        }
+        Some(RefSample { id: r, coord, rtt })
+    }
+
+    /// Ban reference `bad` for `node` and request a replacement from the
+    /// membership server.
+    fn ban_ref(&mut self, node: usize, bad: usize) {
+        self.banned[node].push(bad);
+        // Rolling exclusion window, not a permanent blacklist: NPS replaces
+        // a rejected reference "for future repositioning"; an unbounded
+        // blacklist would exhaust the reference pool under false positives
+        // (and the paper's attackers demonstrably keep getting reprieves).
+        let window = (2 * self.config.refs_per_node).max(8);
+        if self.banned[node].len() > window {
+            self.banned[node].remove(0);
+        }
+        self.refs[node].retain(|&r| r != bad);
+        if let Some(replacement) = self.membership.replacement(
+            node,
+            self.layer[node],
+            &self.refs[node],
+            &self.banned[node],
+            &mut self.probe_rng,
+        ) {
+            self.refs[node].push(replacement);
+            self.counters.refs_replaced += 1;
+        }
+    }
+
+    fn reposition(&mut self, node: usize, now_ms: u64) {
+        let refs = self.refs[node].clone();
+        let samples: Vec<RefSample> = refs
+            .iter()
+            .filter_map(|&r| self.probe_ref(node, r, now_ms))
+            .collect();
+
+        let incumbent = if self.positioned[node] {
+            Some(self.coords[node].clone())
+        } else {
+            None
+        };
+        let outcome = position_node_with(
+            &self.config.space,
+            &samples,
+            &self.coords[node],
+            incumbent.as_ref(),
+            self.security(),
+            &self.config.simplex,
+            self.config.objective,
+        );
+        let Some(outcome) = outcome else {
+            self.counters.skipped_rounds += 1;
+            return;
+        };
+
+        if self.positioned[node] {
+            // Damped incremental refinement (see NpsConfig::update_damping).
+            let alpha = self.config.update_damping.clamp(0.0, 1.0);
+            let disp = outcome.coord.sub(&self.coords[node]);
+            let space = self.config.space;
+            space.apply(&mut self.coords[node], &disp, alpha);
+        } else {
+            self.coords[node] = outcome.coord;
+        }
+        self.positioned[node] = true;
+        self.counters.positionings += 1;
+
+        if let Some(bad) = outcome.filtered {
+            self.counters.refs_filtered += 1;
+            self.ledger.record(self.malicious[bad]);
+            self.ban_ref(node, bad);
+        }
+    }
+}
+
+impl World for NpsWorld {
+    type Payload = ();
+
+    fn on_timer(&mut self, sched: &mut Scheduler<()>, node: NodeId, tag: u64) {
+        debug_assert_eq!(tag, TAG_REPOSITION);
+        // Jittered periodic repositioning.
+        let jitter = self
+            .probe_rng
+            .gen_range(0..=self.config.reposition_ms / 10);
+        sched.timer_after(self.config.reposition_ms + jitter, node, TAG_REPOSITION);
+
+        if self.malicious[node] || self.layer[node] == 0 {
+            return; // landmarks are pinned; infected nodes freeze
+        }
+        self.reposition(node, sched.now());
+    }
+
+    fn on_message(&mut self, _s: &mut Scheduler<()>, _f: NodeId, _t: NodeId, _p: ()) {
+        unreachable!("NPS positioning is atomic; no messages are scheduled");
+    }
+}
+
+/// A complete NPS system running on the discrete-event engine.
+pub struct NpsSim {
+    engine: Engine<()>,
+    world: NpsWorld,
+}
+
+impl NpsSim {
+    /// Build the hierarchy over `matrix`: select landmarks, embed them,
+    /// assign layers and reference sets, and schedule staggered joins.
+    ///
+    /// # Panics
+    /// Panics if the matrix is smaller than `landmarks + refs_per_node`.
+    pub fn new(matrix: RttMatrix, config: NpsConfig, seeds: &SeedStream) -> NpsSim {
+        let n = matrix.len();
+        assert!(
+            n >= config.landmarks + 2,
+            "matrix too small for {} landmarks",
+            config.landmarks
+        );
+
+        let landmark_ids = select_landmarks(&matrix, config.landmarks);
+        let layer = assign_layers(
+            n,
+            &landmark_ids,
+            config.layers,
+            config.ref_fraction,
+            &mut seeds.rng("nps/layers"),
+        );
+        let membership = Membership::new(&layer, config.layers);
+        let is_ref: Vec<bool> = layer
+            .iter()
+            .map(|&l| (l as usize) < config.layers - 1)
+            .collect();
+
+        // Landmark embedding: iterative decentralized GNP.
+        let mut coords = vec![config.space.origin(); n];
+        let mut lm_rng = seeds.rng("nps/landmarks");
+        let scale = 150.0;
+        for &l in &landmark_ids {
+            coords[l] = config.space.random_coord(scale, &mut lm_rng);
+        }
+        for _round in 0..config.landmark_rounds {
+            for &l in &landmark_ids {
+                let samples: Vec<RefSample> = landmark_ids
+                    .iter()
+                    .filter(|&&o| o != l)
+                    .map(|&o| RefSample {
+                        id: o,
+                        coord: coords[o].clone(),
+                        rtt: matrix.rtt(l, o),
+                    })
+                    .collect();
+                if let Some(out) = position_node_with(
+                    &config.space,
+                    &samples,
+                    &coords[l],
+                    None,
+                    SecurityPolicy::off(),
+                    &config.simplex,
+                    config.objective,
+                ) {
+                    coords[l] = out.coord;
+                }
+            }
+        }
+
+        // Reference assignment (static membership; bans accrue at runtime).
+        let mut member_rng = seeds.rng("nps/membership");
+        let refs: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                membership.assign_refs(i, layer[i], config.refs_per_node, &[], &mut member_rng)
+            })
+            .collect();
+
+        let mut positioned = vec![false; n];
+        for &l in &landmark_ids {
+            positioned[l] = true;
+        }
+
+        let mut engine = Engine::new();
+        let mut join_rng = seeds.rng("nps/join");
+        let stagger = config.join_stagger_ms.max(1);
+        for i in 0..n {
+            if layer[i] == 0 {
+                continue;
+            }
+            let window_start = (layer[i] as u64 - 1) * stagger;
+            let at = window_start + join_rng.gen_range(0..stagger);
+            engine.scheduler().timer_at(at, i, TAG_REPOSITION);
+        }
+
+        let world = NpsWorld {
+            is_ref,
+            membership,
+            layer,
+            coords,
+            positioned,
+            refs,
+            banned: vec![Vec::new(); n],
+            malicious: vec![false; n],
+            adversary: None,
+            ledger: FilterLedger::new(),
+            threshold_ledger: FilterLedger::new(),
+            counters: NpsCounters::default(),
+            probe_rng: seeds.rng("nps/probe"),
+            adv_rng: seeds.rng("nps/adversary"),
+            matrix,
+            config,
+        };
+        NpsSim { engine, world }
+    }
+
+    /// Advance the simulation by `ms` simulated milliseconds.
+    pub fn run_ms(&mut self, ms: u64) {
+        let target = self.engine.now() + ms;
+        self.engine.run_until(&mut self.world, target);
+    }
+
+    /// Advance by `n` repositioning rounds (the NPS "tick").
+    pub fn run_rounds(&mut self, n: u64) {
+        self.run_ms(n * self.world.config.reposition_ms);
+    }
+
+    /// Current simulated time (ms).
+    pub fn now_ms(&self) -> u64 {
+        self.engine.now()
+    }
+
+    /// Current round count (floor of now / reposition period).
+    pub fn now_rounds(&self) -> u64 {
+        self.engine.now() / self.world.config.reposition_ms
+    }
+
+    /// The embedding space.
+    pub fn space(&self) -> &Space {
+        &self.world.config.space
+    }
+
+    /// The simulation parameters.
+    pub fn config(&self) -> &NpsConfig {
+        &self.world.config
+    }
+
+    /// The latency substrate.
+    pub fn matrix(&self) -> &RttMatrix {
+        &self.world.matrix
+    }
+
+    /// True current coordinates of every node.
+    pub fn coords(&self) -> &[Coord] {
+        &self.world.coords
+    }
+
+    /// Per-node layer (0 = landmark).
+    pub fn layers_of(&self) -> &[u8] {
+        &self.world.layer
+    }
+
+    /// Malicious flags.
+    pub fn malicious(&self) -> &[bool] {
+        &self.world.malicious
+    }
+
+    /// Whether each node has completed at least one positioning.
+    pub fn positioned(&self) -> &[bool] {
+        &self.world.positioned
+    }
+
+    /// Security-filter accounting (figures 20/22).
+    pub fn ledger(&self) -> FilterLedger {
+        self.world.ledger
+    }
+
+    /// Probe-threshold eliminations (all true positives by construction:
+    /// no benign probe exceeds the threshold).
+    pub fn threshold_ledger(&self) -> FilterLedger {
+        self.world.threshold_ledger
+    }
+
+    /// Event counters.
+    pub fn counters(&self) -> NpsCounters {
+        self.world.counters
+    }
+
+    /// Honest, positioned, non-landmark nodes — the evaluation population.
+    pub fn eval_nodes(&self) -> Vec<usize> {
+        (0..self.world.matrix.len())
+            .filter(|&i| {
+                self.world.layer[i] != 0
+                    && !self.world.malicious[i]
+                    && self.world.positioned[i]
+            })
+            .collect()
+    }
+
+    /// Honest positioned nodes of one layer (figure 25 measures per-layer
+    /// error propagation).
+    pub fn eval_nodes_in_layer(&self, l: u8) -> Vec<usize> {
+        self.eval_nodes()
+            .into_iter()
+            .filter(|&i| self.world.layer[i] == l)
+            .collect()
+    }
+
+    /// Pick `fraction` of the *ordinary* (non-landmark) population as
+    /// attackers; landmarks are assumed secure and never selected.
+    pub fn pick_attackers(&mut self, fraction: f64) -> Vec<usize> {
+        let mut pool: Vec<usize> = (0..self.world.matrix.len())
+            .filter(|&i| self.world.layer[i] != 0)
+            .collect();
+        pool.shuffle(&mut self.world.adv_rng);
+        let k = ((pool.len() as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+        pool.truncate(k);
+        pool.sort_unstable();
+        pool
+    }
+
+    /// Turn `attackers` malicious under `adversary` (the injection
+    /// scenario).
+    pub fn inject_adversary(&mut self, attackers: &[usize], mut adversary: Box<dyn NpsAdversary>) {
+        for &a in attackers {
+            assert_ne!(self.world.layer[a], 0, "landmarks never cheat (paper §5.4)");
+            self.world.malicious[a] = true;
+        }
+        let view = NpsView {
+            space: &self.world.config.space,
+            coords: &self.world.coords,
+            layer: &self.world.layer,
+            malicious: &self.world.malicious,
+            is_ref: &self.world.is_ref,
+            probe_threshold_ms: self.world.config.probe_threshold_ms,
+            now_ms: self.engine.now(),
+        };
+        adversary.inject(attackers, &view, &mut self.world.adv_rng);
+        self.world.adversary = Some(adversary);
+        log::trace!(
+            "nps: injected {} attackers at t={}ms",
+            attackers.len(),
+            self.engine.now()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::HonestNpsAdversary;
+    use vcoord_metrics::EvalPlan;
+    use vcoord_topo::{KingLike, KingLikeConfig};
+
+    fn small_sim(n: usize, seed: u64) -> NpsSim {
+        let seeds = SeedStream::new(seed);
+        let matrix =
+            KingLike::new(KingLikeConfig::with_nodes(n)).generate(&mut seeds.rng("topo"));
+        let mut config = NpsConfig::default();
+        config.landmarks = 12;
+        config.refs_per_node = 12;
+        config.space = Space::Euclidean(4);
+        NpsSim::new(matrix, config, &seeds)
+    }
+
+    #[test]
+    fn landmarks_embed_accurately() {
+        let sim = small_sim(80, 1);
+        // Landmark pairwise predicted vs actual must be decent.
+        let lm: Vec<usize> = (0..80).filter(|&i| sim.layers_of()[i] == 0).collect();
+        let mut errs = Vec::new();
+        for (a, &i) in lm.iter().enumerate() {
+            for &j in lm.iter().skip(a + 1) {
+                let actual = sim.matrix().rtt(i, j);
+                let predicted = sim.space().distance(&sim.coords()[i], &sim.coords()[j]);
+                errs.push(vcoord_metrics::relative_error(actual, predicted));
+            }
+        }
+        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+        assert!(mean < 0.35, "landmark embedding error {mean}");
+    }
+
+    #[test]
+    fn system_converges_after_joins() {
+        let mut sim = small_sim(80, 2);
+        sim.run_ms(600_000); // 10 repositioning periods
+        let eval = sim.eval_nodes();
+        assert!(eval.len() > 50, "most nodes should have positioned");
+        let plan = EvalPlan::new(&eval, &mut SeedStream::new(7).rng("plan"));
+        let err = plan.avg_error(sim.coords(), sim.space(), sim.matrix());
+        assert!(err < 0.8, "converged NPS error too high: {err}");
+        assert!(sim.counters().positionings > 100);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = |seed| {
+            let mut sim = small_sim(60, seed);
+            sim.run_ms(300_000);
+            sim.coords().to_vec()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn clean_system_filters_nothing_catastrophic() {
+        let mut sim = small_sim(80, 3);
+        sim.run_ms(600_000);
+        // Without attackers the ledger may see a few false positives from
+        // embedding error, but not a flood.
+        let total = sim.ledger().total();
+        let positionings = sim.counters().positionings;
+        assert!(
+            (total as f64) < 0.2 * positionings as f64,
+            "excessive filtering in clean system: {total}/{positionings}"
+        );
+    }
+
+    #[test]
+    fn honest_injection_is_harmless() {
+        let mut sim = small_sim(80, 4);
+        sim.run_ms(400_000);
+        let plan = EvalPlan::new(&sim.eval_nodes(), &mut SeedStream::new(7).rng("plan"));
+        let before = plan.avg_error(sim.coords(), sim.space(), sim.matrix());
+        let attackers = sim.pick_attackers(0.3);
+        sim.inject_adversary(&attackers, Box::new(HonestNpsAdversary));
+        sim.run_ms(400_000);
+        let plan2 = EvalPlan::new(&sim.eval_nodes(), &mut SeedStream::new(7).rng("plan"));
+        let after = plan2.avg_error(sim.coords(), sim.space(), sim.matrix());
+        assert!(
+            after < before * 2.0 + 0.3,
+            "honest adversary degraded NPS: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn attackers_exclude_landmarks() {
+        let mut sim = small_sim(80, 5);
+        let attackers = sim.pick_attackers(0.5);
+        assert!(attackers.iter().all(|&a| sim.layers_of()[a] != 0));
+    }
+
+    #[test]
+    fn eval_per_layer_partitions() {
+        let mut sim = small_sim(80, 6);
+        sim.run_ms(600_000);
+        let l1 = sim.eval_nodes_in_layer(1);
+        let l2 = sim.eval_nodes_in_layer(2);
+        let all = sim.eval_nodes();
+        assert_eq!(l1.len() + l2.len(), all.len());
+        assert!(!l1.is_empty() && !l2.is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! Nelder–Mead *Simplex Downhill* minimizer.
+//!
+//! GNP and NPS both position nodes by minimizing a latency-fit objective with
+//! the Simplex Downhill method (Nelder & Mead, 1965). This is a faithful,
+//! dependency-free implementation with the standard reflection / expansion /
+//! contraction / shrink moves and deterministic behaviour (no internal
+//! randomness; ties broken by index).
+
+/// Tuning knobs for [`simplex_downhill`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SimplexOptions {
+    /// Reflection coefficient (α > 0). Standard: 1.0.
+    pub alpha: f64,
+    /// Expansion coefficient (γ > 1). Standard: 2.0.
+    pub gamma: f64,
+    /// Contraction coefficient (0 < ρ ≤ 0.5). Standard: 0.5.
+    pub rho: f64,
+    /// Shrink coefficient (0 < σ < 1). Standard: 0.5.
+    pub sigma: f64,
+    /// Initial step added to each axis to build the starting simplex.
+    pub initial_step: f64,
+    /// Stop when the best–worst objective spread falls below this.
+    pub tolerance: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            alpha: 1.0,
+            gamma: 2.0,
+            rho: 0.5,
+            sigma: 0.5,
+            initial_step: 50.0,
+            tolerance: 1e-8,
+            max_iterations: 400,
+        }
+    }
+}
+
+/// Outcome of a [`simplex_downhill`] run.
+#[derive(Debug, Clone)]
+pub struct SimplexResult {
+    /// Minimizing point found.
+    pub point: Vec<f64>,
+    /// Objective value at [`SimplexResult::point`].
+    pub value: f64,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Whether the tolerance criterion (rather than the iteration cap) ended
+    /// the search.
+    pub converged: bool,
+}
+
+/// Minimize `f` starting from `x0` using the Simplex Downhill method.
+///
+/// ```
+/// use vcoord_space::{simplex_downhill, SimplexOptions};
+///
+/// let f = |x: &[f64]| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2);
+/// let r = simplex_downhill(f, &[0.0, 0.0], &SimplexOptions::default());
+/// assert!((r.point[0] - 3.0).abs() < 0.01);
+/// assert!((r.point[1] + 1.0).abs() < 0.01);
+/// ```
+///
+/// Returns the best vertex found. `f` must be finite at `x0`; non-finite
+/// objective values elsewhere are treated as `+∞` so the simplex retreats
+/// from them, which keeps adversarially-poisoned NPS objectives from
+/// propagating NaNs into coordinates.
+///
+/// # Panics
+/// Panics if `x0` is empty.
+pub fn simplex_downhill<F>(f: F, x0: &[f64], opts: &SimplexOptions) -> SimplexResult
+where
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(!x0.is_empty(), "cannot optimize a zero-dimensional point");
+    let n = x0.len();
+    let eval = |x: &[f64]| -> f64 {
+        let v = f(x);
+        if v.is_finite() {
+            v
+        } else {
+            f64::INFINITY
+        }
+    };
+
+    // Initial simplex: x0 plus one vertex per axis.
+    let mut verts: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    verts.push(x0.to_vec());
+    for i in 0..n {
+        let mut v = x0.to_vec();
+        v[i] += if v[i].abs() > 1.0 {
+            opts.initial_step.copysign(v[i])
+        } else {
+            opts.initial_step
+        };
+        verts.push(v);
+    }
+    let mut vals: Vec<f64> = verts.iter().map(|v| eval(v)).collect();
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < opts.max_iterations {
+        iterations += 1;
+
+        // Order vertices: best first. Stable sort keeps determinism on ties.
+        let mut order: Vec<usize> = (0..=n).collect();
+        order.sort_by(|&a, &b| vals[a].partial_cmp(&vals[b]).unwrap_or(std::cmp::Ordering::Equal));
+        let best = order[0];
+        let worst = order[n];
+        let second_worst = order[n - 1];
+
+        if (vals[worst] - vals[best]).abs() < opts.tolerance {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        let mut centroid = vec![0.0; n];
+        for &i in order.iter().take(n) {
+            for (c, x) in centroid.iter_mut().zip(&verts[i]) {
+                *c += x;
+            }
+        }
+        for c in &mut centroid {
+            *c /= n as f64;
+        }
+
+        let lerp = |from: &[f64], to: &[f64], t: f64| -> Vec<f64> {
+            from.iter().zip(to).map(|(a, b)| a + t * (b - a)).collect()
+        };
+
+        // Reflection.
+        let reflected = lerp(&centroid, &verts[worst], -opts.alpha);
+        let fr = eval(&reflected);
+        if fr < vals[best] {
+            // Expansion.
+            let expanded = lerp(&centroid, &verts[worst], -opts.gamma);
+            let fe = eval(&expanded);
+            if fe < fr {
+                verts[worst] = expanded;
+                vals[worst] = fe;
+            } else {
+                verts[worst] = reflected;
+                vals[worst] = fr;
+            }
+            continue;
+        }
+        if fr < vals[second_worst] {
+            verts[worst] = reflected;
+            vals[worst] = fr;
+            continue;
+        }
+
+        // Contraction (outside if the reflection improved on the worst,
+        // inside otherwise).
+        let contracted = if fr < vals[worst] {
+            lerp(&centroid, &reflected, opts.rho)
+        } else {
+            lerp(&centroid, &verts[worst], opts.rho)
+        };
+        let fc = eval(&contracted);
+        if fc < vals[worst].min(fr) {
+            verts[worst] = contracted;
+            vals[worst] = fc;
+            continue;
+        }
+
+        // Shrink toward the best vertex.
+        let best_v = verts[best].clone();
+        for &i in order.iter().skip(1) {
+            verts[i] = lerp(&best_v, &verts[i], opts.sigma);
+            vals[i] = eval(&verts[i]);
+        }
+    }
+
+    let (bi, bv) = vals
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("simplex has at least one vertex");
+    SimplexResult {
+        point: verts[bi].clone(),
+        value: *bv,
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_sphere_function() {
+        let f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let r = simplex_downhill(f, &[10.0, -7.0, 3.0], &SimplexOptions::default());
+        assert!(r.value < 1e-6, "value={}", r.value);
+        assert!(r.point.iter().all(|v| v.abs() < 1e-2));
+    }
+
+    #[test]
+    fn minimizes_shifted_quadratic() {
+        let f = |x: &[f64]| (x[0] - 3.0).powi(2) + (x[1] + 5.0).powi(2) + 2.0;
+        let r = simplex_downhill(f, &[0.0, 0.0], &SimplexOptions::default());
+        assert!((r.value - 2.0).abs() < 1e-5);
+        assert!((r.point[0] - 3.0).abs() < 1e-2);
+        assert!((r.point[1] + 5.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_2d() {
+        let f =
+            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let opts = SimplexOptions {
+            max_iterations: 5000,
+            initial_step: 0.5,
+            ..Default::default()
+        };
+        let r = simplex_downhill(f, &[-1.2, 1.0], &opts);
+        assert!(r.value < 1e-4, "value={}", r.value);
+    }
+
+    #[test]
+    fn survives_nan_objective_regions() {
+        // NaN away from origin: solver must treat it as +inf and not panic.
+        let f = |x: &[f64]| {
+            let s: f64 = x.iter().map(|v| v * v).sum();
+            if x[0] > 5.0 {
+                f64::NAN
+            } else {
+                s
+            }
+        };
+        let r = simplex_downhill(f, &[4.0, 0.0], &SimplexOptions::default());
+        assert!(r.value.is_finite());
+        assert!(r.value < 1e-4);
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let f = |x: &[f64]| x[0].sin() * x[1].cos() + x[0] * x[0] * 1e-4;
+        let opts = SimplexOptions {
+            max_iterations: 3,
+            ..Default::default()
+        };
+        let r = simplex_downhill(f, &[1.0, 1.0], &opts);
+        assert_eq!(r.iterations, 3);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    fn one_dimensional_works() {
+        let f = |x: &[f64]| (x[0] - 42.0).powi(2);
+        let r = simplex_downhill(f, &[0.0], &SimplexOptions::default());
+        assert!((r.point[0] - 42.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let f = |x: &[f64]| (x[0] - 1.0).powi(2) + (x[1] - 2.0).powi(2) * 3.0;
+        let a = simplex_downhill(f, &[9.0, -9.0], &SimplexOptions::default());
+        let b = simplex_downhill(f, &[9.0, -9.0], &SimplexOptions::default());
+        assert_eq!(a.point, b.point);
+        assert_eq!(a.iterations, b.iterations);
+    }
+}

@@ -1,0 +1,299 @@
+//! Embedding spaces: Euclidean, Euclidean + height, and spherical.
+
+use crate::coord::{Coord, Displacement};
+use crate::vector;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The geometric space a coordinate system embeds into.
+///
+/// ```
+/// use vcoord_space::{Coord, Space};
+///
+/// let space = Space::EuclideanHeight(2);
+/// let a = Coord { vec: vec![3.0, 4.0], height: 10.0 };
+/// let b = Coord { vec: vec![0.0, 0.0], height: 5.0 };
+/// // Height-model distance: core distance plus both access links.
+/// assert_eq!(space.distance(&a, &b), 5.0 + 10.0 + 5.0);
+/// ```
+///
+/// The CoNEXT'06 study sweeps this as an experiment parameter: Vivaldi runs
+/// in 2/3/5-D Euclidean spaces and the 2-D + height model; NPS runs in 8-D by
+/// default and the dimensionality sweep uses 2–12-D. The spherical variant is
+/// provided for completeness (Vivaldi's paper evaluates it; none of the
+/// attack figures use it).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Space {
+    /// `d`-dimensional Euclidean space.
+    Euclidean(usize),
+    /// `d`-dimensional Euclidean space augmented with a height vector.
+    EuclideanHeight(usize),
+    /// Surface of a sphere of the given radius (milliseconds); coordinates
+    /// store `[latitude, longitude]` in radians.
+    Spherical {
+        /// Sphere radius, in the RTT unit (milliseconds).
+        radius: f64,
+    },
+}
+
+impl Space {
+    /// Euclidean dimension of points in this space (2 for spherical).
+    pub fn dim(&self) -> usize {
+        match self {
+            Space::Euclidean(d) | Space::EuclideanHeight(d) => *d,
+            Space::Spherical { .. } => 2,
+        }
+    }
+
+    /// Whether coordinates carry a meaningful height component.
+    pub fn has_height(&self) -> bool {
+        matches!(self, Space::EuclideanHeight(_))
+    }
+
+    /// The origin of this space.
+    pub fn origin(&self) -> Coord {
+        Coord::origin(self.dim())
+    }
+
+    /// Predicted distance between two coordinates.
+    pub fn distance(&self, a: &Coord, b: &Coord) -> f64 {
+        match self {
+            Space::Euclidean(_) => vector::dist(&a.vec, &b.vec),
+            Space::EuclideanHeight(_) => vector::dist(&a.vec, &b.vec) + a.height + b.height,
+            Space::Spherical { radius } => {
+                let (la, lo) = (a.vec[0], a.vec[1]);
+                let (lb, lob) = (b.vec[0], b.vec[1]);
+                // Haversine central angle; numerically stable for small angles.
+                let dlat = lb - la;
+                let dlon = lob - lo;
+                let h = (dlat / 2.0).sin().powi(2)
+                    + la.cos() * lb.cos() * (dlon / 2.0).sin().powi(2);
+                2.0 * radius * h.sqrt().min(1.0).asin()
+            }
+        }
+    }
+
+    /// Displacement `a − b` in this space.
+    ///
+    /// For Euclidean spaces the height part is forced to zero; for the height
+    /// model heights add (see [`Coord::sub`]). For the spherical space the
+    /// displacement is taken in the local tangent plane at `b`, scaled so its
+    /// norm equals the great-circle distance — adequate for the small moves a
+    /// relaxation step takes, and documented as an approximation.
+    pub fn displacement(&self, a: &Coord, b: &Coord) -> Displacement {
+        match self {
+            Space::Euclidean(_) => Displacement {
+                vec: vector::sub(&a.vec, &b.vec),
+                height: 0.0,
+            },
+            Space::EuclideanHeight(_) => a.sub(b),
+            Space::Spherical { radius } => {
+                let mut d = Displacement {
+                    vec: vec![a.vec[0] - b.vec[0], (a.vec[1] - b.vec[1]) * b.vec[0].cos()],
+                    height: 0.0,
+                };
+                let tangent_norm = d.norm();
+                let true_dist = self.distance(a, b);
+                if tangent_norm > f64::EPSILON && *radius > 0.0 {
+                    d.scale(true_dist / (tangent_norm * radius));
+                }
+                d
+            }
+        }
+    }
+
+    /// Unit direction of `a − b`, or a random unit direction when the two
+    /// coordinates coincide (Vivaldi's rule for nodes at the same position).
+    pub fn direction<R: Rng + ?Sized>(&self, a: &Coord, b: &Coord, rng: &mut R) -> Displacement {
+        match self.displacement(a, b).unit() {
+            Some(u) => u,
+            None => self.random_unit(rng),
+        }
+    }
+
+    /// A random unit displacement, used to separate coincident nodes.
+    pub fn random_unit<R: Rng + ?Sized>(&self, rng: &mut R) -> Displacement {
+        loop {
+            let vec: Vec<f64> = (0..self.dim()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let height = if self.has_height() {
+                rng.gen_range(0.0..1.0)
+            } else {
+                0.0
+            };
+            let d = Displacement { vec, height };
+            if let Some(u) = d.unit() {
+                return u;
+            }
+        }
+    }
+
+    /// A random coordinate with every component drawn uniformly from
+    /// `[-r, r]` (heights from `[0, r]`).
+    ///
+    /// With `r = 50 000` this is exactly the paper's *random coordinate
+    /// system* worst-case baseline (§5.1).
+    pub fn random_coord<R: Rng + ?Sized>(&self, r: f64, rng: &mut R) -> Coord {
+        match self {
+            Space::Spherical { .. } => {
+                let lat = rng.gen_range(-std::f64::consts::FRAC_PI_2..std::f64::consts::FRAC_PI_2);
+                let lon = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+                Coord {
+                    vec: vec![lat, lon],
+                    height: 0.0,
+                }
+            }
+            _ => Coord {
+                vec: (0..self.dim()).map(|_| rng.gen_range(-r..r)).collect(),
+                height: if self.has_height() {
+                    rng.gen_range(0.0..r)
+                } else {
+                    0.0
+                },
+            },
+        }
+    }
+
+    /// Apply one relaxation move: `x += s · d`, respecting the space's
+    /// constraints (heights clamped at zero; spherical latitudes clamped to
+    /// the poles and longitudes wrapped).
+    pub fn apply(&self, x: &mut Coord, d: &Displacement, s: f64) {
+        x.add_scaled(d, s);
+        if !self.has_height() {
+            x.height = 0.0;
+        }
+        if let Space::Spherical { .. } = self {
+            use std::f64::consts::{FRAC_PI_2, PI};
+            x.vec[0] = x.vec[0].clamp(-FRAC_PI_2, FRAC_PI_2);
+            if x.vec[1] > PI {
+                x.vec[1] -= 2.0 * PI;
+            } else if x.vec[1] < -PI {
+                x.vec[1] += 2.0 * PI;
+            }
+        }
+    }
+
+    /// A short human-readable label used in experiment CSV headers
+    /// (e.g. `"2D"`, `"2D+h"`, `"sphere"`).
+    pub fn label(&self) -> String {
+        match self {
+            Space::Euclidean(d) => format!("{d}D"),
+            Space::EuclideanHeight(d) => format!("{d}D+h"),
+            Space::Spherical { .. } => "sphere".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn euclidean_distance_matches_norm() {
+        let s = Space::Euclidean(3);
+        let a = Coord::from_vec(vec![1.0, 2.0, 2.0]);
+        let b = Coord::origin(3);
+        assert_eq!(s.distance(&a, &b), 3.0);
+    }
+
+    #[test]
+    fn height_model_adds_heights() {
+        let s = Space::EuclideanHeight(2);
+        let a = Coord {
+            vec: vec![3.0, 4.0],
+            height: 2.0,
+        };
+        let b = Coord {
+            vec: vec![0.0, 0.0],
+            height: 1.0,
+        };
+        assert_eq!(s.distance(&a, &b), 5.0 + 3.0);
+    }
+
+    #[test]
+    fn euclidean_ignores_heights_in_distance() {
+        let s = Space::Euclidean(2);
+        let a = Coord {
+            vec: vec![3.0, 4.0],
+            height: 99.0,
+        };
+        let b = Coord::origin(2);
+        assert_eq!(s.distance(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn spherical_antipodal_distance() {
+        let s = Space::Spherical { radius: 100.0 };
+        let a = Coord::from_vec(vec![0.0, 0.0]);
+        let b = Coord::from_vec(vec![0.0, std::f64::consts::PI]);
+        let d = s.distance(&a, &b);
+        assert!((d - std::f64::consts::PI * 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn direction_is_unit_or_random_unit() {
+        let s = Space::Euclidean(2);
+        let mut r = rng();
+        let a = Coord::from_vec(vec![5.0, 0.0]);
+        let b = Coord::from_vec(vec![0.0, 0.0]);
+        let u = s.direction(&a, &b, &mut r);
+        assert!((u.norm() - 1.0).abs() < 1e-12);
+        // Coincident points still get a unit direction.
+        let u2 = s.direction(&b, &b, &mut r);
+        assert!((u2.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_coord_within_bounds() {
+        let s = Space::EuclideanHeight(4);
+        let mut r = rng();
+        for _ in 0..100 {
+            let c = s.random_coord(50_000.0, &mut r);
+            assert_eq!(c.dim(), 4);
+            assert!(c.vec.iter().all(|x| x.abs() <= 50_000.0));
+            assert!((0.0..=50_000.0).contains(&c.height));
+        }
+    }
+
+    #[test]
+    fn apply_zeroes_height_in_pure_euclidean() {
+        let s = Space::Euclidean(2);
+        let mut c = Coord::origin(2);
+        let d = Displacement {
+            vec: vec![1.0, 0.0],
+            height: 3.0,
+        };
+        s.apply(&mut c, &d, 1.0);
+        assert_eq!(c.height, 0.0);
+        assert_eq!(c.vec, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn moving_toward_reduces_distance() {
+        let s = Space::EuclideanHeight(3);
+        let mut r = rng();
+        let mut a = Coord {
+            vec: vec![10.0, 0.0, 0.0],
+            height: 5.0,
+        };
+        let b = Coord {
+            vec: vec![0.0, 0.0, 0.0],
+            height: 5.0,
+        };
+        let before = s.distance(&a, &b);
+        let u = s.direction(&a, &b, &mut r);
+        s.apply(&mut a, &u, -1.0); // move toward b
+        assert!(s.distance(&a, &b) < before);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Space::Euclidean(5).label(), "5D");
+        assert_eq!(Space::EuclideanHeight(2).label(), "2D+h");
+        assert_eq!(Space::Spherical { radius: 1.0 }.label(), "sphere");
+    }
+}

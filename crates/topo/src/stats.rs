@@ -1,0 +1,146 @@
+//! Topology statistics: distributional summaries and triangle-inequality
+//! violation (TIV) rates.
+
+use crate::matrix::RttMatrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a latency matrix.
+///
+/// Used to validate the synthetic King-equivalent topology against the
+/// published characteristics of the real data set (see `DESIGN.md`), and
+/// printed by the `topology_explorer` example.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopoStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Smallest off-diagonal RTT (ms).
+    pub min_ms: f64,
+    /// Largest RTT (ms).
+    pub max_ms: f64,
+    /// Mean RTT (ms).
+    pub mean_ms: f64,
+    /// Median RTT (ms).
+    pub median_ms: f64,
+    /// 5th percentile (ms).
+    pub p05_ms: f64,
+    /// 95th percentile (ms).
+    pub p95_ms: f64,
+    /// Fraction of sampled triples `(a,b,c)` where the direct path is longer
+    /// than a detour: `rtt(a,c) > rtt(a,b) + rtt(b,c)`.
+    pub tiv_fraction: f64,
+}
+
+impl TopoStats {
+    /// Compute statistics over the full pair set and `tiv_samples` random
+    /// triples.
+    ///
+    /// # Panics
+    /// Panics if the matrix has fewer than 3 nodes.
+    pub fn analyze<R: Rng + ?Sized>(m: &RttMatrix, tiv_samples: usize, rng: &mut R) -> TopoStats {
+        assert!(m.len() >= 3, "need at least 3 nodes for TIV analysis");
+        let mut vals: Vec<f64> = m.pairs().map(|(_, _, v)| v).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite RTTs"));
+        let q = |p: f64| -> f64 {
+            let idx = ((vals.len() - 1) as f64 * p).round() as usize;
+            vals[idx]
+        };
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+
+        let mut tivs = 0usize;
+        for _ in 0..tiv_samples {
+            let a = rng.gen_range(0..m.len());
+            let mut b = rng.gen_range(0..m.len());
+            while b == a {
+                b = rng.gen_range(0..m.len());
+            }
+            let mut c = rng.gen_range(0..m.len());
+            while c == a || c == b {
+                c = rng.gen_range(0..m.len());
+            }
+            if m.rtt(a, c) > m.rtt(a, b) + m.rtt(b, c) {
+                tivs += 1;
+            }
+        }
+
+        TopoStats {
+            nodes: m.len(),
+            min_ms: vals[0],
+            max_ms: *vals.last().expect("non-empty"),
+            mean_ms: mean,
+            median_ms: q(0.5),
+            p05_ms: q(0.05),
+            p95_ms: q(0.95),
+            tiv_fraction: if tiv_samples == 0 {
+                0.0
+            } else {
+                tivs as f64 / tiv_samples as f64
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for TopoStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "nodes={} rtt[min={:.1} p5={:.1} median={:.1} mean={:.1} p95={:.1} max={:.1}]ms tiv={:.1}%",
+            self.nodes,
+            self.min_ms,
+            self.p05_ms,
+            self.median_ms,
+            self.mean_ms,
+            self.p95_ms,
+            self.max_ms,
+            self.tiv_fraction * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn triangle_free() -> RttMatrix {
+        // Points on a line: 0 --10-- 1 --10-- 2; d(0,2)=20 (metric, no TIV).
+        let mut m = RttMatrix::zeros(3);
+        m.set(0, 1, 10.0);
+        m.set(1, 2, 10.0);
+        m.set(0, 2, 20.0);
+        m
+    }
+
+    #[test]
+    fn basic_stats() {
+        let m = triangle_free();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let st = TopoStats::analyze(&m, 100, &mut rng);
+        assert_eq!(st.nodes, 3);
+        assert_eq!(st.min_ms, 10.0);
+        assert_eq!(st.max_ms, 20.0);
+        assert!((st.mean_ms - 40.0 / 3.0).abs() < 1e-9);
+        assert_eq!(st.tiv_fraction, 0.0);
+    }
+
+    #[test]
+    fn detects_tivs() {
+        let mut m = triangle_free();
+        m.set(0, 2, 50.0); // direct path much longer than the detour
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let st = TopoStats::analyze(&m, 600, &mut rng);
+        // Of the 6 ordered (a,c) choices with distinct b, the (0,2)/(2,0)
+        // pairs violate: expect roughly 1/3.
+        assert!(st.tiv_fraction > 0.2 && st.tiv_fraction < 0.5);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let m = triangle_free();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let st = TopoStats::analyze(&m, 10, &mut rng);
+        let s = format!("{st}");
+        assert!(s.contains("nodes=3"));
+        assert!(s.contains("median"));
+    }
+}

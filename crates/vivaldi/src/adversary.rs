@@ -1,0 +1,121 @@
+//! The adversary interface: how malicious nodes answer probes.
+//!
+//! Attack *strategies* (disorder, repulsion, collusion, …) live in the
+//! `vcoord` core crate; this module defines the seam between them and the
+//! simulator. The contract encodes the paper's threat model:
+//!
+//! * a malicious node controls the **coordinates** and **error estimate** it
+//!   reports, and may **delay** the probe;
+//! * it can never *shorten* a measurement — the simulator clamps negative
+//!   delays to zero and logs the violation;
+//! * attackers may know their victims' true coordinates (the paper's
+//!   "knowledge" parameter); the [`VivaldiView`] passed to the adversary is
+//!   that oracle, and strategies decide how much of it to use.
+
+use rand_chacha::ChaCha12Rng;
+use vcoord_space::{Coord, Space};
+
+/// What a probed malicious node sends back.
+#[derive(Debug, Clone)]
+pub struct ProbeLie {
+    /// Reported coordinates (`x_j` in the update rule).
+    pub coord: Coord,
+    /// Reported error estimate (`e_j`); the disorder attack reports 0.01.
+    pub error: f64,
+    /// Extra delay added to the probe, in ms. Clamped to `>= 0` by the
+    /// simulator: the threat model forbids shortening RTTs.
+    pub delay_ms: f64,
+}
+
+/// Read-only view of the true system state offered to adversaries.
+///
+/// This is the knowledge *oracle*: strategies with partial knowledge must
+/// throttle themselves (see `vcoord::attacks::Knowledge`).
+pub struct VivaldiView<'a> {
+    /// The embedding space.
+    pub space: &'a Space,
+    /// True current coordinates of every node.
+    pub coords: &'a [Coord],
+    /// True current local error estimates of every node.
+    pub errors: &'a [f64],
+    /// Which nodes are currently malicious.
+    pub malicious: &'a [bool],
+    /// The adaptive-timestep constant `Cc` of the victims (public protocol
+    /// knowledge; repulsion lies need it to aim their displacement).
+    pub cc: f64,
+    /// Current simulated time, ms.
+    pub now_ms: u64,
+}
+
+/// A strategy deciding how malicious Vivaldi nodes answer probes.
+pub trait VivaldiAdversary {
+    /// Called once when the attacker set is injected into the running
+    /// system, before any lie is requested. Collusion strategies use this to
+    /// agree on targets and cluster positions.
+    fn inject(&mut self, _attackers: &[usize], _view: &VivaldiView<'_>, _rng: &mut ChaCha12Rng) {}
+
+    /// `victim` probed `attacker` (true RTT `rtt` ms): produce the response.
+    ///
+    /// Returning `None` means "behave honestly for this probe" (used by
+    /// subset-targeted and colluding attacks when facing a non-victim).
+    fn respond(
+        &mut self,
+        attacker: usize,
+        victim: usize,
+        rtt: f64,
+        view: &VivaldiView<'_>,
+        rng: &mut ChaCha12Rng,
+    ) -> Option<ProbeLie>;
+
+    /// A short label for logs and CSV headers.
+    fn label(&self) -> &'static str {
+        "adversary"
+    }
+}
+
+/// The null adversary: every malicious node behaves honestly. Useful for
+/// validating that injection plumbing alone does not perturb the system.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HonestAdversary;
+
+impl VivaldiAdversary for HonestAdversary {
+    fn respond(
+        &mut self,
+        _attacker: usize,
+        _victim: usize,
+        _rtt: f64,
+        _view: &VivaldiView<'_>,
+        _rng: &mut ChaCha12Rng,
+    ) -> Option<ProbeLie> {
+        None
+    }
+
+    fn label(&self) -> &'static str {
+        "honest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_adversary_never_lies() {
+        let space = Space::Euclidean(2);
+        let coords = vec![Coord::origin(2); 2];
+        let errors = vec![1.0; 2];
+        let malicious = vec![true, false];
+        let view = VivaldiView {
+            space: &space,
+            coords: &coords,
+            errors: &errors,
+            malicious: &malicious,
+            cc: 0.25,
+            now_ms: 0,
+        };
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let mut adv = HonestAdversary;
+        assert!(adv.respond(0, 1, 10.0, &view, &mut rng).is_none());
+        assert_eq!(adv.label(), "honest");
+    }
+}

@@ -1,0 +1,119 @@
+//! The paper's convergence criterion.
+//!
+//! §5.2: *"The system is considered to have stabilized when all relative
+//! errors converge to a value varying by at most 0.02 for 10 simulation
+//! ticks."* The tracker keeps a short per-node history of sampled relative
+//! errors and reports stability once every node's history band is within
+//! the tolerance.
+
+/// Sliding-window convergence detector over per-node relative errors.
+#[derive(Debug, Clone)]
+pub struct ConvergenceTracker {
+    tolerance: f64,
+    hold: usize,
+    /// Ring buffers, one per node, most recent last.
+    history: Vec<Vec<f64>>,
+}
+
+impl ConvergenceTracker {
+    /// The paper's parameters: tolerance 0.02 over 10 ticks.
+    pub fn paper(nodes: usize) -> ConvergenceTracker {
+        ConvergenceTracker::new(nodes, 0.02, 10)
+    }
+
+    /// Custom tolerance/hold.
+    pub fn new(nodes: usize, tolerance: f64, hold: usize) -> ConvergenceTracker {
+        assert!(hold >= 2, "hold window must be at least 2 samples");
+        ConvergenceTracker {
+            tolerance,
+            hold,
+            history: vec![Vec::new(); nodes],
+        }
+    }
+
+    /// Record one tick's per-node relative errors (same order every call).
+    ///
+    /// # Panics
+    /// Panics if `errors` has a different length than the tracker.
+    pub fn record(&mut self, errors: &[f64]) {
+        assert_eq!(errors.len(), self.history.len(), "node count changed");
+        for (h, &e) in self.history.iter_mut().zip(errors) {
+            h.push(e);
+            if h.len() > self.hold {
+                h.remove(0);
+            }
+        }
+    }
+
+    /// `true` once every node's last `hold` samples vary by at most the
+    /// tolerance.
+    pub fn converged(&self) -> bool {
+        self.history.iter().all(|h| {
+            h.len() >= self.hold && {
+                let lo = h.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = h.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                hi - lo <= self.tolerance
+            }
+        })
+    }
+
+    /// Drop all history (e.g. after injecting an attack, to measure
+    /// re-convergence).
+    pub fn reset(&mut self) {
+        for h in &mut self.history {
+            h.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn needs_full_window() {
+        let mut t = ConvergenceTracker::new(2, 0.02, 3);
+        t.record(&[0.5, 0.5]);
+        t.record(&[0.5, 0.5]);
+        assert!(!t.converged(), "window not full yet");
+        t.record(&[0.5, 0.5]);
+        assert!(t.converged());
+    }
+
+    #[test]
+    fn one_unstable_node_blocks() {
+        let mut t = ConvergenceTracker::new(2, 0.02, 3);
+        for i in 0..3 {
+            t.record(&[0.5, 0.1 * i as f64]);
+        }
+        assert!(!t.converged());
+    }
+
+    #[test]
+    fn tolerance_is_a_band_not_a_level() {
+        // High but *stable* errors count as converged — the paper makes this
+        // exact point about attacked systems "converging" into chaos.
+        let mut t = ConvergenceTracker::new(1, 0.02, 3);
+        for _ in 0..3 {
+            t.record(&[42.0]);
+        }
+        assert!(t.converged());
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut t = ConvergenceTracker::new(1, 0.02, 2);
+        t.record(&[0.1]);
+        t.record(&[0.1]);
+        assert!(t.converged());
+        t.reset();
+        assert!(!t.converged());
+    }
+
+    #[test]
+    #[should_panic(expected = "node count changed")]
+    fn wrong_width_panics() {
+        let mut t = ConvergenceTracker::new(2, 0.02, 3);
+        t.record(&[0.1]);
+    }
+}

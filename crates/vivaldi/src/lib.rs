@@ -1,0 +1,31 @@
+//! # vcoord-vivaldi
+//!
+//! The Vivaldi decentralized network coordinate system [Dabek et al.,
+//! SIGCOMM'04], implemented as a [`vcoord_netsim`] world — the workspace's
+//! equivalent of the p2psim Vivaldi the CoNEXT'06 paper attacks.
+//!
+//! Vivaldi places a spring between node pairs with rest length equal to the
+//! measured RTT; every probe sample relaxes the observing node toward the
+//! spring equilibrium by an adaptive timestep `δ = Cc · w`, where the weight
+//! `w = e_i / (e_i + e_j)` balances local and remote error estimates. The
+//! paper's simulation parameters are the defaults here: 64 neighbours per
+//! node of which 32 are closer than 50 ms, `Cc = 0.25`, a 2-D coordinate
+//! space, and one probe per node per ~17 s tick.
+//!
+//! Malicious behaviour is injected through the [`adversary::VivaldiAdversary`]
+//! trait: when an honest node probes a malicious one, the adversary supplies
+//! the reported coordinates, the reported error estimate, and an extra probe
+//! delay. The simulator enforces the paper's threat model — attackers can
+//! *delay* probes but never shorten them.
+
+pub mod adversary;
+pub mod config;
+pub mod convergence;
+pub mod neighbors;
+pub mod node;
+pub mod sim;
+
+pub use adversary::{ProbeLie, VivaldiAdversary, VivaldiView};
+pub use config::VivaldiConfig;
+pub use convergence::ConvergenceTracker;
+pub use sim::VivaldiSim;

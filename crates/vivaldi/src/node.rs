@@ -1,0 +1,227 @@
+//! The Vivaldi per-sample update rule, as a pure function.
+//!
+//! Keeping the rule free of simulator state makes it directly testable
+//! against the equations in §3.2 of the paper:
+//!
+//! ```text
+//! e_s = | ‖x_i − x_j‖ − rtt | / rtt
+//! w   = e_i / (e_i + e_j)
+//! δ   = Cc · w
+//! x_i ← x_i + δ · (rtt − ‖x_i − x_j‖) · u(x_i − x_j)
+//! e_i ← e_s · w + e_i · (1 − w)
+//! ```
+
+use rand::Rng;
+use vcoord_space::{Coord, Space};
+
+/// Outcome of a single update, for logging/diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateOutcome {
+    /// Sample relative error `e_s`.
+    pub sample_error: f64,
+    /// Sample weight `w`.
+    pub weight: f64,
+    /// Distance moved in coordinate space.
+    pub displacement: f64,
+}
+
+/// Apply one Vivaldi sample to `(coord, error)`.
+///
+/// `remote` is the coordinate/error the probed node *reported* (possibly a
+/// lie) and `rtt` the measured round-trip time in ms (possibly delayed).
+/// Samples with non-positive or non-finite RTT are rejected (`None`), as are
+/// non-finite remote coordinates — the defensive guards that keep
+/// adversarial input from corrupting local state with NaNs.
+pub fn vivaldi_update<R: Rng + ?Sized>(
+    space: &Space,
+    cc: f64,
+    error_clamp: (f64, f64),
+    coord: &mut Coord,
+    error: &mut f64,
+    remote_coord: &Coord,
+    remote_error: f64,
+    rtt: f64,
+    rng: &mut R,
+) -> Option<UpdateOutcome> {
+    if !(rtt.is_finite() && rtt > 0.0) || !remote_coord.is_finite() {
+        log::debug!("vivaldi: rejecting invalid sample (rtt={rtt})");
+        return None;
+    }
+    let remote_error = remote_error.clamp(0.0, error_clamp.1);
+
+    let dist = space.distance(coord, remote_coord);
+    let sample_error = (dist - rtt).abs() / rtt;
+
+    // Weight balancing local and remote confidence. Two perfectly confident
+    // nodes split the difference.
+    let denom = *error + remote_error;
+    let weight = if denom <= f64::EPSILON {
+        0.5
+    } else {
+        *error / denom
+    };
+
+    let delta = cc * weight;
+    let dir = space.direction(coord, remote_coord, rng);
+    let step = delta * (rtt - dist);
+    space.apply(coord, &dir, step);
+    if !coord.is_finite() {
+        log::debug!("vivaldi: coordinate went non-finite; sanitizing");
+        coord.sanitize();
+    }
+
+    *error = (sample_error * weight + *error * (1.0 - weight))
+        .clamp(error_clamp.0, error_clamp.1);
+
+    Some(UpdateOutcome {
+        sample_error,
+        weight,
+        displacement: step.abs(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    const CLAMP: (f64, f64) = (1e-6, 1e3);
+
+    fn rng() -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn moves_toward_underestimated_neighbor() {
+        // Node believes the neighbour is 100 away but RTT says 10: it must
+        // move closer.
+        let space = Space::Euclidean(2);
+        let mut c = Coord::from_vec(vec![100.0, 0.0]);
+        let mut e = 0.5;
+        let remote = Coord::from_vec(vec![0.0, 0.0]);
+        let before = space.distance(&c, &remote);
+        vivaldi_update(&space, 0.25, CLAMP, &mut c, &mut e, &remote, 0.5, 10.0, &mut rng())
+            .unwrap();
+        assert!(space.distance(&c, &remote) < before);
+    }
+
+    #[test]
+    fn moves_away_from_overestimated_neighbor() {
+        let space = Space::Euclidean(2);
+        let mut c = Coord::from_vec(vec![10.0, 0.0]);
+        let mut e = 0.5;
+        let remote = Coord::from_vec(vec![0.0, 0.0]);
+        let before = space.distance(&c, &remote);
+        vivaldi_update(&space, 0.25, CLAMP, &mut c, &mut e, &remote, 0.5, 100.0, &mut rng())
+            .unwrap();
+        assert!(space.distance(&c, &remote) > before);
+    }
+
+    #[test]
+    fn perfect_sample_drives_error_down() {
+        let space = Space::Euclidean(2);
+        let mut c = Coord::from_vec(vec![10.0, 0.0]);
+        let mut e = 1.0;
+        let remote = Coord::from_vec(vec![0.0, 0.0]);
+        let out =
+            vivaldi_update(&space, 0.25, CLAMP, &mut c, &mut e, &remote, 1.0, 10.0, &mut rng())
+                .unwrap();
+        assert_eq!(out.sample_error, 0.0);
+        assert!(e < 1.0);
+    }
+
+    #[test]
+    fn low_remote_error_means_big_step() {
+        // The disorder attack exploits exactly this: a lying node reporting
+        // e_j = 0.01 maximizes the victim's weight and thus its timestep.
+        let space = Space::Euclidean(2);
+        let remote = Coord::from_vec(vec![0.0, 0.0]);
+
+        let mut c1 = Coord::from_vec(vec![10.0, 0.0]);
+        let mut e1 = 0.5;
+        let o1 = vivaldi_update(
+            &space, 0.25, CLAMP, &mut c1, &mut e1, &remote, 0.01, 500.0, &mut rng(),
+        )
+        .unwrap();
+
+        let mut c2 = Coord::from_vec(vec![10.0, 0.0]);
+        let mut e2 = 0.5;
+        let o2 = vivaldi_update(
+            &space, 0.25, CLAMP, &mut c2, &mut e2, &remote, 5.0, 500.0, &mut rng(),
+        )
+        .unwrap();
+
+        assert!(o1.weight > o2.weight);
+        assert!(o1.displacement > o2.displacement);
+    }
+
+    #[test]
+    fn rejects_bad_samples() {
+        let space = Space::Euclidean(2);
+        let mut c = Coord::from_vec(vec![1.0, 1.0]);
+        let mut e = 0.5;
+        let remote = Coord::from_vec(vec![0.0, 0.0]);
+        assert!(vivaldi_update(
+            &space, 0.25, CLAMP, &mut c, &mut e, &remote, 0.5, 0.0, &mut rng()
+        )
+        .is_none());
+        assert!(vivaldi_update(
+            &space, 0.25, CLAMP, &mut c, &mut e, &remote, 0.5, f64::NAN, &mut rng()
+        )
+        .is_none());
+        let bad = Coord::from_vec(vec![f64::NAN, 0.0]);
+        assert!(vivaldi_update(
+            &space, 0.25, CLAMP, &mut c, &mut e, &bad, 0.5, 10.0, &mut rng()
+        )
+        .is_none());
+        // State untouched by rejected samples.
+        assert_eq!(c.vec, vec![1.0, 1.0]);
+        assert_eq!(e, 0.5);
+    }
+
+    #[test]
+    fn coincident_nodes_separate() {
+        let space = Space::Euclidean(2);
+        let mut c = Coord::origin(2);
+        let mut e = 1.0;
+        let remote = Coord::origin(2);
+        vivaldi_update(&space, 0.25, CLAMP, &mut c, &mut e, &remote, 1.0, 50.0, &mut rng())
+            .unwrap();
+        assert!(space.distance(&c, &remote) > 0.0, "random kick must separate");
+    }
+
+    #[test]
+    fn error_stays_clamped() {
+        let space = Space::Euclidean(2);
+        let mut c = Coord::from_vec(vec![1.0, 0.0]);
+        let mut e = 1.0;
+        let remote = Coord::from_vec(vec![0.0, 0.0]);
+        // Absurd sample error (dist 1 vs rtt 1e9): error must stay within clamp.
+        vivaldi_update(
+            &space, 0.25, CLAMP, &mut c, &mut e, &remote, 0.0001, 1e9, &mut rng(),
+        )
+        .unwrap();
+        assert!(e <= CLAMP.1);
+        assert!(e >= CLAMP.0);
+    }
+
+    #[test]
+    fn height_model_keeps_height_nonnegative() {
+        let space = Space::EuclideanHeight(2);
+        let mut c = Coord {
+            vec: vec![1.0, 0.0],
+            height: 0.5,
+        };
+        let mut e = 1.0;
+        let remote = Coord {
+            vec: vec![0.0, 0.0],
+            height: 0.5,
+        };
+        for _ in 0..50 {
+            vivaldi_update(&space, 0.25, CLAMP, &mut c, &mut e, &remote, 0.5, 1.0, &mut rng())
+                .unwrap();
+            assert!(c.height >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! The Vivaldi simulation world.
+//!
+//! Each node fires one probe per tick (with a per-node phase so probes
+//! interleave), aimed at a random member of its spring set. The probed
+//! node's response — honest state or an adversarial [`ProbeLie`] — travels
+//! back as a simulator message arriving after the *measured* RTT (true RTT
+//! plus adversarial delay plus benign jitter), at which point the victim
+//! applies the Vivaldi update rule.
+//!
+//! State is stored struct-of-arrays (`coords`, `errors`, `neighbors`,
+//! `malicious`) so the whole coordinate table can be lent to adversaries as
+//! the knowledge oracle without copies.
+
+use crate::adversary::{ProbeLie, VivaldiAdversary, VivaldiView};
+use crate::config::VivaldiConfig;
+use crate::neighbors::select_neighbors;
+use crate::node::vivaldi_update;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use vcoord_netsim::{time, Engine, NodeId, Scheduler, SeedStream, World};
+use vcoord_space::{Coord, Space};
+use vcoord_topo::RttMatrix;
+
+/// Timer tag: a node's probe tick.
+const TAG_PROBE: u64 = 0;
+
+/// A probe response in flight.
+#[derive(Debug, Clone)]
+struct Sample {
+    coord: Coord,
+    error: f64,
+    rtt: f64,
+}
+
+/// Probe/lie counters, exposed for tests and diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Probes initiated by honest nodes.
+    pub probes_sent: u64,
+    /// Probes lost to the benign link fault model.
+    pub probes_lost: u64,
+    /// Samples applied to honest node state.
+    pub samples_applied: u64,
+    /// Responses served by the adversary (lies).
+    pub lies_served: u64,
+    /// Negative adversarial delays clamped (threat-model violations).
+    pub delay_clamped: u64,
+}
+
+struct VivaldiWorld {
+    config: VivaldiConfig,
+    matrix: RttMatrix,
+    coords: Vec<Coord>,
+    errors: Vec<f64>,
+    neighbors: Vec<Vec<usize>>,
+    malicious: Vec<bool>,
+    adversary: Option<Box<dyn VivaldiAdversary>>,
+    probe_rng: ChaCha12Rng,
+    update_rng: ChaCha12Rng,
+    adv_rng: ChaCha12Rng,
+    counters: Counters,
+}
+
+impl World for VivaldiWorld {
+    type Payload = Sample;
+
+    fn on_timer(&mut self, sched: &mut Scheduler<Sample>, node: NodeId, tag: u64) {
+        debug_assert_eq!(tag, TAG_PROBE);
+        // Keep ticking (even for malicious nodes, so a cured node could
+        // resume; cheap either way).
+        sched.timer_after(self.config.tick_ms, node, TAG_PROBE);
+        if self.malicious[node] {
+            return; // infected nodes no longer maintain their own position
+        }
+        let Some(&peer) = self.neighbors[node].choose(&mut self.probe_rng) else {
+            return;
+        };
+        self.counters.probes_sent += 1;
+
+        let base_rtt = self.matrix.rtt(node, peer);
+        let Some(rtt) = self.config.link.apply(base_rtt, &mut self.probe_rng) else {
+            self.counters.probes_lost += 1;
+            return;
+        };
+
+        let response = if let (true, Some(adversary)) =
+            (self.malicious[peer], self.adversary.as_mut())
+        {
+            let view = VivaldiView {
+                space: &self.config.space,
+                coords: &self.coords,
+                errors: &self.errors,
+                malicious: &self.malicious,
+                cc: self.config.cc,
+                now_ms: sched.now(),
+            };
+            adversary.respond(peer, node, rtt, &view, &mut self.adv_rng)
+        } else {
+            None
+        };
+
+        let (coord, error, measured) = match response {
+            Some(ProbeLie {
+                coord,
+                error,
+                delay_ms,
+            }) => {
+                self.counters.lies_served += 1;
+                let delay = if delay_ms < 0.0 {
+                    // Threat model: probes can be delayed, never shortened.
+                    self.counters.delay_clamped += 1;
+                    log::debug!("vivaldi: adversary tried to shorten a probe; clamped");
+                    0.0
+                } else {
+                    delay_ms
+                };
+                (coord, error, rtt + delay)
+            }
+            None => (self.coords[peer].clone(), self.errors[peer], rtt),
+        };
+
+        sched.deliver_after(
+            time::from_ms_f64(measured),
+            peer,
+            node,
+            Sample {
+                coord,
+                error,
+                rtt: measured,
+            },
+        );
+    }
+
+    fn on_message(&mut self, _sched: &mut Scheduler<Sample>, _from: NodeId, to: NodeId, s: Sample) {
+        if self.malicious[to] {
+            return; // infected after the probe left: ignore the sample
+        }
+        let applied = vivaldi_update(
+            &self.config.space,
+            self.config.cc,
+            self.config.error_clamp,
+            &mut self.coords[to],
+            &mut self.errors[to],
+            &s.coord,
+            s.error,
+            s.rtt,
+            &mut self.update_rng,
+        );
+        if applied.is_some() {
+            self.counters.samples_applied += 1;
+        }
+    }
+}
+
+/// A complete Vivaldi system running on the discrete-event engine.
+pub struct VivaldiSim {
+    engine: Engine<Sample>,
+    world: VivaldiWorld,
+}
+
+impl VivaldiSim {
+    /// Build a system over `matrix` with per-node phase-jittered probe
+    /// timers. All coordinates start at the origin (Vivaldi's cold start).
+    ///
+    /// # Panics
+    /// Panics if the matrix has fewer than 2 nodes.
+    pub fn new(matrix: RttMatrix, config: VivaldiConfig, seeds: &SeedStream) -> VivaldiSim {
+        assert!(matrix.len() >= 2, "need at least two nodes");
+        let n = matrix.len();
+        let neighbors: Vec<Vec<usize>> = (0..n)
+            .map(|i| {
+                let mut rng = seeds.rng_indexed("vivaldi/neighbors", i as u64);
+                select_neighbors(
+                    &matrix,
+                    i,
+                    config.neighbors,
+                    config.near_neighbors,
+                    config.near_cutoff_ms,
+                    &mut rng,
+                )
+            })
+            .collect();
+
+        let world = VivaldiWorld {
+            coords: vec![config.space.origin(); n],
+            errors: vec![config.initial_error; n],
+            neighbors,
+            malicious: vec![false; n],
+            adversary: None,
+            probe_rng: seeds.rng("vivaldi/probe"),
+            update_rng: seeds.rng("vivaldi/update"),
+            adv_rng: seeds.rng("vivaldi/adversary"),
+            counters: Counters::default(),
+            matrix,
+            config,
+        };
+
+        let mut engine = Engine::new();
+        let mut phase_rng = seeds.rng("vivaldi/phase");
+        for i in 0..n {
+            let phase = phase_rng.gen_range(0..world.config.tick_ms.max(1));
+            engine.scheduler().timer_at(phase, i, TAG_PROBE);
+        }
+        VivaldiSim { engine, world }
+    }
+
+    /// Advance the simulation by `n` ticks.
+    pub fn run_ticks(&mut self, n: u64) {
+        let target = self.engine.now() + n * self.world.config.tick_ms;
+        self.engine.run_until(&mut self.world, target);
+    }
+
+    /// Current tick count (floor of now / tick length).
+    pub fn now_ticks(&self) -> u64 {
+        self.engine.now() / self.world.config.tick_ms
+    }
+
+    /// Current simulated time in ms.
+    pub fn now_ms(&self) -> u64 {
+        self.engine.now()
+    }
+
+    /// The embedding space.
+    pub fn space(&self) -> &Space {
+        &self.world.config.space
+    }
+
+    /// The simulation parameters.
+    pub fn config(&self) -> &VivaldiConfig {
+        &self.world.config
+    }
+
+    /// The latency substrate.
+    pub fn matrix(&self) -> &RttMatrix {
+        &self.world.matrix
+    }
+
+    /// Current coordinates of every node (truth, not reported values).
+    pub fn coords(&self) -> &[Coord] {
+        &self.world.coords
+    }
+
+    /// Current local error estimates.
+    pub fn errors(&self) -> &[f64] {
+        &self.world.errors
+    }
+
+    /// Whether each node is malicious.
+    pub fn malicious(&self) -> &[bool] {
+        &self.world.malicious
+    }
+
+    /// Ids of currently honest nodes.
+    pub fn honest_nodes(&self) -> Vec<usize> {
+        (0..self.world.matrix.len())
+            .filter(|&i| !self.world.malicious[i])
+            .collect()
+    }
+
+    /// Probe/lie counters.
+    pub fn counters(&self) -> Counters {
+        self.world.counters
+    }
+
+    /// Pick `fraction` of the population uniformly at random as attackers
+    /// (without yet activating them). Deterministic given the seed stream.
+    pub fn pick_attackers(&mut self, fraction: f64) -> Vec<usize> {
+        let n = self.world.matrix.len();
+        let k = ((n as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+        let mut ids: Vec<usize> = (0..n).collect();
+        ids.shuffle(&mut self.world.adv_rng);
+        ids.truncate(k);
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Turn `attackers` malicious under `adversary`, in place — the paper's
+    /// *injection* scenario (attack a converged system, §5.2).
+    ///
+    /// The adversary's [`VivaldiAdversary::inject`] hook runs immediately
+    /// with the current (converged) state as its knowledge oracle.
+    pub fn inject_adversary(
+        &mut self,
+        attackers: &[usize],
+        mut adversary: Box<dyn VivaldiAdversary>,
+    ) {
+        for &a in attackers {
+            self.world.malicious[a] = true;
+        }
+        let view = VivaldiView {
+            space: &self.world.config.space,
+            coords: &self.world.coords,
+            errors: &self.world.errors,
+            malicious: &self.world.malicious,
+            cc: self.world.config.cc,
+            now_ms: self.engine.now(),
+        };
+        adversary.inject(attackers, &view, &mut self.world.adv_rng);
+        self.world.adversary = Some(adversary);
+        log::trace!(
+            "vivaldi: injected {} attackers at t={}ms",
+            attackers.len(),
+            self.engine.now()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::HonestAdversary;
+    use vcoord_metrics::EvalPlan;
+    use vcoord_topo::{KingLike, KingLikeConfig};
+
+    fn small_sim(n: usize, seed: u64) -> VivaldiSim {
+        let seeds = SeedStream::new(seed);
+        let matrix =
+            KingLike::new(KingLikeConfig::with_nodes(n)).generate(&mut seeds.rng("topo"));
+        VivaldiSim::new(matrix, VivaldiConfig::default(), &seeds)
+    }
+
+    #[test]
+    fn converges_on_king_like_topology() {
+        let mut sim = small_sim(60, 1);
+        let plan = EvalPlan::new(&sim.honest_nodes(), &mut SeedStream::new(9).rng("plan"));
+        let before = plan.avg_error(sim.coords(), sim.space(), sim.matrix());
+        sim.run_ticks(200);
+        let after = plan.avg_error(sim.coords(), sim.space(), sim.matrix());
+        assert!(
+            after < before * 0.2,
+            "no convergence: before={before} after={after}"
+        );
+        assert!(after < 0.6, "converged error too high: {after}");
+    }
+
+    #[test]
+    fn probes_flow_and_samples_apply() {
+        let mut sim = small_sim(20, 2);
+        sim.run_ticks(10);
+        let c = sim.counters();
+        assert!(c.probes_sent >= 150, "probes={}", c.probes_sent);
+        assert!(c.samples_applied > 0);
+        assert_eq!(c.lies_served, 0);
+        assert_eq!(c.probes_lost, 0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = |seed| {
+            let mut sim = small_sim(30, seed);
+            sim.run_ticks(50);
+            sim.coords().to_vec()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn honest_injection_is_harmless() {
+        let mut sim = small_sim(40, 3);
+        sim.run_ticks(150);
+        let plan = EvalPlan::new(&sim.honest_nodes(), &mut SeedStream::new(9).rng("plan"));
+        let before = plan.avg_error(sim.coords(), sim.space(), sim.matrix());
+        let attackers = sim.pick_attackers(0.3);
+        assert_eq!(attackers.len(), 12);
+        sim.inject_adversary(&attackers, Box::new(HonestAdversary));
+        sim.run_ticks(100);
+        // Evaluate over the still-honest population.
+        let plan2 = EvalPlan::new(&sim.honest_nodes(), &mut SeedStream::new(9).rng("plan"));
+        let after = plan2.avg_error(sim.coords(), sim.space(), sim.matrix());
+        assert!(
+            after < before * 2.0 + 0.2,
+            "honest adversary degraded system: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn malicious_nodes_freeze() {
+        let mut sim = small_sim(20, 4);
+        sim.run_ticks(50);
+        let attackers = sim.pick_attackers(0.25);
+        sim.inject_adversary(&attackers, Box::new(HonestAdversary));
+        let frozen: Vec<Coord> = attackers.iter().map(|&a| sim.coords()[a].clone()).collect();
+        sim.run_ticks(30);
+        for (k, &a) in attackers.iter().enumerate() {
+            assert_eq!(sim.coords()[a], frozen[k], "malicious node moved");
+        }
+    }
+
+    #[test]
+    fn probe_loss_reduces_samples() {
+        let seeds = SeedStream::new(5);
+        let matrix =
+            KingLike::new(KingLikeConfig::with_nodes(20)).generate(&mut seeds.rng("topo"));
+        let mut config = VivaldiConfig::default();
+        config.link.loss = 0.5;
+        let mut sim = VivaldiSim::new(matrix, config, &seeds);
+        sim.run_ticks(20);
+        let c = sim.counters();
+        assert!(c.probes_lost > 0);
+        let loss_rate = c.probes_lost as f64 / c.probes_sent as f64;
+        assert!((0.35..0.65).contains(&loss_rate), "loss rate {loss_rate}");
+    }
+}
