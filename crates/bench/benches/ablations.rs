@@ -18,8 +18,7 @@ use vcoord::topo::{KingLike, KingLikeConfig};
 fn bench_error_sampling(c: &mut Criterion) {
     let seeds = SeedStream::new(20);
     let n = 400;
-    let matrix =
-        KingLike::new(KingLikeConfig::with_nodes(n)).generate(&mut seeds.rng("topo"));
+    let matrix = KingLike::new(KingLikeConfig::with_nodes(n)).generate(&mut seeds.rng("topo"));
     let space = Space::Euclidean(2);
     let mut rng = seeds.rng("plan");
     let nodes: Vec<usize> = (0..n).collect();
@@ -65,7 +64,7 @@ fn bench_simplex_budget(c: &mut Criterion) {
             ..SimplexOptions::default()
         };
         group.bench_function(format!("{iters}iters"), |b| {
-            b.iter(|| simplex_downhill(&objective, black_box(&start), &opts))
+            b.iter(|| simplex_downhill(objective, black_box(&start), &opts))
         });
     }
     group.finish();

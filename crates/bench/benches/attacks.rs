@@ -13,7 +13,15 @@ fn bench_repulsion_lie(c: &mut Criterion) {
     let victim = space.random_coord(150.0, &mut rng);
     let target = space.random_coord(10_000.0, &mut rng);
     c.bench_function("repulsion_lie_2d", |b| {
-        b.iter(|| repulsion_lie(&space, black_box(&victim), black_box(&target), 0.25, &mut rng))
+        b.iter(|| {
+            repulsion_lie(
+                &space,
+                black_box(&victim),
+                black_box(&target),
+                0.25,
+                &mut rng,
+            )
+        })
     });
 }
 

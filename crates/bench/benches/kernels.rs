@@ -11,7 +11,11 @@ use vcoord::vivaldi::node::vivaldi_update;
 
 fn bench_vivaldi_update(c: &mut Criterion) {
     let mut group = c.benchmark_group("vivaldi_update");
-    for space in [Space::Euclidean(2), Space::Euclidean(5), Space::EuclideanHeight(2)] {
+    for space in [
+        Space::Euclidean(2),
+        Space::Euclidean(5),
+        Space::EuclideanHeight(2),
+    ] {
         let mut rng = ChaCha12Rng::seed_from_u64(1);
         let mut coord = space.random_coord(100.0, &mut rng);
         let mut error = 0.5;
@@ -60,7 +64,7 @@ fn bench_simplex(c: &mut Criterion) {
         };
         let start = vec![1.0; dim];
         group.bench_function(format!("{dim}D_20refs"), |b| {
-            b.iter(|| simplex_downhill(&objective, black_box(&start), &opts))
+            b.iter(|| simplex_downhill(objective, black_box(&start), &opts))
         });
     }
     group.finish();
@@ -68,8 +72,7 @@ fn bench_simplex(c: &mut Criterion) {
 
 fn bench_eval_plan(c: &mut Criterion) {
     let seeds = SeedStream::new(3);
-    let matrix = KingLike::new(KingLikeConfig::with_nodes(400))
-        .generate(&mut seeds.rng("topo"));
+    let matrix = KingLike::new(KingLikeConfig::with_nodes(400)).generate(&mut seeds.rng("topo"));
     let space = Space::Euclidean(2);
     let mut rng = seeds.rng("plan");
     let nodes: Vec<usize> = (0..400).collect();
@@ -84,8 +87,7 @@ fn bench_eval_plan(c: &mut Criterion) {
 
 fn bench_matrix_ops(c: &mut Criterion) {
     let seeds = SeedStream::new(4);
-    let matrix = KingLike::new(KingLikeConfig::with_nodes(400))
-        .generate(&mut seeds.rng("topo"));
+    let matrix = KingLike::new(KingLikeConfig::with_nodes(400)).generate(&mut seeds.rng("topo"));
     c.bench_function("rtt_matrix_random_subset_100_of_400", |b| {
         let mut rng = seeds.rng("subset");
         b.iter(|| matrix.random_subset(100, &mut rng))

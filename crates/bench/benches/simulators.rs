@@ -11,8 +11,7 @@ fn bench_vivaldi_ticks(c: &mut Criterion) {
     let mut group = c.benchmark_group("vivaldi_sim");
     for n in [100usize, 400] {
         let seeds = SeedStream::new(10);
-        let matrix =
-            KingLike::new(KingLikeConfig::with_nodes(n)).generate(&mut seeds.rng("topo"));
+        let matrix = KingLike::new(KingLikeConfig::with_nodes(n)).generate(&mut seeds.rng("topo"));
         group.bench_function(format!("tick_{n}nodes"), |b| {
             b.iter_batched(
                 || VivaldiSim::new(matrix.clone(), VivaldiConfig::default(), &seeds),
@@ -26,8 +25,7 @@ fn bench_vivaldi_ticks(c: &mut Criterion) {
 
 fn bench_vivaldi_setup(c: &mut Criterion) {
     let seeds = SeedStream::new(11);
-    let matrix =
-        KingLike::new(KingLikeConfig::with_nodes(400)).generate(&mut seeds.rng("topo"));
+    let matrix = KingLike::new(KingLikeConfig::with_nodes(400)).generate(&mut seeds.rng("topo"));
     c.bench_function("vivaldi_sim_setup_400nodes", |b| {
         b.iter(|| VivaldiSim::new(matrix.clone(), VivaldiConfig::default(), &seeds))
     });
@@ -37,12 +35,13 @@ fn bench_nps_rounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("nps_sim");
     group.sample_size(10);
     let seeds = SeedStream::new(12);
-    let matrix =
-        KingLike::new(KingLikeConfig::with_nodes(150)).generate(&mut seeds.rng("topo"));
-    let mut config = NpsConfig::default();
-    config.landmarks = 15;
-    config.refs_per_node = 15;
-    config.space = Space::Euclidean(4);
+    let matrix = KingLike::new(KingLikeConfig::with_nodes(150)).generate(&mut seeds.rng("topo"));
+    let config = NpsConfig {
+        landmarks: 15,
+        refs_per_node: 15,
+        space: Space::Euclidean(4),
+        ..NpsConfig::default()
+    };
     group.bench_function("round_150nodes", |b| {
         b.iter_batched(
             || {
@@ -63,10 +62,7 @@ fn bench_topo_synthesis(c: &mut Criterion) {
     for n in [200usize, 1740] {
         group.bench_function(format!("king_like_{n}"), |b| {
             let seeds = SeedStream::new(13);
-            b.iter(|| {
-                KingLike::new(KingLikeConfig::with_nodes(n))
-                    .generate(&mut seeds.rng("topo"))
-            })
+            b.iter(|| KingLike::new(KingLikeConfig::with_nodes(n)).generate(&mut seeds.rng("topo")))
         });
     }
     group.finish();

@@ -101,7 +101,10 @@ fn main() {
     }
 
     let ids: Vec<String> = if args.ids.is_empty() || args.ids.iter().any(|i| i == "all") {
-        registry::figure_ids().iter().map(|s| s.to_string()).collect()
+        registry::figure_ids()
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     } else {
         args.ids.clone()
     };

@@ -1,0 +1,146 @@
+//! End-to-end tests of the `figures` binary CLI: argument parsing, the
+//! figure index, error paths, and CSV output.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn figures() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_figures"))
+}
+
+fn run(args: &[&str]) -> Output {
+    figures().args(args).output().expect("spawn figures binary")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn list_prints_every_figure_id() {
+    let out = run(&["--list"]);
+    assert!(out.status.success(), "--list must exit 0");
+    let text = stdout(&out);
+    for id in ["fig1", "fig13", "fig17", "fig26"] {
+        assert!(text.contains(id), "--list output missing {id}:\n{text}");
+    }
+    assert!(
+        text.contains("Vivaldi disorder"),
+        "--list should include descriptions"
+    );
+}
+
+#[test]
+fn help_exits_nonzero_with_usage() {
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage:"));
+}
+
+#[test]
+fn unknown_flag_is_rejected() {
+    let out = run(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown flag --frobnicate"));
+}
+
+#[test]
+fn bad_seed_is_rejected() {
+    let out = run(&["--seed", "not-a-number"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("bad seed"));
+}
+
+#[test]
+fn missing_seed_value_is_rejected() {
+    let out = run(&["--seed"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--seed needs a value"));
+}
+
+#[test]
+fn unknown_figure_id_exits_one() {
+    let dir = tempdir("unknown-id");
+    let out = run(&["fig99", "--smoke", "--out", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("unknown figure id: fig99"));
+}
+
+#[test]
+fn smoke_run_writes_csv_with_rows() {
+    let dir = tempdir("smoke-fig17");
+    // fig17 evaluates closed-form geometry — the cheapest figure.
+    let out = run(&[
+        "fig17",
+        "--smoke",
+        "--seed",
+        "7",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "figures fig17 --smoke failed:\n{}",
+        stderr(&out)
+    );
+    let csv_path = dir.join("fig17.csv");
+    assert!(csv_path.exists(), "expected {}", csv_path.display());
+    let csv = std::fs::read_to_string(&csv_path).unwrap();
+    let data_rows: Vec<&str> = csv
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .collect();
+    assert!(
+        data_rows.len() >= 2,
+        "CSV needs a header plus at least one data row:\n{csv}"
+    );
+    // Header then numeric rows.
+    assert!(
+        data_rows[0].contains(','),
+        "header should be comma-separated"
+    );
+    for cell in data_rows[1].split(',') {
+        cell.parse::<f64>()
+            .unwrap_or_else(|_| panic!("non-numeric cell {cell:?} in:\n{csv}"));
+    }
+    // Stdout carries the rendered table and the completion line.
+    let text = stdout(&out);
+    assert!(text.contains("== fig17"));
+    assert!(text.contains("# done: 1 figures"));
+}
+
+#[test]
+fn same_seed_same_csv_bytes() {
+    let a = tempdir("repro-a");
+    let b = tempdir("repro-b");
+    for dir in [&a, &b] {
+        let out = run(&[
+            "fig17",
+            "--smoke",
+            "--seed",
+            "11",
+            "--out",
+            dir.to_str().unwrap(),
+        ]);
+        assert!(out.status.success());
+    }
+    let csv_a = std::fs::read(a.join("fig17.csv")).unwrap();
+    let csv_b = std::fs::read(b.join("fig17.csv")).unwrap();
+    assert_eq!(
+        csv_a, csv_b,
+        "identical seeds must reproduce identical CSVs"
+    );
+}
+
+/// A unique, test-scoped output directory under the target tmp dir.
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let base = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("figures-cli-{tag}"));
+    // Stale contents from a previous run are fine to clobber.
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    base
+}

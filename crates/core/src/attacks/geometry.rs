@@ -75,6 +75,7 @@ pub fn repulsion_lie<R: Rng + ?Sized>(
 ///   the attack itself inflates the victim's median. This is the paper's
 ///   observation that the filter's median gets "skewed sufficiently that
 ///   malicious behaviour is assimilated to normal behaviour".
+#[allow(clippy::too_many_arguments)] // the lie construction takes the full attack context
 pub fn anti_detection_lie<R: Rng + ?Sized>(
     space: &Space,
     victim_anchor: &Coord,
@@ -178,7 +179,14 @@ mod tests {
         let d = space.distance(&victim, &attacker);
         let margin = 0.35;
         let lie = anti_detection_lie(
-            &space, &victim, &attacker, d, 199.0, margin, true, &mut rng(),
+            &space,
+            &victim,
+            &attacker,
+            d,
+            199.0,
+            margin,
+            true,
+            &mut rng(),
         );
         let implied = space.distance(&victim, &lie.coord);
         // Victim-side fitting error = margin/(1−margin) ≈ 0.54, which hides
@@ -188,7 +196,10 @@ mod tests {
         assert!(lie.needed_rtt > 100.0 * d, "must actually push far");
         // Residual pull is enormous: margin · 199 · d.
         let residual = implied - lie.needed_rtt;
-        assert!(residual > 50.0 * d, "pull {residual} should be ≈ 70·d (d = {d})");
+        assert!(
+            residual > 50.0 * d,
+            "pull {residual} should be ≈ 70·d (d = {d})"
+        );
     }
 
     #[test]
@@ -218,8 +229,8 @@ mod tests {
             let oracle = anti_detection_lie(
                 &space, &victim, &attacker, 100.0, 199.0, margin, true, &mut r,
             );
-            let oracle_fit = (space.distance(&victim, &oracle.coord) - oracle.needed_rtt)
-                / oracle.needed_rtt;
+            let oracle_fit =
+                (space.distance(&victim, &oracle.coord) - oracle.needed_rtt) / oracle.needed_rtt;
             assert!(
                 (oracle_fit - bound).abs() < 1e-9,
                 "oracle lie fit {oracle_fit} != bound {bound}"
@@ -251,8 +262,7 @@ mod tests {
             let victim = space.random_coord(200.0, &mut r);
             let attacker = space.random_coord(200.0, &mut r);
             let d = space.distance(&victim, &attacker);
-            let lie =
-                anti_detection_lie(&space, &victim, &attacker, d, 50.0, 0.35, true, &mut r);
+            let lie = anti_detection_lie(&space, &victim, &attacker, d, 50.0, 0.35, true, &mut r);
             assert!(lie.needed_rtt >= d - 1e-9);
         }
     }

@@ -269,8 +269,7 @@ impl NpsAdversary for NpsCollusionIsolation {
                 .filter(|&i| view.layer[i] == self.attack_layer + 1 && !view.malicious[i])
                 .collect();
             pool.shuffle(rng);
-            let k =
-                ((pool.len() as f64) * self.victim_fraction.clamp(0.0, 1.0)).round() as usize;
+            let k = ((pool.len() as f64) * self.victim_fraction.clamp(0.0, 1.0)).round() as usize;
             pool.truncate(k.max(1));
             self.victims = pool.into_iter().collect();
         }
@@ -355,7 +354,7 @@ impl NpsAdversary for NpsCombined {
         });
         let third = attackers.len().div_ceil(3);
         let (c, rest) = shuffled.split_at(third.min(shuffled.len()));
-        let (d, a) = rest.split_at(((rest.len() + 1) / 2).min(rest.len()));
+        let (d, a) = rest.split_at(rest.len().div_ceil(2));
         for &x in c {
             self.assignment.insert(x, 2);
         }
@@ -395,7 +394,6 @@ impl NpsAdversary for NpsCombined {
 mod tests {
     use super::*;
     use rand::SeedableRng;
-    use vcoord_metrics::relative_error;
     use vcoord_space::Space;
 
     struct Fixture {
@@ -479,7 +477,10 @@ mod tests {
         // Near victim: attacked, and the inflated RTT stays under the
         // threshold.
         let lie = adv.respond(0, 7, 20.0, &v, &mut rng).unwrap();
-        assert!(20.0 + lie.delay_ms <= 5_000.0, "must not trip the threshold");
+        assert!(
+            20.0 + lie.delay_ms <= 5_000.0,
+            "must not trip the threshold"
+        );
     }
 
     #[test]
@@ -516,7 +517,10 @@ mod tests {
         // Cluster is remote, but its separation from the isolation point is
         // capped under the probe threshold (≈ 0.4 × 5000 = 2000 here).
         assert!(l1.coord.magnitude() > 1_000.0);
-        assert!(50.0 + l1.delay_ms <= v.probe_threshold_ms, "lie must pass the threshold");
+        assert!(
+            50.0 + l1.delay_ms <= v.probe_threshold_ms,
+            "lie must pass the threshold"
+        );
     }
 
     #[test]

@@ -499,7 +499,10 @@ mod tests {
         let mut adv = VivaldiRepulsion::new(5_000.0);
         adv.inject(&[0], &view, &mut rng);
         let target = adv.target_of(0).unwrap().clone();
-        assert!(target.magnitude() >= 2_500.0, "target must be far from origin");
+        assert!(
+            target.magnitude() >= 2_500.0,
+            "target must be far from origin"
+        );
 
         let lie = adv.respond(0, 1, 80.0, &view, &mut rng).unwrap();
         // Consistency: measured (rtt + delay) equals d/Cc + d for the

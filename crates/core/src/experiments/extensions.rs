@@ -32,16 +32,10 @@ pub enum AttackTiming {
 
 /// Final average relative error of honest nodes for one disorder run at the
 /// given timing.
-fn disorder_run(
-    scale: &Scale,
-    timing: AttackTiming,
-    fraction: f64,
-    seed: u64,
-    rep: u64,
-) -> f64 {
+fn disorder_run(scale: &Scale, timing: AttackTiming, fraction: f64, seed: u64, rep: u64) -> f64 {
     let seeds = SeedStream::new(seed).derive_indexed("ext-genesis", rep);
-    let matrix = KingLike::new(KingLikeConfig::with_nodes(scale.nodes))
-        .generate(&mut seeds.rng("topo"));
+    let matrix =
+        KingLike::new(KingLikeConfig::with_nodes(scale.nodes)).generate(&mut seeds.rng("topo"));
     let mut sim = VivaldiSim::new(matrix, VivaldiConfig::in_space(Space::Euclidean(2)), &seeds);
 
     let horizon = scale.vivaldi_warmup_ticks + scale.vivaldi_attack_ticks;
@@ -134,8 +128,10 @@ pub fn ext_faults(scale: &Scale, seed: u64) -> FigureResult {
             let seeds = SeedStream::new(seed).derive_indexed("ext-faults", rep);
             let matrix = KingLike::new(KingLikeConfig::with_nodes(scale.nodes))
                 .generate(&mut seeds.rng("topo"));
-            let mut config = VivaldiConfig::default();
-            config.link = *link;
+            let config = VivaldiConfig {
+                link: *link,
+                ..VivaldiConfig::default()
+            };
             let mut sim = VivaldiSim::new(matrix, config, &seeds);
             sim.run_ticks(scale.vivaldi_warmup_ticks);
             if *fraction > 0.0 {

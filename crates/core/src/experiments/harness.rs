@@ -40,8 +40,11 @@ pub struct VivaldiRun {
 /// Builds the adversary once the attacker set is known. Returns the boxed
 /// strategy plus an optional *focus set* of nodes whose error the harness
 /// should track separately (isolation targets, designated victims).
-pub type VivaldiFactory<'a> =
-    &'a (dyn Fn(&mut VivaldiSim, &[usize], &SeedStream) -> (Box<dyn VivaldiAdversary>, Option<Vec<usize>>)
+pub type VivaldiFactory<'a> = &'a (dyn Fn(
+    &mut VivaldiSim,
+    &[usize],
+    &SeedStream,
+) -> (Box<dyn VivaldiAdversary>, Option<Vec<usize>>)
          + Sync);
 
 /// Run one Vivaldi injection experiment.
@@ -59,8 +62,7 @@ pub fn run_vivaldi(
     factory: VivaldiFactory<'_>,
 ) -> VivaldiRun {
     let seeds = SeedStream::new(master_seed).derive_indexed("vivaldi-rep", rep);
-    let matrix = KingLike::new(KingLikeConfig::with_nodes(nodes))
-        .generate(&mut seeds.rng("topo"));
+    let matrix = KingLike::new(KingLikeConfig::with_nodes(nodes)).generate(&mut seeds.rng("topo"));
     let config = VivaldiConfig::in_space(space);
     let mut sim = VivaldiSim::new(matrix, config, &seeds);
 
@@ -79,7 +81,10 @@ pub fn run_vivaldi(
     while t < scale.vivaldi_warmup_ticks {
         sim.run_ticks(scale.vivaldi_record_every);
         t += scale.vivaldi_record_every;
-        clean_series.push(sim.now_ticks(), plan_all.avg_error(sim.coords(), sim.space(), sim.matrix()));
+        clean_series.push(
+            sim.now_ticks(),
+            plan_all.avg_error(sim.coords(), sim.space(), sim.matrix()),
+        );
     }
     let clean_ref = clean_series.tail_mean(5).max(1e-6);
 
@@ -114,8 +119,7 @@ pub fn run_vivaldi(
         let avg = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
         attack_series.push(sim.now_ticks(), avg);
         if let (Some(fs), Some(fi)) = (focus_series.as_mut(), focus_indices.as_ref()) {
-            let favg =
-                fi.iter().map(|&k| errs[k]).sum::<f64>() / fi.len().max(1) as f64;
+            let favg = fi.iter().map(|&k| errs[k]).sum::<f64>() / fi.len().max(1) as f64;
             fs.push(sim.now_ticks(), favg);
         }
         final_errors = errs;
@@ -166,8 +170,7 @@ pub struct NpsRun {
 }
 
 /// Adversary factory for NPS runs (see [`VivaldiFactory`]).
-pub type NpsFactory<'a> =
-    &'a (dyn Fn(&mut NpsSim, &[usize], &SeedStream) -> (Box<dyn NpsAdversary>, Option<Vec<usize>>)
+pub type NpsFactory<'a> = &'a (dyn Fn(&mut NpsSim, &[usize], &SeedStream) -> (Box<dyn NpsAdversary>, Option<Vec<usize>>)
          + Sync);
 
 /// Run one NPS injection experiment.
@@ -181,8 +184,7 @@ pub fn run_nps(
     factory: NpsFactory<'_>,
 ) -> NpsRun {
     let seeds = SeedStream::new(master_seed).derive_indexed("nps-rep", rep);
-    let matrix = KingLike::new(KingLikeConfig::with_nodes(nodes))
-        .generate(&mut seeds.rng("topo"));
+    let matrix = KingLike::new(KingLikeConfig::with_nodes(nodes)).generate(&mut seeds.rng("topo"));
     let layers = config.layers;
     let mut sim = NpsSim::new(matrix, config, &seeds);
     let mut plan_rng = seeds.rng("eval-plan");
@@ -253,9 +255,8 @@ pub fn run_nps(
     });
 
     let mut attack_series = TimeSeries::new();
-    let mut layer_acc: Vec<(u8, TimeSeries)> = (1..layers)
-        .map(|l| (l as u8, TimeSeries::new()))
-        .collect();
+    let mut layer_acc: Vec<(u8, TimeSeries)> =
+        (1..layers).map(|l| (l as u8, TimeSeries::new())).collect();
     let mut focus_series = focus_indices.as_ref().map(|_| TimeSeries::new());
     let mut final_errors: Vec<f64> = Vec::new();
     let mut r = 0;
@@ -341,7 +342,11 @@ mod tests {
         );
         assert!(run.clean_series.len() >= 5);
         assert!(run.attack_series.len() >= 5);
-        assert!(run.clean_ref > 0.0 && run.clean_ref < 2.0, "clean_ref={}", run.clean_ref);
+        assert!(
+            run.clean_ref > 0.0 && run.clean_ref < 2.0,
+            "clean_ref={}",
+            run.clean_ref
+        );
         assert!(!run.final_errors.is_empty());
         assert_eq!(run.attackers, (scale.nodes as f64 * 0.3).round() as usize);
         assert!(run.random_baseline > 10.0);

@@ -162,8 +162,7 @@ pub fn average_series(series: &[TimeSeries]) -> TimeSeries {
     let len = series.iter().map(|s| s.len()).min().unwrap_or(0);
     for k in 0..len {
         let tick = first.points()[k].0;
-        let mean =
-            series.iter().map(|s| s.points()[k].1).sum::<f64>() / series.len() as f64;
+        let mean = series.iter().map(|s| s.points()[k].1).sum::<f64>() / series.len() as f64;
         out.push(tick, mean);
     }
     out

@@ -28,7 +28,12 @@ fn disorder_factory() -> impl Fn(
     &vcoord_netsim::SeedStream,
 ) -> (BoxedNpsAdversary, Option<Vec<usize>>)
        + Sync {
-    |_sim, _attackers, _seeds| (Box::new(NpsSimpleDisorder::default()) as BoxedNpsAdversary, None)
+    |_sim, _attackers, _seeds| {
+        (
+            Box::new(NpsSimpleDisorder::default()) as BoxedNpsAdversary,
+            None,
+        )
+    }
 }
 
 fn anti_detection_factory(
@@ -100,7 +105,15 @@ fn runs_for(
     factory: NpsFactory<'_>,
 ) -> Vec<NpsRun> {
     run_repetitions(scale.repetitions, |rep| {
-        run_nps(scale, config.clone(), scale.nodes, fraction, seed, rep, factory)
+        run_nps(
+            scale,
+            config.clone(),
+            scale.nodes,
+            fraction,
+            seed,
+            rep,
+            factory,
+        )
     })
 }
 
@@ -121,10 +134,13 @@ fn error_vs_time(
         for (label, config) in configs {
             columns.push(format!("err_{}pct_{label}", (f * 100.0).round() as u32));
             let runs = runs_for(scale, config.clone(), f, seed, factory);
-            let avg =
-                average_series(&runs.iter().map(|r| r.attack_series.clone()).collect::<Vec<_>>());
-            let clean =
-                runs.iter().map(|r| r.clean_ref).sum::<f64>() / runs.len() as f64;
+            let avg = average_series(
+                &runs
+                    .iter()
+                    .map(|r| r.attack_series.clone())
+                    .collect::<Vec<_>>(),
+            );
+            let clean = runs.iter().map(|r| r.clean_ref).sum::<f64>() / runs.len() as f64;
             notes.push(format!(
                 "{}% {label}: clean {:.2} -> attacked {:.2}",
                 (f * 100.0).round(),
@@ -234,7 +250,9 @@ pub fn fig16(scale: &Scale, seed: u64) -> FigureResult {
             let config = NpsConfig::in_space(Space::Euclidean(d));
             let runs = runs_for(scale, config, f, seed, &factory);
             row.push(
-                runs.iter().map(|r| r.attack_series.tail_mean(3)).sum::<f64>()
+                runs.iter()
+                    .map(|r| r.attack_series.tail_mean(3))
+                    .sum::<f64>()
                     / runs.len() as f64,
             );
             if k == 0 {
@@ -277,7 +295,11 @@ pub fn fig17(_scale: &Scale, _seed: u64) -> FigureResult {
     FigureResult {
         id: "fig17".into(),
         title: "Anti-detection NPS attack geometry (diagram; closed forms)".into(),
-        columns: vec!["alpha".into(), "push_bound_x_d".into(), "victim_cut_ms".into()],
+        columns: vec![
+            "alpha".into(),
+            "push_bound_x_d".into(),
+            "victim_cut_ms".into(),
+        ],
         rows,
         notes: vec![
             "fig 17 in the paper is a geometry diagram, not a data plot".into(),
@@ -550,8 +572,20 @@ pub fn fig25(scale: &Scale, seed: u64) -> FigureResult {
     };
 
     let rows = vec![
-        vec![3.0, 2.0, layer_avg(&c3, 2), layer_avg(&r3, 2), victim_avg(&r3)],
-        vec![4.0, 2.0, layer_avg(&c4, 2), layer_avg(&r4, 2), victim_avg(&r4)],
+        vec![
+            3.0,
+            2.0,
+            layer_avg(&c3, 2),
+            layer_avg(&r3, 2),
+            victim_avg(&r3),
+        ],
+        vec![
+            4.0,
+            2.0,
+            layer_avg(&c4, 2),
+            layer_avg(&r4, 2),
+            victim_avg(&r4),
+        ],
         vec![4.0, 3.0, layer_avg(&c4, 3), layer_avg(&r4, 3), f64::NAN],
     ];
     let notes = vec![

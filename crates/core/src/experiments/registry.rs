@@ -8,35 +8,147 @@ type Runner = fn(&Scale, u64) -> FigureResult;
 /// order. Figure 17 is a diagram; its entry emits the closed forms it
 /// illustrates (see `nps_figs::fig17`).
 pub const FIGURES: &[(&str, Runner, &str)] = &[
-    ("fig1", vivaldi_figs::fig01 as Runner, "Vivaldi disorder: error ratio vs time"),
-    ("fig2", vivaldi_figs::fig02, "Vivaldi disorder: CDF of relative error"),
-    ("fig3", vivaldi_figs::fig03, "Vivaldi disorder: impact of dimensions"),
-    ("fig4", vivaldi_figs::fig04, "Vivaldi disorder: impact of system size"),
-    ("fig5", vivaldi_figs::fig05, "Vivaldi repulsion: CDF of relative error"),
-    ("fig6", vivaldi_figs::fig06, "Vivaldi repulsion: impact of dimensions"),
-    ("fig7", vivaldi_figs::fig07, "Vivaldi repulsion on victim subsets"),
-    ("fig8", vivaldi_figs::fig08, "Vivaldi repulsion: impact of system size"),
-    ("fig9", vivaldi_figs::fig09, "Vivaldi colluding isolation: error ratio vs time"),
-    ("fig10", vivaldi_figs::fig10, "Vivaldi colluding isolation: target error"),
-    ("fig11", vivaldi_figs::fig11, "Vivaldi colluding isolation: CDF (both strategies)"),
-    ("fig12", vivaldi_figs::fig12, "Vivaldi combined attacks: convergence"),
-    ("fig13", vivaldi_figs::fig13, "Vivaldi combined attacks: system size"),
-    ("fig14", nps_figs::fig14, "NPS disorder: error vs time (security on/off)"),
-    ("fig15", nps_figs::fig15, "NPS disorder: CDF (security on/off)"),
-    ("fig16", nps_figs::fig16, "NPS disorder: impact of dimensionality"),
-    ("fig17", nps_figs::fig17, "NPS anti-detection geometry (diagram closed forms)"),
-    ("fig18", nps_figs::fig18, "NPS anti-detection naive: convergence"),
-    ("fig19", nps_figs::fig19, "NPS anti-detection naive: knowledge vs error ratio"),
-    ("fig20", nps_figs::fig20, "NPS anti-detection naive: filtered-malicious share"),
-    ("fig21", nps_figs::fig21, "NPS anti-detection sophisticated: CDF"),
-    ("fig22", nps_figs::fig22, "NPS anti-detection sophisticated: filtered share"),
-    ("fig23", nps_figs::fig23, "NPS colluding isolation 3-layer: CDF"),
-    ("fig24", nps_figs::fig24, "NPS colluding isolation 4-layer: CDF"),
-    ("fig25", nps_figs::fig25, "NPS colluding isolation: error propagation"),
-    ("fig26", nps_figs::fig26, "NPS combined attacks: convergence"),
+    (
+        "fig1",
+        vivaldi_figs::fig01 as Runner,
+        "Vivaldi disorder: error ratio vs time",
+    ),
+    (
+        "fig2",
+        vivaldi_figs::fig02,
+        "Vivaldi disorder: CDF of relative error",
+    ),
+    (
+        "fig3",
+        vivaldi_figs::fig03,
+        "Vivaldi disorder: impact of dimensions",
+    ),
+    (
+        "fig4",
+        vivaldi_figs::fig04,
+        "Vivaldi disorder: impact of system size",
+    ),
+    (
+        "fig5",
+        vivaldi_figs::fig05,
+        "Vivaldi repulsion: CDF of relative error",
+    ),
+    (
+        "fig6",
+        vivaldi_figs::fig06,
+        "Vivaldi repulsion: impact of dimensions",
+    ),
+    (
+        "fig7",
+        vivaldi_figs::fig07,
+        "Vivaldi repulsion on victim subsets",
+    ),
+    (
+        "fig8",
+        vivaldi_figs::fig08,
+        "Vivaldi repulsion: impact of system size",
+    ),
+    (
+        "fig9",
+        vivaldi_figs::fig09,
+        "Vivaldi colluding isolation: error ratio vs time",
+    ),
+    (
+        "fig10",
+        vivaldi_figs::fig10,
+        "Vivaldi colluding isolation: target error",
+    ),
+    (
+        "fig11",
+        vivaldi_figs::fig11,
+        "Vivaldi colluding isolation: CDF (both strategies)",
+    ),
+    (
+        "fig12",
+        vivaldi_figs::fig12,
+        "Vivaldi combined attacks: convergence",
+    ),
+    (
+        "fig13",
+        vivaldi_figs::fig13,
+        "Vivaldi combined attacks: system size",
+    ),
+    (
+        "fig14",
+        nps_figs::fig14,
+        "NPS disorder: error vs time (security on/off)",
+    ),
+    (
+        "fig15",
+        nps_figs::fig15,
+        "NPS disorder: CDF (security on/off)",
+    ),
+    (
+        "fig16",
+        nps_figs::fig16,
+        "NPS disorder: impact of dimensionality",
+    ),
+    (
+        "fig17",
+        nps_figs::fig17,
+        "NPS anti-detection geometry (diagram closed forms)",
+    ),
+    (
+        "fig18",
+        nps_figs::fig18,
+        "NPS anti-detection naive: convergence",
+    ),
+    (
+        "fig19",
+        nps_figs::fig19,
+        "NPS anti-detection naive: knowledge vs error ratio",
+    ),
+    (
+        "fig20",
+        nps_figs::fig20,
+        "NPS anti-detection naive: filtered-malicious share",
+    ),
+    (
+        "fig21",
+        nps_figs::fig21,
+        "NPS anti-detection sophisticated: CDF",
+    ),
+    (
+        "fig22",
+        nps_figs::fig22,
+        "NPS anti-detection sophisticated: filtered share",
+    ),
+    (
+        "fig23",
+        nps_figs::fig23,
+        "NPS colluding isolation 3-layer: CDF",
+    ),
+    (
+        "fig24",
+        nps_figs::fig24,
+        "NPS colluding isolation 4-layer: CDF",
+    ),
+    (
+        "fig25",
+        nps_figs::fig25,
+        "NPS colluding isolation: error propagation",
+    ),
+    (
+        "fig26",
+        nps_figs::fig26,
+        "NPS combined attacks: convergence",
+    ),
     // Extensions beyond the paper's evaluation (see experiments::extensions).
-    ("ext-genesis", extensions::ext_genesis, "EXT: genesis vs injection attack timing"),
-    ("ext-faults", extensions::ext_faults, "EXT: benign faults vs adversarial behaviour"),
+    (
+        "ext-genesis",
+        extensions::ext_genesis,
+        "EXT: genesis vs injection attack timing",
+    ),
+    (
+        "ext-faults",
+        extensions::ext_faults,
+        "EXT: benign faults vs adversarial behaviour",
+    ),
 ];
 
 /// All known figure ids, in paper order.
@@ -69,10 +181,7 @@ mod tests {
         let ids = figure_ids();
         assert_eq!(ids.len(), 28, "26 paper figures + 2 extensions");
         for k in 1..=26 {
-            assert!(
-                ids.contains(&format!("fig{k}").as_str()),
-                "missing fig{k}"
-            );
+            assert!(ids.contains(&format!("fig{k}").as_str()), "missing fig{k}");
         }
         assert!(ids.contains(&"ext-genesis"));
         assert!(ids.contains(&"ext-faults"));

@@ -5,8 +5,7 @@
 //! attack injection happens at `scale.vivaldi_warmup_ticks`.
 
 use crate::attacks::vivaldi::{
-    VivaldiCollusionLure, VivaldiCollusionRepel, VivaldiCombined, VivaldiDisorder,
-    VivaldiRepulsion,
+    VivaldiCollusionLure, VivaldiCollusionRepel, VivaldiCombined, VivaldiDisorder, VivaldiRepulsion,
 };
 use crate::experiments::harness::{run_vivaldi, VivaldiFactory, VivaldiRun};
 use crate::experiments::{average_series, run_repetitions, FigureResult, Scale};
@@ -17,16 +16,19 @@ use vcoord_space::Space;
 /// Malicious fractions used across the Vivaldi figures (§5.2).
 pub const FRACTIONS: [f64; 6] = [0.10, 0.20, 0.30, 0.40, 0.50, 0.75];
 
+/// What an adversary factory yields: the adversary and its victims (if any).
+type AdversaryChoice = (
+    Box<dyn vcoord_vivaldi::VivaldiAdversary>,
+    Option<Vec<usize>>,
+);
+
 /// Quantile grid used for all CDF figures.
 fn quantile_grid() -> Vec<f64> {
     (0..=50).map(|k| k as f64 / 50.0).collect()
 }
 
-fn disorder_factory() -> impl Fn(
-    &mut vcoord_vivaldi::VivaldiSim,
-    &[usize],
-    &vcoord_netsim::SeedStream,
-) -> (Box<dyn vcoord_vivaldi::VivaldiAdversary>, Option<Vec<usize>>)
+fn disorder_factory(
+) -> impl Fn(&mut vcoord_vivaldi::VivaldiSim, &[usize], &vcoord_netsim::SeedStream) -> AdversaryChoice
        + Sync {
     |_sim, _attackers, _seeds| {
         (
@@ -38,11 +40,7 @@ fn disorder_factory() -> impl Fn(
 
 fn repulsion_factory(
     subset: Option<usize>,
-) -> impl Fn(
-    &mut vcoord_vivaldi::VivaldiSim,
-    &[usize],
-    &vcoord_netsim::SeedStream,
-) -> (Box<dyn vcoord_vivaldi::VivaldiAdversary>, Option<Vec<usize>>)
+) -> impl Fn(&mut vcoord_vivaldi::VivaldiSim, &[usize], &vcoord_netsim::SeedStream) -> AdversaryChoice
        + Sync {
     move |_sim, _attackers, _seeds| {
         let adv: Box<dyn vcoord_vivaldi::VivaldiAdversary> = match subset {
@@ -54,11 +52,8 @@ fn repulsion_factory(
 }
 
 /// Collusion strategy-1 factory (repel everyone from a random target).
-fn collusion_repel_factory() -> impl Fn(
-    &mut vcoord_vivaldi::VivaldiSim,
-    &[usize],
-    &vcoord_netsim::SeedStream,
-) -> (Box<dyn vcoord_vivaldi::VivaldiAdversary>, Option<Vec<usize>>)
+fn collusion_repel_factory(
+) -> impl Fn(&mut vcoord_vivaldi::VivaldiSim, &[usize], &vcoord_netsim::SeedStream) -> AdversaryChoice
        + Sync {
     |sim, attackers, seeds| {
         // Attackers are not yet flagged malicious at factory time: exclude
@@ -81,11 +76,8 @@ fn collusion_repel_factory() -> impl Fn(
 
 /// Collusion strategy-2 factory (lure a random target into a remote
 /// cluster).
-fn collusion_lure_factory() -> impl Fn(
-    &mut vcoord_vivaldi::VivaldiSim,
-    &[usize],
-    &vcoord_netsim::SeedStream,
-) -> (Box<dyn vcoord_vivaldi::VivaldiAdversary>, Option<Vec<usize>>)
+fn collusion_lure_factory(
+) -> impl Fn(&mut vcoord_vivaldi::VivaldiSim, &[usize], &vcoord_netsim::SeedStream) -> AdversaryChoice
        + Sync {
     |sim, attackers, seeds| {
         let honest: Vec<usize> = sim
@@ -104,11 +96,8 @@ fn collusion_lure_factory() -> impl Fn(
     }
 }
 
-fn combined_factory() -> impl Fn(
-    &mut vcoord_vivaldi::VivaldiSim,
-    &[usize],
-    &vcoord_netsim::SeedStream,
-) -> (Box<dyn vcoord_vivaldi::VivaldiAdversary>, Option<Vec<usize>>)
+fn combined_factory(
+) -> impl Fn(&mut vcoord_vivaldi::VivaldiSim, &[usize], &vcoord_netsim::SeedStream) -> AdversaryChoice
        + Sync {
     |_sim, _attackers, _seeds| {
         (
@@ -199,8 +188,7 @@ fn cdf_by_fraction(
         columns.push(format!("err_{}pct", (f * 100.0).round() as u32));
         let runs = runs_for(scale, Space::Euclidean(2), scale.nodes, f, seed, factory);
         let all: Vec<f64> = runs.iter().flat_map(|r| r.final_errors.clone()).collect();
-        let baseline =
-            runs.iter().map(|r| r.random_baseline).sum::<f64>() / runs.len() as f64;
+        let baseline = runs.iter().map(|r| r.random_baseline).sum::<f64>() / runs.len() as f64;
         let cdf = Cdf::from_samples(&all);
         notes.push(format!(
             "{}% malicious: median {:.2}, p90 {:.2}, random baseline {:.0}, fraction at/above random {:.2}",
@@ -263,10 +251,12 @@ fn dimension_sweep(
         let mut rands = Vec::new();
         for (si, &space) in spaces.iter().enumerate() {
             let runs = runs_for(scale, space, scale.nodes, f, seed, factory);
-            let err = runs.iter().map(|r| r.attack_series.tail_mean(3)).sum::<f64>()
+            let err = runs
+                .iter()
+                .map(|r| r.attack_series.tail_mean(3))
+                .sum::<f64>()
                 / runs.len() as f64;
-            let rand = runs.iter().map(|r| r.random_baseline).sum::<f64>()
-                / runs.len() as f64;
+            let rand = runs.iter().map(|r| r.random_baseline).sum::<f64>() / runs.len() as f64;
             row.push(err);
             rands.push(rand);
             if k == 0 {
@@ -309,11 +299,7 @@ fn size_sweep(
     let sizes: Vec<usize> = if scale.nodes >= 1740 {
         vec![200, 400, 800, 1200, 1740]
     } else {
-        vec![
-            (scale.nodes / 4).max(40),
-            scale.nodes / 2,
-            scale.nodes,
-        ]
+        vec![(scale.nodes / 4).max(40), scale.nodes / 2, scale.nodes]
     };
     let mut columns = vec!["system_size".to_string()];
     for &f in fractions {
@@ -324,7 +310,10 @@ fn size_sweep(
         let mut row = vec![n as f64];
         for &f in fractions {
             let runs = runs_for(scale, Space::Euclidean(2), n, f, seed, factory);
-            let err = runs.iter().map(|r| r.attack_series.tail_mean(3)).sum::<f64>()
+            let err = runs
+                .iter()
+                .map(|r| r.attack_series.tail_mean(3))
+                .sum::<f64>()
                 / runs.len() as f64;
             row.push(err);
         }
@@ -440,15 +429,16 @@ pub fn fig07(scale: &Scale, seed: u64) -> FigureResult {
             let factory = repulsion_factory(Some(subset));
             let runs = runs_for(scale, Space::Euclidean(2), scale.nodes, f, seed, &factory);
             row.push(
-                runs.iter().map(|r| r.attack_series.tail_mean(3)).sum::<f64>()
+                runs.iter()
+                    .map(|r| r.attack_series.tail_mean(3))
+                    .sum::<f64>()
                     / runs.len() as f64,
             );
         }
         rows.push(row);
     }
-    let notes = vec![
-        "smaller independently-chosen subsets dilute the attack (paper fig. 7)".into(),
-    ];
+    let notes =
+        vec!["smaller independently-chosen subsets dilute the attack (paper fig. 7)".into()];
     FigureResult {
         id: "fig7".into(),
         title: "Injected Repulsion attack on subsets of target nodes".into(),
@@ -547,10 +537,20 @@ pub fn fig11(scale: &Scale, seed: u64) -> FigureResult {
     let grid = quantile_grid();
     let mut cdfs = Vec::new();
     for (label, factory) in [
-        ("strategy1", &collusion_repel_factory() as VivaldiFactory<'_>),
+        (
+            "strategy1",
+            &collusion_repel_factory() as VivaldiFactory<'_>,
+        ),
         ("strategy2", &collusion_lure_factory() as VivaldiFactory<'_>),
     ] {
-        let runs = runs_for(scale, Space::Euclidean(2), scale.nodes, fraction, seed, factory);
+        let runs = runs_for(
+            scale,
+            Space::Euclidean(2),
+            scale.nodes,
+            fraction,
+            seed,
+            factory,
+        );
         let all: Vec<f64> = runs.iter().flat_map(|r| r.final_errors.clone()).collect();
         cdfs.push((label, Cdf::from_samples(&all)));
     }

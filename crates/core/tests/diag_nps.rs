@@ -1,8 +1,7 @@
-
 use vcoord::attacks::nps::NpsSimpleDisorder;
+use vcoord::metrics::EvalPlan;
 use vcoord::netsim::SeedStream;
 use vcoord::nps::{NpsConfig, NpsSim};
-use vcoord::metrics::EvalPlan;
 use vcoord::topo::{KingLike, KingLikeConfig};
 
 #[test]

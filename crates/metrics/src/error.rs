@@ -54,12 +54,7 @@ impl EvalPlan {
 
     /// Build a plan over `nodes` (peers are drawn from the same set).
     pub fn new<R: Rng + ?Sized>(nodes: &[usize], rng: &mut R) -> EvalPlan {
-        Self::with_params(
-            nodes,
-            Self::ALL_PAIRS_THRESHOLD,
-            Self::SAMPLE_PEERS,
-            rng,
-        )
+        Self::with_params(nodes, Self::ALL_PAIRS_THRESHOLD, Self::SAMPLE_PEERS, rng)
     }
 
     /// Build a plan with explicit threshold and sample size.
@@ -79,8 +74,7 @@ impl EvalPlan {
             nodes
                 .iter()
                 .map(|&i| {
-                    let mut pool: Vec<usize> =
-                        nodes.iter().copied().filter(|&j| j != i).collect();
+                    let mut pool: Vec<usize> = nodes.iter().copied().filter(|&j| j != i).collect();
                     pool.shuffle(rng);
                     pool.truncate(sample_peers);
                     pool
@@ -100,13 +94,7 @@ impl EvalPlan {
     /// Infinite per-pair errors (degenerate predictions) are clamped to
     /// `clamp` to keep averages finite; the paper's plots are bounded the
     /// same way by construction.
-    pub fn node_error(
-        &self,
-        k: usize,
-        coords: &[Coord],
-        space: &Space,
-        matrix: &RttMatrix,
-    ) -> f64 {
+    pub fn node_error(&self, k: usize, coords: &[Coord], space: &Space, matrix: &RttMatrix) -> f64 {
         const CLAMP: f64 = 1.0e6;
         let i = self.nodes[k];
         let peers = &self.peers[k];
@@ -142,8 +130,7 @@ impl EvalPlan {
         let mut errs: Vec<f64> = peers
             .iter()
             .map(|&j| {
-                relative_error(matrix.rtt(i, j), space.distance(&coords[i], &coords[j]))
-                    .min(CLAMP)
+                relative_error(matrix.rtt(i, j), space.distance(&coords[i], &coords[j])).min(CLAMP)
             })
             .collect();
         errs.sort_by(|a, b| a.partial_cmp(b).expect("clamped finite"));
@@ -163,12 +150,7 @@ impl EvalPlan {
     }
 
     /// Per-node relative errors, in `nodes()` order.
-    pub fn per_node_errors(
-        &self,
-        coords: &[Coord],
-        space: &Space,
-        matrix: &RttMatrix,
-    ) -> Vec<f64> {
+    pub fn per_node_errors(&self, coords: &[Coord], space: &Space, matrix: &RttMatrix) -> Vec<f64> {
         (0..self.nodes.len())
             .map(|k| self.node_error(k, coords, space, matrix))
             .collect()
@@ -306,9 +288,9 @@ mod tests {
         let nodes: Vec<usize> = (0..n).collect();
         let mut rng = ChaCha12Rng::seed_from_u64(0);
         let plan = EvalPlan::with_params(&nodes, 10, 5, &mut rng);
-        for k in 0..n {
+        for (k, node) in nodes.iter().enumerate() {
             assert_eq!(plan.peers[k].len(), 5);
-            assert!(!plan.peers[k].contains(&nodes[k]));
+            assert!(!plan.peers[k].contains(node));
         }
     }
 

@@ -87,7 +87,10 @@ impl<P> Scheduler<P> {
 
     fn push(&mut self, at: Time, event: Event<P>) {
         let at = if at < self.now {
-            log::debug!("event scheduled in the past (at={at}, now={}); clamping", self.now);
+            log::debug!(
+                "event scheduled in the past (at={at}, now={}); clamping",
+                self.now
+            );
             self.now
         } else {
             at
@@ -251,10 +254,14 @@ mod tests {
     impl World for Recorder {
         type Payload = String;
         fn on_timer(&mut self, s: &mut Scheduler<String>, node: NodeId, tag: u64) {
-            self.log.borrow_mut().push((s.now(), format!("t{node}:{tag}")));
+            self.log
+                .borrow_mut()
+                .push((s.now(), format!("t{node}:{tag}")));
         }
         fn on_message(&mut self, s: &mut Scheduler<String>, from: NodeId, to: NodeId, p: String) {
-            self.log.borrow_mut().push((s.now(), format!("m{from}->{to}:{p}")));
+            self.log
+                .borrow_mut()
+                .push((s.now(), format!("m{from}->{to}:{p}")));
         }
     }
 

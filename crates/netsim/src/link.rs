@@ -104,7 +104,9 @@ mod tests {
             loss: 0.25,
             jitter_ms: 0.0,
         };
-        let lost = (0..4000).filter(|_| m.apply(10.0, &mut rng).is_none()).count();
+        let lost = (0..4000)
+            .filter(|_| m.apply(10.0, &mut rng).is_none())
+            .count();
         let rate = lost as f64 / 4000.0;
         assert!((0.2..0.3).contains(&rate), "rate={rate}");
     }

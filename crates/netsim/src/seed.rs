@@ -97,8 +97,16 @@ mod tests {
     #[test]
     fn same_label_same_stream() {
         let s = SeedStream::new(42);
-        let a: Vec<u32> = s.rng("topology").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u32> = s.rng("topology").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u32> = s
+            .rng("topology")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
+        let b: Vec<u32> = s
+            .rng("topology")
+            .sample_iter(rand::distributions::Standard)
+            .take(8)
+            .collect();
         assert_eq!(a, b);
     }
 

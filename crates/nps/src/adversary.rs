@@ -101,6 +101,8 @@ mod tests {
             now_ms: 0,
         };
         let mut rng = rand::SeedableRng::seed_from_u64(0);
-        assert!(HonestNpsAdversary.respond(0, 1, 10.0, &view, &mut rng).is_none());
+        assert!(HonestNpsAdversary
+            .respond(0, 1, 10.0, &view, &mut rng)
+            .is_none());
     }
 }

@@ -1,8 +1,8 @@
 //! NPS simulation parameters.
 
+use crate::position::FitObjective;
 use serde::{Deserialize, Serialize};
 use vcoord_netsim::LinkModel;
-use crate::position::FitObjective;
 use vcoord_space::{SimplexOptions, Space};
 
 /// Parameters for an [`crate::NpsSim`].

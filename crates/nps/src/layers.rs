@@ -33,8 +33,8 @@ pub fn select_landmarks(matrix: &RttMatrix, k: usize) -> Vec<usize> {
             .max_by(|x, y| x.1.partial_cmp(y.1).expect("finite RTTs"))
             .expect("k <= n ensures a candidate");
         chosen.push(next);
-        for i in 0..n {
-            min_dist[i] = min_dist[i].min(matrix.rtt(next, i));
+        for (i, md) in min_dist.iter_mut().enumerate() {
+            *md = md.min(matrix.rtt(next, i));
         }
     }
     chosen.sort_unstable();
@@ -65,7 +65,10 @@ pub fn assign_layers<R: Rng + ?Sized>(
     let mut ordinary: Vec<usize> = (0..n).filter(|i| !landmarks.contains(i)).collect();
     ordinary.shuffle(rng);
     let per_middle = ((ordinary.len() as f64) * ref_fraction).round() as usize;
-    assert!(per_middle >= 1 || layers == 2, "ref_fraction leaves middle layers empty");
+    assert!(
+        per_middle >= 1 || layers == 2,
+        "ref_fraction leaves middle layers empty"
+    );
     let mut cursor = 0usize;
     for middle in 1..(layers - 1) {
         for _ in 0..per_middle {
@@ -96,8 +99,7 @@ mod tests {
     use vcoord_topo::{KingLike, KingLikeConfig};
 
     fn topo(n: usize) -> RttMatrix {
-        KingLike::new(KingLikeConfig::with_nodes(n))
-            .generate(&mut ChaCha12Rng::seed_from_u64(1))
+        KingLike::new(KingLikeConfig::with_nodes(n)).generate(&mut ChaCha12Rng::seed_from_u64(1))
     }
 
     #[test]

@@ -36,5 +36,7 @@ pub mod sim;
 
 pub use adversary::{NpsAdversary, NpsView, RefLie};
 pub use config::NpsConfig;
-pub use position::{position_node, position_node_with, FitObjective, PositionOutcome, RefSample, SecurityPolicy};
+pub use position::{
+    position_node, position_node_with, FitObjective, PositionOutcome, RefSample, SecurityPolicy,
+};
 pub use sim::NpsSim;

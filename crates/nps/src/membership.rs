@@ -92,12 +92,8 @@ mod tests {
     fn membership() -> Membership {
         // 4 landmarks (0-3), 4 middle (4-7), 4 top (8-11).
         let mut layer = vec![0u8; 12];
-        for i in 4..8 {
-            layer[i] = 1;
-        }
-        for i in 8..12 {
-            layer[i] = 2;
-        }
+        layer[4..8].fill(1);
+        layer[8..12].fill(2);
         Membership::new(&layer, 3)
     }
 

@@ -186,7 +186,10 @@ pub fn position_node_with(
         Some(c) => c.clone(),
         None => fit_samples(space, &usable, start, opts, objective_kind).0,
     };
-    let fit_errors: Vec<f64> = samples.iter().map(|s| fit_error(space, &frame, s)).collect();
+    let fit_errors: Vec<f64> = samples
+        .iter()
+        .map(|s| fit_error(space, &frame, s))
+        .collect();
     let filtered = if security.enabled {
         apply_filter(&fit_errors, security).map(|idx| samples[idx].id)
     } else {
@@ -199,7 +202,7 @@ pub fn position_node_with(
         .copied()
         .filter(|s| Some(s.id) != filtered)
         .collect();
-    let (coord, objective_value) = if surviving.len() >= space.dim() + 1 {
+    let (coord, objective_value) = if surviving.len() > space.dim() {
         fit_samples(space, &surviving, start, opts, objective_kind)
     } else {
         fit_samples(space, &usable, start, opts, objective_kind)
@@ -224,7 +227,11 @@ pub fn apply_filter(fit_errors: &[f64], policy: SecurityPolicy) -> Option<usize>
         .enumerate()
         .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))?;
     let median = {
-        let mut v: Vec<f64> = fit_errors.iter().copied().filter(|e| e.is_finite()).collect();
+        let mut v: Vec<f64> = fit_errors
+            .iter()
+            .copied()
+            .filter(|e| e.is_finite())
+            .collect();
         if v.is_empty() {
             return Some(max_idx); // everything infinite: drop the max
         }
@@ -325,10 +332,7 @@ mod tests {
         )
         .unwrap();
         // The dragged fit inflates every fitting error, not just the liar's.
-        let honest_max = out.fit_errors[..4]
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max);
+        let honest_max = out.fit_errors[..4].iter().copied().fold(0.0f64, f64::max);
         assert!(honest_max > 0.5, "honest refs get blamed too: {honest_max}");
     }
 
@@ -443,9 +447,8 @@ mod tests {
         .unwrap();
         assert_eq!(out.filtered, None, "consistent lies evade the filter");
         // And the fit is dragged away from the truth.
-        let displacement = ((out.coord.vec[0] - 50.0).powi(2)
-            + (out.coord.vec[1] - 50.0).powi(2))
-        .sqrt();
+        let displacement =
+            ((out.coord.vec[0] - 50.0).powi(2) + (out.coord.vec[1] - 50.0).powi(2)).sqrt();
         assert!(displacement > 10.0, "lie must drag the fit: {displacement}");
     }
 

@@ -91,8 +91,7 @@ impl NpsWorld {
             }
         };
 
-        let lie = if let (true, Some(adversary)) = (self.malicious[r], self.adversary.as_mut())
-        {
+        let lie = if let (true, Some(adversary)) = (self.malicious[r], self.adversary.as_mut()) {
             let view = NpsView {
                 space: &self.config.space,
                 coords: &self.coords,
@@ -214,9 +213,7 @@ impl World for NpsWorld {
     fn on_timer(&mut self, sched: &mut Scheduler<()>, node: NodeId, tag: u64) {
         debug_assert_eq!(tag, TAG_REPOSITION);
         // Jittered periodic repositioning.
-        let jitter = self
-            .probe_rng
-            .gen_range(0..=self.config.reposition_ms / 10);
+        let jitter = self.probe_rng.gen_range(0..=self.config.reposition_ms / 10);
         sched.timer_after(self.config.reposition_ms + jitter, node, TAG_REPOSITION);
 
         if self.malicious[node] || self.layer[node] == 0 {
@@ -312,11 +309,11 @@ impl NpsSim {
         let mut engine = Engine::new();
         let mut join_rng = seeds.rng("nps/join");
         let stagger = config.join_stagger_ms.max(1);
-        for i in 0..n {
-            if layer[i] == 0 {
+        for (i, &l) in layer.iter().enumerate() {
+            if l == 0 {
                 continue;
             }
-            let window_start = (layer[i] as u64 - 1) * stagger;
+            let window_start = (l as u64 - 1) * stagger;
             let at = window_start + join_rng.gen_range(0..stagger);
             engine.scheduler().timer_at(at, i, TAG_REPOSITION);
         }
@@ -418,9 +415,7 @@ impl NpsSim {
     pub fn eval_nodes(&self) -> Vec<usize> {
         (0..self.world.matrix.len())
             .filter(|&i| {
-                self.world.layer[i] != 0
-                    && !self.world.malicious[i]
-                    && self.world.positioned[i]
+                self.world.layer[i] != 0 && !self.world.malicious[i] && self.world.positioned[i]
             })
             .collect()
     }
@@ -482,12 +477,13 @@ mod tests {
 
     fn small_sim(n: usize, seed: u64) -> NpsSim {
         let seeds = SeedStream::new(seed);
-        let matrix =
-            KingLike::new(KingLikeConfig::with_nodes(n)).generate(&mut seeds.rng("topo"));
-        let mut config = NpsConfig::default();
-        config.landmarks = 12;
-        config.refs_per_node = 12;
-        config.space = Space::Euclidean(4);
+        let matrix = KingLike::new(KingLikeConfig::with_nodes(n)).generate(&mut seeds.rng("topo"));
+        let config = NpsConfig {
+            landmarks: 12,
+            refs_per_node: 12,
+            space: Space::Euclidean(4),
+            ..NpsConfig::default()
+        };
         NpsSim::new(matrix, config, &seeds)
     }
 

@@ -107,7 +107,11 @@ where
 
         // Order vertices: best first. Stable sort keeps determinism on ties.
         let mut order: Vec<usize> = (0..=n).collect();
-        order.sort_by(|&a, &b| vals[a].partial_cmp(&vals[b]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            vals[a]
+                .partial_cmp(&vals[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let best = order[0];
         let worst = order[n];
         let second_worst = order[n - 1];
@@ -212,8 +216,7 @@ mod tests {
 
     #[test]
     fn minimizes_rosenbrock_2d() {
-        let f =
-            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let f = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let opts = SimplexOptions {
             max_iterations: 5000,
             initial_step: 0.5,

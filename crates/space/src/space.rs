@@ -66,8 +66,8 @@ impl Space {
                 // Haversine central angle; numerically stable for small angles.
                 let dlat = lb - la;
                 let dlon = lob - lo;
-                let h = (dlat / 2.0).sin().powi(2)
-                    + la.cos() * lb.cos() * (dlon / 2.0).sin().powi(2);
+                let h =
+                    (dlat / 2.0).sin().powi(2) + la.cos() * lb.cos() * (dlon / 2.0).sin().powi(2);
                 2.0 * radius * h.sqrt().min(1.0).asin()
             }
         }

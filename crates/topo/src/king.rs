@@ -76,7 +76,11 @@ pub fn load_triples<R: BufRead>(reader: R, unit: RttUnit) -> Result<RttMatrix, L
         }
         let mut parts = t.split_whitespace();
         let parse = |s: Option<&str>| -> Option<f64> { s.and_then(|x| x.parse::<f64>().ok()) };
-        let (i, j, v) = match (parse(parts.next()), parse(parts.next()), parse(parts.next())) {
+        let (i, j, v) = match (
+            parse(parts.next()),
+            parse(parts.next()),
+            parse(parts.next()),
+        ) {
             (Some(i), Some(j), Some(v)) if i >= 0.0 && j >= 0.0 && v >= 0.0 => {
                 (i as usize, j as usize, v)
             }
@@ -143,10 +147,10 @@ pub fn load_matrix<R: BufRead>(reader: R, unit: RttUnit) -> Result<RttMatrix, Lo
         return Err(LoadError::Empty);
     }
     let mut m = RttMatrix::zeros(n);
-    for i in 0..n {
-        for j in (i + 1)..n {
+    for (i, row) in rows.iter().enumerate() {
+        for (j, back_row) in rows.iter().enumerate().skip(i + 1) {
             // Symmetrize by averaging, as p2psim does for King forward/back.
-            let v = (rows[i][j] + rows[j][i]) / 2.0;
+            let v = (row[j] + back_row[i]) / 2.0;
             m.set(i, j, unit.to_ms(v));
         }
     }

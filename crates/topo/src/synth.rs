@@ -112,8 +112,8 @@ impl KingLike {
 
         let centre_dist = Normal::new(0.0, c.inter_sigma_ms).expect("valid sigma");
         let offset_dist = Normal::new(0.0, c.intra_sigma_ms).expect("valid sigma");
-        let height_dist = LogNormal::new(c.height_median_ms.ln(), c.height_sigma)
-            .expect("valid lognormal");
+        let height_dist =
+            LogNormal::new(c.height_median_ms.ln(), c.height_sigma).expect("valid lognormal");
         let noise_dist = Normal::new(0.0, c.noise_sigma).expect("valid sigma");
 
         // 1. Cluster centres.
@@ -232,7 +232,11 @@ mod tests {
         let st = TopoStats::analyze(&m, 2000, &mut ChaCha12Rng::seed_from_u64(0));
         assert!(st.p95_ms > 2.0 * st.median_ms * 0.8, "no right tail");
         // Vivaldi's neighbour rule needs pairs under 50 ms to exist.
-        assert!(st.p05_ms < 50.0, "p5 {} too high for near-neighbour rule", st.p05_ms);
+        assert!(
+            st.p05_ms < 50.0,
+            "p5 {} too high for near-neighbour rule",
+            st.p05_ms
+        );
     }
 
     #[test]

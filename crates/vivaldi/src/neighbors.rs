@@ -79,7 +79,10 @@ mod tests {
         let picked = select_neighbors(&m, 0, 64, 32, 50.0, &mut rng);
         assert_eq!(picked.len(), 64);
         let near = picked.iter().filter(|&&j| m.rtt(0, j) < 50.0).count();
-        assert_eq!(near, 32, "exactly the near quota when enough near nodes exist");
+        assert_eq!(
+            near, 32,
+            "exactly the near quota when enough near nodes exist"
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub struct UpdateOutcome {
 /// Samples with non-positive or non-finite RTT are rejected (`None`), as are
 /// non-finite remote coordinates — the defensive guards that keep
 /// adversarial input from corrupting local state with NaNs.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's update rule inputs
 pub fn vivaldi_update<R: Rng + ?Sized>(
     space: &Space,
     cc: f64,
@@ -43,7 +44,7 @@ pub fn vivaldi_update<R: Rng + ?Sized>(
     rtt: f64,
     rng: &mut R,
 ) -> Option<UpdateOutcome> {
-    if !(rtt.is_finite() && rtt > 0.0) || !remote_coord.is_finite() {
+    if !(rtt.is_finite() && rtt > 0.0 && remote_coord.is_finite()) {
         log::debug!("vivaldi: rejecting invalid sample (rtt={rtt})");
         return None;
     }
@@ -70,8 +71,7 @@ pub fn vivaldi_update<R: Rng + ?Sized>(
         coord.sanitize();
     }
 
-    *error = (sample_error * weight + *error * (1.0 - weight))
-        .clamp(error_clamp.0, error_clamp.1);
+    *error = (sample_error * weight + *error * (1.0 - weight)).clamp(error_clamp.0, error_clamp.1);
 
     Some(UpdateOutcome {
         sample_error,
@@ -101,8 +101,18 @@ mod tests {
         let mut e = 0.5;
         let remote = Coord::from_vec(vec![0.0, 0.0]);
         let before = space.distance(&c, &remote);
-        vivaldi_update(&space, 0.25, CLAMP, &mut c, &mut e, &remote, 0.5, 10.0, &mut rng())
-            .unwrap();
+        vivaldi_update(
+            &space,
+            0.25,
+            CLAMP,
+            &mut c,
+            &mut e,
+            &remote,
+            0.5,
+            10.0,
+            &mut rng(),
+        )
+        .unwrap();
         assert!(space.distance(&c, &remote) < before);
     }
 
@@ -113,8 +123,18 @@ mod tests {
         let mut e = 0.5;
         let remote = Coord::from_vec(vec![0.0, 0.0]);
         let before = space.distance(&c, &remote);
-        vivaldi_update(&space, 0.25, CLAMP, &mut c, &mut e, &remote, 0.5, 100.0, &mut rng())
-            .unwrap();
+        vivaldi_update(
+            &space,
+            0.25,
+            CLAMP,
+            &mut c,
+            &mut e,
+            &remote,
+            0.5,
+            100.0,
+            &mut rng(),
+        )
+        .unwrap();
         assert!(space.distance(&c, &remote) > before);
     }
 
@@ -124,9 +144,18 @@ mod tests {
         let mut c = Coord::from_vec(vec![10.0, 0.0]);
         let mut e = 1.0;
         let remote = Coord::from_vec(vec![0.0, 0.0]);
-        let out =
-            vivaldi_update(&space, 0.25, CLAMP, &mut c, &mut e, &remote, 1.0, 10.0, &mut rng())
-                .unwrap();
+        let out = vivaldi_update(
+            &space,
+            0.25,
+            CLAMP,
+            &mut c,
+            &mut e,
+            &remote,
+            1.0,
+            10.0,
+            &mut rng(),
+        )
+        .unwrap();
         assert_eq!(out.sample_error, 0.0);
         assert!(e < 1.0);
     }
@@ -141,14 +170,30 @@ mod tests {
         let mut c1 = Coord::from_vec(vec![10.0, 0.0]);
         let mut e1 = 0.5;
         let o1 = vivaldi_update(
-            &space, 0.25, CLAMP, &mut c1, &mut e1, &remote, 0.01, 500.0, &mut rng(),
+            &space,
+            0.25,
+            CLAMP,
+            &mut c1,
+            &mut e1,
+            &remote,
+            0.01,
+            500.0,
+            &mut rng(),
         )
         .unwrap();
 
         let mut c2 = Coord::from_vec(vec![10.0, 0.0]);
         let mut e2 = 0.5;
         let o2 = vivaldi_update(
-            &space, 0.25, CLAMP, &mut c2, &mut e2, &remote, 5.0, 500.0, &mut rng(),
+            &space,
+            0.25,
+            CLAMP,
+            &mut c2,
+            &mut e2,
+            &remote,
+            5.0,
+            500.0,
+            &mut rng(),
         )
         .unwrap();
 
@@ -163,16 +208,40 @@ mod tests {
         let mut e = 0.5;
         let remote = Coord::from_vec(vec![0.0, 0.0]);
         assert!(vivaldi_update(
-            &space, 0.25, CLAMP, &mut c, &mut e, &remote, 0.5, 0.0, &mut rng()
+            &space,
+            0.25,
+            CLAMP,
+            &mut c,
+            &mut e,
+            &remote,
+            0.5,
+            0.0,
+            &mut rng()
         )
         .is_none());
         assert!(vivaldi_update(
-            &space, 0.25, CLAMP, &mut c, &mut e, &remote, 0.5, f64::NAN, &mut rng()
+            &space,
+            0.25,
+            CLAMP,
+            &mut c,
+            &mut e,
+            &remote,
+            0.5,
+            f64::NAN,
+            &mut rng()
         )
         .is_none());
         let bad = Coord::from_vec(vec![f64::NAN, 0.0]);
         assert!(vivaldi_update(
-            &space, 0.25, CLAMP, &mut c, &mut e, &bad, 0.5, 10.0, &mut rng()
+            &space,
+            0.25,
+            CLAMP,
+            &mut c,
+            &mut e,
+            &bad,
+            0.5,
+            10.0,
+            &mut rng()
         )
         .is_none());
         // State untouched by rejected samples.
@@ -186,9 +255,22 @@ mod tests {
         let mut c = Coord::origin(2);
         let mut e = 1.0;
         let remote = Coord::origin(2);
-        vivaldi_update(&space, 0.25, CLAMP, &mut c, &mut e, &remote, 1.0, 50.0, &mut rng())
-            .unwrap();
-        assert!(space.distance(&c, &remote) > 0.0, "random kick must separate");
+        vivaldi_update(
+            &space,
+            0.25,
+            CLAMP,
+            &mut c,
+            &mut e,
+            &remote,
+            1.0,
+            50.0,
+            &mut rng(),
+        )
+        .unwrap();
+        assert!(
+            space.distance(&c, &remote) > 0.0,
+            "random kick must separate"
+        );
     }
 
     #[test]
@@ -199,7 +281,15 @@ mod tests {
         let remote = Coord::from_vec(vec![0.0, 0.0]);
         // Absurd sample error (dist 1 vs rtt 1e9): error must stay within clamp.
         vivaldi_update(
-            &space, 0.25, CLAMP, &mut c, &mut e, &remote, 0.0001, 1e9, &mut rng(),
+            &space,
+            0.25,
+            CLAMP,
+            &mut c,
+            &mut e,
+            &remote,
+            0.0001,
+            1e9,
+            &mut rng(),
         )
         .unwrap();
         assert!(e <= CLAMP.1);
@@ -219,8 +309,18 @@ mod tests {
             height: 0.5,
         };
         for _ in 0..50 {
-            vivaldi_update(&space, 0.25, CLAMP, &mut c, &mut e, &remote, 0.5, 1.0, &mut rng())
-                .unwrap();
+            vivaldi_update(
+                &space,
+                0.25,
+                CLAMP,
+                &mut c,
+                &mut e,
+                &remote,
+                0.5,
+                1.0,
+                &mut rng(),
+            )
+            .unwrap();
             assert!(c.height >= 0.0);
         }
     }

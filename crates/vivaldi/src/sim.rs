@@ -84,21 +84,20 @@ impl World for VivaldiWorld {
             return;
         };
 
-        let response = if let (true, Some(adversary)) =
-            (self.malicious[peer], self.adversary.as_mut())
-        {
-            let view = VivaldiView {
-                space: &self.config.space,
-                coords: &self.coords,
-                errors: &self.errors,
-                malicious: &self.malicious,
-                cc: self.config.cc,
-                now_ms: sched.now(),
+        let response =
+            if let (true, Some(adversary)) = (self.malicious[peer], self.adversary.as_mut()) {
+                let view = VivaldiView {
+                    space: &self.config.space,
+                    coords: &self.coords,
+                    errors: &self.errors,
+                    malicious: &self.malicious,
+                    cc: self.config.cc,
+                    now_ms: sched.now(),
+                };
+                adversary.respond(peer, node, rtt, &view, &mut self.adv_rng)
+            } else {
+                None
             };
-            adversary.respond(peer, node, rtt, &view, &mut self.adv_rng)
-        } else {
-            None
-        };
 
         let (coord, error, measured) = match response {
             Some(ProbeLie {
@@ -315,8 +314,7 @@ mod tests {
 
     fn small_sim(n: usize, seed: u64) -> VivaldiSim {
         let seeds = SeedStream::new(seed);
-        let matrix =
-            KingLike::new(KingLikeConfig::with_nodes(n)).generate(&mut seeds.rng("topo"));
+        let matrix = KingLike::new(KingLikeConfig::with_nodes(n)).generate(&mut seeds.rng("topo"));
         VivaldiSim::new(matrix, VivaldiConfig::default(), &seeds)
     }
 
@@ -391,8 +389,7 @@ mod tests {
     #[test]
     fn probe_loss_reduces_samples() {
         let seeds = SeedStream::new(5);
-        let matrix =
-            KingLike::new(KingLikeConfig::with_nodes(20)).generate(&mut seeds.rng("topo"));
+        let matrix = KingLike::new(KingLikeConfig::with_nodes(20)).generate(&mut seeds.rng("topo"));
         let mut config = VivaldiConfig::default();
         config.link.loss = 0.5;
         let mut sim = VivaldiSim::new(matrix, config, &seeds);

@@ -22,10 +22,7 @@ fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
 
 /// The node the victim would pick as "closest" from coordinates, and the
 /// true RTT cost of that pick versus the optimum.
-fn closest_by_coords(
-    sim: &VivaldiSim,
-    victim: usize,
-) -> (usize, f64, usize, f64) {
+fn closest_by_coords(sim: &VivaldiSim, victim: usize) -> (usize, f64, usize, f64) {
     let n = sim.matrix().len();
     let mut best_pred = (usize::MAX, f64::INFINITY);
     let mut best_true = (usize::MAX, f64::INFINITY);
@@ -60,8 +57,8 @@ fn main() {
     let seed: u64 = arg("--seed", 2006);
 
     let seeds = SeedStream::new(seed);
-    let matrix = KingLike::new(KingLikeConfig::with_nodes(nodes))
-        .generate(&mut seeds.rng("topology"));
+    let matrix =
+        KingLike::new(KingLikeConfig::with_nodes(nodes)).generate(&mut seeds.rng("topology"));
     let mut sim = VivaldiSim::new(matrix, VivaldiConfig::default(), &seeds);
     sim.run_ticks(250);
 
@@ -102,7 +99,11 @@ fn main() {
         sim.run_ticks(30);
         let errs = plan.per_node_errors(sim.coords(), sim.space(), sim.matrix());
         let avg = errs.iter().sum::<f64>() / errs.len() as f64;
-        println!("{:5}   {:10.2}   {avg:10.2}", sim.now_ticks(), errs[victim_idx]);
+        println!(
+            "{:5}   {:10.2}   {avg:10.2}",
+            sim.now_ticks(),
+            errs[victim_idx]
+        );
     }
 
     let (pick, pick_rtt, optimal, optimal_rtt) = closest_by_coords(&sim, victim);

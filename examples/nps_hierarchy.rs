@@ -32,13 +32,16 @@ fn main() {
     let security: String = arg("--security", "on".to_string());
 
     let seeds = SeedStream::new(seed);
-    let matrix = KingLike::new(KingLikeConfig::with_nodes(nodes))
-        .generate(&mut seeds.rng("topology"));
+    let matrix =
+        KingLike::new(KingLikeConfig::with_nodes(nodes)).generate(&mut seeds.rng("topology"));
     let mut config = NpsConfig::with_layers(layers);
     config.security = security == "on";
 
     let mut sim = NpsSim::new(matrix, config, &seeds);
-    println!("hierarchy ({} nodes, {} layers, security {security}):", nodes, layers);
+    println!(
+        "hierarchy ({} nodes, {} layers, security {security}):",
+        nodes, layers
+    );
     for l in 0..layers {
         let count = sim.layers_of().iter().filter(|&&x| x as usize == l).count();
         let role = match l {
@@ -53,7 +56,10 @@ fn main() {
     sim.run_rounds(25);
     let plan = EvalPlan::new(&sim.eval_nodes(), &mut seeds.rng("plan"));
     let clean = plan.avg_error(sim.coords(), sim.space(), sim.matrix());
-    println!("\nconverged after {} rounds: avg relative error {clean:.3}", sim.now_rounds());
+    println!(
+        "\nconverged after {} rounds: avg relative error {clean:.3}",
+        sim.now_rounds()
+    );
     for l in 1..layers as u8 {
         let nodes_l = sim.eval_nodes_in_layer(l);
         let plan_l = EvalPlan::new(&nodes_l, &mut seeds.rng("plan-layer"));

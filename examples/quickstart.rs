@@ -24,8 +24,8 @@ fn main() {
     // 1. A King-like latency substrate (see DESIGN.md for the synthesis
     //    model; use `vcoord::topo::king::load_file` for the real data set).
     let seeds = SeedStream::new(seed);
-    let matrix = KingLike::new(KingLikeConfig::with_nodes(nodes))
-        .generate(&mut seeds.rng("topology"));
+    let matrix =
+        KingLike::new(KingLikeConfig::with_nodes(nodes)).generate(&mut seeds.rng("topology"));
     let stats = TopoStats::analyze(&matrix, 20_000, &mut seeds.rng("stats"));
     println!("topology: {stats}");
 
@@ -58,7 +58,10 @@ fn main() {
             relative_error(actual, predicted)
         );
     }
-    println!("\nWith coordinates, any of the {} × {} distances can be predicted", nodes, nodes);
+    println!(
+        "\nWith coordinates, any of the {} × {} distances can be predicted",
+        nodes, nodes
+    );
     println!("without further probing — which is exactly why attacking the");
     println!("coordinate system (see the other examples) is so damaging.");
 }

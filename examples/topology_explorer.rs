@@ -52,7 +52,11 @@ fn main() {
         println!("synthesizing King-equivalent topology ({nodes} nodes, seed {seed})...");
         KingLike::new(KingLikeConfig::with_nodes(nodes)).generate(&mut seeds.rng("topology"))
     } else {
-        let unit = if unit == "ms" { RttUnit::Millis } else { RttUnit::Micros };
+        let unit = if unit == "ms" {
+            RttUnit::Millis
+        } else {
+            RttUnit::Micros
+        };
         println!("loading {king_path} ({unit:?})...");
         match load_file(&king_path, unit) {
             Ok(m) => m,

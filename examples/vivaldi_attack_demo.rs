@@ -40,12 +40,14 @@ fn main() {
     let jitter: f64 = arg("--jitter", 0.0);
 
     let seeds = SeedStream::new(seed);
-    let matrix = KingLike::new(KingLikeConfig::with_nodes(nodes))
-        .generate(&mut seeds.rng("topology"));
-    let mut config = VivaldiConfig::default();
-    config.link = LinkModel {
-        loss,
-        jitter_ms: jitter,
+    let matrix =
+        KingLike::new(KingLikeConfig::with_nodes(nodes)).generate(&mut seeds.rng("topology"));
+    let config = VivaldiConfig {
+        link: LinkModel {
+            loss,
+            jitter_ms: jitter,
+        },
+        ..VivaldiConfig::default()
     };
     let mut sim = VivaldiSim::new(matrix, config, &seeds);
 
@@ -57,7 +59,10 @@ fn main() {
         series.push(plan.avg_error(sim.coords(), sim.space(), sim.matrix()));
     }
     let clean = *series.last().expect("non-empty");
-    println!("converged: avg relative error {clean:.3} after {} ticks", sim.now_ticks());
+    println!(
+        "converged: avg relative error {clean:.3} after {} ticks",
+        sim.now_ticks()
+    );
 
     // Injection.
     let attackers = sim.pick_attackers(fraction);

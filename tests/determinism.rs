@@ -8,8 +8,7 @@ use vcoord::prelude::*;
 fn vivaldi_simulation_replays_identically() {
     let run = |seed: u64| -> Vec<Coord> {
         let seeds = SeedStream::new(seed);
-        let matrix = KingLike::new(KingLikeConfig::with_nodes(80))
-            .generate(&mut seeds.rng("topo"));
+        let matrix = KingLike::new(KingLikeConfig::with_nodes(80)).generate(&mut seeds.rng("topo"));
         let mut sim = VivaldiSim::new(matrix, VivaldiConfig::default(), &seeds);
         sim.run_ticks(100);
         let attackers = sim.pick_attackers(0.2);
@@ -25,8 +24,8 @@ fn vivaldi_simulation_replays_identically() {
 fn nps_simulation_replays_identically() {
     let run = |seed: u64| -> Vec<Coord> {
         let seeds = SeedStream::new(seed);
-        let matrix = KingLike::new(KingLikeConfig::with_nodes(120))
-            .generate(&mut seeds.rng("topo"));
+        let matrix =
+            KingLike::new(KingLikeConfig::with_nodes(120)).generate(&mut seeds.rng("topo"));
         let mut sim = NpsSim::new(matrix, NpsConfig::default(), &seeds);
         sim.run_rounds(12);
         let attackers = sim.pick_attackers(0.2);
@@ -41,10 +40,16 @@ fn nps_simulation_replays_identically() {
 #[test]
 fn figure_csv_is_seed_deterministic() {
     let scale = Scale::smoke();
-    let a = registry::run_figure("fig1", &scale, 5).expect("known id").to_csv();
-    let b = registry::run_figure("fig1", &scale, 5).expect("known id").to_csv();
+    let a = registry::run_figure("fig1", &scale, 5)
+        .expect("known id")
+        .to_csv();
+    let b = registry::run_figure("fig1", &scale, 5)
+        .expect("known id")
+        .to_csv();
     assert_eq!(a, b, "same seed must reproduce the CSV byte-for-byte");
-    let c = registry::run_figure("fig1", &scale, 6).expect("known id").to_csv();
+    let c = registry::run_figure("fig1", &scale, 6)
+        .expect("known id")
+        .to_csv();
     assert_ne!(a, c, "different seeds must differ");
 }
 
@@ -53,7 +58,11 @@ fn parallel_repetitions_do_not_perturb_determinism() {
     // run_repetitions executes on threads; results must not depend on
     // scheduling.
     let scale = Scale::smoke();
-    let a = registry::run_figure("fig12", &scale, 9).expect("known id").to_csv();
-    let b = registry::run_figure("fig12", &scale, 9).expect("known id").to_csv();
+    let a = registry::run_figure("fig12", &scale, 9)
+        .expect("known id")
+        .to_csv();
+    let b = registry::run_figure("fig12", &scale, 9)
+        .expect("known id")
+        .to_csv();
     assert_eq!(a, b);
 }

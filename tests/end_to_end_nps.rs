@@ -6,8 +6,7 @@ use vcoord::prelude::*;
 
 fn build(nodes: usize, seed: u64, config: NpsConfig) -> (NpsSim, SeedStream) {
     let seeds = SeedStream::new(seed);
-    let matrix = KingLike::new(KingLikeConfig::with_nodes(nodes))
-        .generate(&mut seeds.rng("topo"));
+    let matrix = KingLike::new(KingLikeConfig::with_nodes(nodes)).generate(&mut seeds.rng("topo"));
     (NpsSim::new(matrix, config, &seeds), seeds)
 }
 
@@ -22,7 +21,10 @@ fn hierarchy_converges_cleanly() {
     sim.run_rounds(25);
     let err = avg_error(&sim, &seeds);
     assert!(err < 0.6, "clean NPS error too high: {err}");
-    assert!(sim.eval_nodes().len() > 200, "most nodes should be positioned");
+    assert!(
+        sim.eval_nodes().len() > 200,
+        "most nodes should be positioned"
+    );
 }
 
 #[test]
@@ -44,8 +46,10 @@ fn security_filter_mitigates_low_fraction_disorder() {
     // Figure 14's protective regime: at 10% simple disorder, security-on
     // must end up meaningfully better than security-off.
     let run = |security: bool| -> f64 {
-        let mut config = NpsConfig::default();
-        config.security = security;
+        let config = NpsConfig {
+            security,
+            ..NpsConfig::default()
+        };
         let (mut sim, seeds) = build(250, 3, config);
         sim.run_rounds(25);
         let attackers = sim.pick_attackers(0.10);
@@ -65,8 +69,10 @@ fn security_filter_mitigates_low_fraction_disorder() {
 fn heavy_disorder_defeats_the_filter() {
     // Figure 14's breakdown regime: at 50% the filter no longer saves the
     // system (median skew) — errors blow up regardless.
-    let mut config = NpsConfig::default();
-    config.security = true;
+    let config = NpsConfig {
+        security: true,
+        ..NpsConfig::default()
+    };
     let (mut sim, seeds) = build(250, 4, config);
     sim.run_rounds(25);
     let clean = avg_error(&sim, &seeds);
@@ -93,12 +99,14 @@ fn filter_catches_disorder_but_not_oracle_anti_detection() {
         sim.run_rounds(40);
         let after = sim.ledger();
         (
-            after.filtered_malicious.saturating_sub(before.filtered_malicious) as f64,
+            after
+                .filtered_malicious
+                .saturating_sub(before.filtered_malicious) as f64,
             after.filtered_malicious - before.filtered_malicious,
             after.filtered_honest - before.filtered_honest,
         )
     };
-    let (_, disorder_caught, _) = run(Box::new(NpsSimpleDisorder::default()));
+    let (_, disorder_caught, _) = run(Box::<NpsSimpleDisorder>::default());
     let (_, oracle_caught, _) = run(Box::new(NpsAntiDetection::naive(Knowledge::Oracle)));
     assert!(
         disorder_caught > 5 * oracle_caught.max(1),

@@ -6,8 +6,7 @@ use vcoord::vivaldi::ConvergenceTracker;
 
 fn build(nodes: usize, seed: u64, space: Space) -> (VivaldiSim, SeedStream) {
     let seeds = SeedStream::new(seed);
-    let matrix = KingLike::new(KingLikeConfig::with_nodes(nodes))
-        .generate(&mut seeds.rng("topo"));
+    let matrix = KingLike::new(KingLikeConfig::with_nodes(nodes)).generate(&mut seeds.rng("topo"));
     (
         VivaldiSim::new(matrix, VivaldiConfig::in_space(space), &seeds),
         seeds,
@@ -66,8 +65,14 @@ fn disorder_injection_degrades_then_more_attackers_degrade_more() {
     };
     let at10 = run_attacked(3, 0.10);
     let at50 = run_attacked(3, 0.50);
-    assert!(at10 > 3.0 * clean, "10% disorder should hurt: {clean} -> {at10}");
-    assert!(at50 > at10, "more attackers must hurt more: {at10} vs {at50}");
+    assert!(
+        at10 > 3.0 * clean,
+        "10% disorder should hurt: {clean} -> {at10}"
+    );
+    assert!(
+        at50 > at10,
+        "more attackers must hurt more: {at10} vs {at50}"
+    );
 }
 
 #[test]
@@ -102,7 +107,10 @@ fn repulsion_is_consistent_and_damaging() {
     sim.run_ticks(150);
     let plan2 = EvalPlan::new(&sim.honest_nodes(), &mut seeds.rng("plan"));
     let attacked = plan2.avg_error(sim.coords(), sim.space(), sim.matrix());
-    assert!(attacked > 5.0 * clean, "repulsion too weak: {clean} -> {attacked}");
+    assert!(
+        attacked > 5.0 * clean,
+        "repulsion too weak: {clean} -> {attacked}"
+    );
     // Attackers never shorten probes.
     assert_eq!(sim.counters().delay_clamped, 0, "threat-model violation");
 }
@@ -112,7 +120,9 @@ fn collusion_isolates_the_designated_target() {
     let (mut sim, seeds) = build(120, 6, Space::Euclidean(2));
     sim.run_ticks(250);
     let attackers = sim.pick_attackers(0.3);
-    let victim = (0..120).find(|v| !attackers.contains(v)).expect("honest node");
+    let victim = (0..120)
+        .find(|v| !attackers.contains(v))
+        .expect("honest node");
     sim.inject_adversary(
         &attackers,
         Box::new(VivaldiCollusionRepel::against(victim, 10_000.0)),
@@ -120,7 +130,11 @@ fn collusion_isolates_the_designated_target() {
     sim.run_ticks(200);
     let plan = EvalPlan::new(&sim.honest_nodes(), &mut seeds.rng("plan"));
     let errs = plan.per_node_errors(sim.coords(), sim.space(), sim.matrix());
-    let victim_err = errs[plan.nodes().iter().position(|&n| n == victim).expect("honest")];
+    let victim_err = errs[plan
+        .nodes()
+        .iter()
+        .position(|&n| n == victim)
+        .expect("honest")];
     assert!(
         victim_err > 10.0,
         "designated target should be badly isolated: {victim_err}"
@@ -131,18 +145,22 @@ fn collusion_isolates_the_designated_target() {
 fn benign_faults_do_not_destroy_convergence() {
     // smoltcp-style fault injection must degrade gracefully, not break.
     let seeds = SeedStream::new(7);
-    let matrix = KingLike::new(KingLikeConfig::with_nodes(100))
-        .generate(&mut seeds.rng("topo"));
-    let mut config = VivaldiConfig::default();
-    config.link = LinkModel {
-        loss: 0.2,
-        jitter_ms: 5.0,
+    let matrix = KingLike::new(KingLikeConfig::with_nodes(100)).generate(&mut seeds.rng("topo"));
+    let config = VivaldiConfig {
+        link: LinkModel {
+            loss: 0.2,
+            jitter_ms: 5.0,
+        },
+        ..VivaldiConfig::default()
     };
     let mut sim = VivaldiSim::new(matrix, config, &seeds);
     sim.run_ticks(300);
     let plan = EvalPlan::new(&sim.honest_nodes(), &mut seeds.rng("plan"));
     let err = plan.avg_error(sim.coords(), sim.space(), sim.matrix());
-    assert!(err < 0.8, "20% loss + 5ms jitter should still converge: {err}");
+    assert!(
+        err < 0.8,
+        "20% loss + 5ms jitter should still converge: {err}"
+    );
 }
 
 #[test]

@@ -13,11 +13,7 @@ fn check(id: &str) {
     assert!(!fig.columns.is_empty(), "{id}: no columns");
     assert!(!fig.rows.is_empty(), "{id}: no rows");
     for (r, row) in fig.rows.iter().enumerate() {
-        assert_eq!(
-            row.len(),
-            fig.columns.len(),
-            "{id}: row {r} arity mismatch"
-        );
+        assert_eq!(row.len(), fig.columns.len(), "{id}: row {r} arity mismatch");
     }
     // CSV renders and contains the header.
     let csv = fig.to_csv();

@@ -16,8 +16,7 @@ fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
 fn triple_format_roundtrip() {
     // Emulate the p2psim king.matrix format: 1-based ids, microseconds.
     let seeds = SeedStream::new(1);
-    let matrix = KingLike::new(KingLikeConfig::with_nodes(30))
-        .generate(&mut seeds.rng("topo"));
+    let matrix = KingLike::new(KingLikeConfig::with_nodes(30)).generate(&mut seeds.rng("topo"));
     let mut text = String::from("# synthetic king-format file\n");
     for (i, j, v) in matrix.pairs() {
         text.push_str(&format!("{} {} {:.0}\n", i + 1, j + 1, v * 1000.0));
@@ -37,11 +36,12 @@ fn triple_format_roundtrip() {
 #[test]
 fn matrix_format_roundtrip() {
     let seeds = SeedStream::new(2);
-    let matrix = KingLike::new(KingLikeConfig::with_nodes(12))
-        .generate(&mut seeds.rng("topo"));
+    let matrix = KingLike::new(KingLikeConfig::with_nodes(12)).generate(&mut seeds.rng("topo"));
     let mut text = String::new();
     for i in 0..12 {
-        let row: Vec<String> = (0..12).map(|j| format!("{:.3}", matrix.rtt(i, j))).collect();
+        let row: Vec<String> = (0..12)
+            .map(|j| format!("{:.3}", matrix.rtt(i, j)))
+            .collect();
         text.push_str(&row.join(" "));
         text.push('\n');
     }
@@ -58,8 +58,7 @@ fn matrix_format_roundtrip() {
 fn loaded_matrix_drives_a_simulation() {
     // The documented workflow: load real data, sub-sample a group, run.
     let seeds = SeedStream::new(3);
-    let matrix = KingLike::new(KingLikeConfig::with_nodes(60))
-        .generate(&mut seeds.rng("topo"));
+    let matrix = KingLike::new(KingLikeConfig::with_nodes(60)).generate(&mut seeds.rng("topo"));
     let mut text = String::new();
     for (i, j, v) in matrix.pairs() {
         text.push_str(&format!("{i} {j} {v}\n"));
@@ -73,7 +72,10 @@ fn loaded_matrix_drives_a_simulation() {
     sim.run_ticks(150);
     let plan = EvalPlan::new(&sim.honest_nodes(), &mut seeds.rng("plan"));
     let err = plan.avg_error(sim.coords(), sim.space(), sim.matrix());
-    assert!(err < 0.7, "simulation on loaded data should converge: {err}");
+    assert!(
+        err < 0.7,
+        "simulation on loaded data should converge: {err}"
+    );
 }
 
 #[test]

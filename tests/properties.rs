@@ -9,10 +9,7 @@ use vcoord::topo::{KingLike, KingLikeConfig, RttMatrix};
 use vcoord::vivaldi::node::vivaldi_update;
 
 fn coord_strategy(dim: usize) -> impl Strategy<Value = Coord> {
-    (
-        prop::collection::vec(-1.0e4f64..1.0e4, dim),
-        0.0f64..1.0e3,
-    )
+    (prop::collection::vec(-1.0e4f64..1.0e4, dim), 0.0f64..1.0e3)
         .prop_map(|(vec, height)| Coord { vec, height })
 }
 

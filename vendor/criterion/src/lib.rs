@@ -1,0 +1,231 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Compile-compatible with the subset of the Criterion 0.5 API used by the
+//! workspace benches (`bench_function`, `benchmark_group`, `iter`,
+//! `iter_batched`, the group/config builders, and the two macros). Instead of
+//! Criterion's statistical machinery it runs a short calibrated loop and
+//! prints mean wall-clock time per iteration — enough to compare hot paths
+//! order-of-magnitude while offline. Swapping in real Criterion later is a
+//! manifest-only change (see `vendor/README.md`).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The stub runs one routine call
+/// per setup call regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    pub sample_size: usize,
+    pub measurement_time: Duration,
+    pub warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Real Criterion parses CLI flags here; the stub accepts and ignores
+    /// them (`cargo bench` passes `--bench`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{id}"), self.measurement_time, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: self.measurement_time,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{id}", self.name), self.measurement_time, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; drives the timed loop.
+pub struct Bencher {
+    budget: Duration,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: double the batch until it costs ≥ ~1/8 of the budget.
+        let mut batch: u64 = 1;
+        let mut total_iters: u64 = 0;
+        let mut total_time = Duration::ZERO;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            total_iters += batch;
+            total_time += elapsed;
+            if total_time >= self.budget || total_iters >= 1 << 24 {
+                break;
+            }
+            if elapsed < self.budget / 8 {
+                batch = batch.saturating_mul(2);
+            }
+        }
+        self.report = Some((total_iters, total_time));
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total_iters: u64 = 0;
+        let mut total_time = Duration::ZERO;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total_time += start.elapsed();
+            total_iters += 1;
+            if total_time >= self.budget || total_iters >= 1 << 16 {
+                break;
+            }
+        }
+        self.report = Some((total_iters, total_time));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, budget: Duration, mut f: F) {
+    let mut b = Bencher {
+        budget,
+        report: None,
+    };
+    f(&mut b);
+    match b.report {
+        Some((iters, time)) if iters > 0 => {
+            let per = time.as_secs_f64() / iters as f64;
+            println!("{id:<48} {:>12} iters   {per:>12.3e} s/iter", iters);
+        }
+        _ => println!("{id:<48} (no measurement)"),
+    }
+}
+
+/// Define a group function that runs each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(5);
+        g.bench_function(format!("{}", 2), |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(plain, target);
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(5)).warm_up_time(Duration::from_millis(1));
+        targets = target
+    }
+
+    #[test]
+    fn groups_run() {
+        plain();
+        configured();
+    }
+}

@@ -1,0 +1,208 @@
+//! Offline vendored stand-in for the `log` facade.
+//!
+//! Implements the subset the workspace uses: the five level macros, the
+//! [`Log`] trait, [`set_logger`] / [`set_max_level`], and the
+//! [`Record`] / [`Metadata`] types consumed by `vcoord_netsim::simlog`.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Logging verbosity levels, most to least severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Level {
+    Error = 1,
+    Warn,
+    Info,
+    Debug,
+    Trace,
+}
+
+/// A level filter: `Off` or a maximum enabled [`Level`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum LevelFilter {
+    Off = 0,
+    Error,
+    Warn,
+    Info,
+    Debug,
+    Trace,
+}
+
+impl PartialEq<LevelFilter> for Level {
+    fn eq(&self, other: &LevelFilter) -> bool {
+        *self as usize == *other as usize
+    }
+}
+
+impl PartialOrd<LevelFilter> for Level {
+    fn partial_cmp(&self, other: &LevelFilter) -> Option<std::cmp::Ordering> {
+        (*self as usize).partial_cmp(&(*other as usize))
+    }
+}
+
+impl PartialEq<Level> for LevelFilter {
+    fn eq(&self, other: &Level) -> bool {
+        *self as usize == *other as usize
+    }
+}
+
+impl PartialOrd<Level> for LevelFilter {
+    fn partial_cmp(&self, other: &Level) -> Option<std::cmp::Ordering> {
+        (*self as usize).partial_cmp(&(*other as usize))
+    }
+}
+
+/// Metadata about a log record: its level and target module.
+#[derive(Clone, Debug)]
+pub struct Metadata<'a> {
+    level: Level,
+    target: &'a str,
+}
+
+impl<'a> Metadata<'a> {
+    pub fn level(&self) -> Level {
+        self.level
+    }
+    pub fn target(&self) -> &'a str {
+        self.target
+    }
+}
+
+/// One log record.
+#[derive(Clone, Debug)]
+pub struct Record<'a> {
+    metadata: Metadata<'a>,
+    args: fmt::Arguments<'a>,
+}
+
+impl<'a> Record<'a> {
+    pub fn metadata(&self) -> &Metadata<'a> {
+        &self.metadata
+    }
+    pub fn level(&self) -> Level {
+        self.metadata.level
+    }
+    pub fn target(&self) -> &'a str {
+        self.metadata.target
+    }
+    pub fn args(&self) -> fmt::Arguments<'a> {
+        self.args
+    }
+}
+
+/// A log sink.
+pub trait Log: Sync + Send {
+    fn enabled(&self, metadata: &Metadata) -> bool;
+    fn log(&self, record: &Record);
+    fn flush(&self);
+}
+
+/// Error returned when a logger is already installed.
+#[derive(Debug)]
+pub struct SetLoggerError(());
+
+impl fmt::Display for SetLoggerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a logger is already installed")
+    }
+}
+
+impl std::error::Error for SetLoggerError {}
+
+static LOGGER: OnceLock<&'static dyn Log> = OnceLock::new();
+static MAX_LEVEL: AtomicUsize = AtomicUsize::new(0); // Off
+
+/// Install the global logger. Fails if one is already set.
+pub fn set_logger(logger: &'static dyn Log) -> Result<(), SetLoggerError> {
+    LOGGER.set(logger).map_err(|_| SetLoggerError(()))
+}
+
+/// Set the global maximum level; records above it are skipped cheaply.
+pub fn set_max_level(filter: LevelFilter) {
+    MAX_LEVEL.store(filter as usize, Ordering::Relaxed);
+}
+
+/// The current global maximum level.
+pub fn max_level() -> LevelFilter {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        1 => LevelFilter::Error,
+        2 => LevelFilter::Warn,
+        3 => LevelFilter::Info,
+        4 => LevelFilter::Debug,
+        5 => LevelFilter::Trace,
+        _ => LevelFilter::Off,
+    }
+}
+
+/// Macro plumbing — not public API.
+#[doc(hidden)]
+pub fn __log(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    if let Some(logger) = LOGGER.get() {
+        let record = Record {
+            metadata: Metadata { level, target },
+            args,
+        };
+        if logger.enabled(&record.metadata) {
+            logger.log(&record);
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! log {
+    (target: $target:expr, $lvl:expr, $($arg:tt)+) => {{
+        let lvl = $lvl;
+        if lvl <= $crate::max_level() {
+            $crate::__log(lvl, $target, format_args!($($arg)+));
+        }
+    }};
+    ($lvl:expr, $($arg:tt)+) => {
+        $crate::log!(target: module_path!(), $lvl, $($arg)+)
+    };
+}
+
+macro_rules! make_level_macro {
+    ($d:tt, $name:ident, $lvl:ident) => {
+        #[macro_export]
+        macro_rules! $name {
+                            (target: $d target:expr, $d($d arg:tt)+) => {
+                                $crate::log!(target: $d target, $crate::Level::$lvl, $d($d arg)+)
+                            };
+                            ($d($d arg:tt)+) => {
+                                $crate::log!($crate::Level::$lvl, $d($d arg)+)
+                            };
+                        }
+    };
+}
+
+make_level_macro!($, error, Error);
+make_level_macro!($, warn, Warn);
+make_level_macro!($, info, Info);
+make_level_macro!($, debug, Debug);
+make_level_macro!($, trace, Trace);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_vs_filter_ordering() {
+        assert!(Level::Error <= LevelFilter::Warn);
+        assert!(Level::Trace > LevelFilter::Debug);
+        assert!(Level::Error > LevelFilter::Off);
+    }
+
+    #[test]
+    fn macros_compile_and_run_without_logger() {
+        set_max_level(LevelFilter::Trace);
+        trace!("trace {}", 1);
+        debug!("debug");
+        info!(target: "custom", "info {}", "x");
+        warn!("warn");
+        error!("error");
+        set_max_level(LevelFilter::Off);
+    }
+}

@@ -1,0 +1,310 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the subset used by `tests/properties.rs`: the [`Strategy`]
+//! trait with `prop_map`, range / tuple / `prop::collection::vec` /
+//! `prop::num::f64::ANY` strategies, [`ProptestConfig::with_cases`], and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros. Cases are
+//! generated from a deterministic ChaCha12 stream (override the seed with
+//! `PROPTEST_SEED`); there is **no shrinking** — a failing case panics with
+//! the generated inputs in the message instead.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// A generator of test-case values.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+
+    fn generate(&self, rng: &mut dyn RngCore) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U: std::fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: std::fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut dyn RngCore) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut dyn RngCore) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut dyn RngCore) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*}
+}
+numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut dyn RngCore) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*}
+}
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Strategy sub-modules mirroring `proptest::prop`.
+pub mod prop {
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::{Rng, RngCore};
+
+        /// Accepted by [`vec`] as a length specification.
+        pub trait IntoSizeRange {
+            fn pick_len(&self, rng: &mut dyn RngCore) -> usize;
+        }
+
+        impl IntoSizeRange for usize {
+            fn pick_len(&self, _rng: &mut dyn RngCore) -> usize {
+                *self
+            }
+        }
+
+        impl IntoSizeRange for core::ops::Range<usize> {
+            fn pick_len(&self, rng: &mut dyn RngCore) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+            fn pick_len(&self, rng: &mut dyn RngCore) -> usize {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        /// A strategy for `Vec<T>` with element strategy `element` and a
+        /// fixed or ranged length.
+        pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+            VecStrategy { element, len }
+        }
+
+        pub struct VecStrategy<S, L> {
+            element: S,
+            len: L,
+        }
+
+        impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut dyn RngCore) -> Self::Value {
+                let n = self.len.pick_len(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod num {
+        pub mod f64 {
+            use crate::Strategy;
+            use rand::RngCore;
+
+            /// Any `f64` bit pattern: finite values, infinities and NaNs.
+            #[derive(Clone, Copy, Debug)]
+            pub struct Any;
+
+            #[allow(non_upper_case_globals)]
+            pub const ANY: Any = Any;
+
+            impl Strategy for Any {
+                type Value = f64;
+                fn generate(&self, rng: &mut dyn RngCore) -> f64 {
+                    f64::from_bits(rng.next_u64())
+                }
+            }
+        }
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Macro plumbing — builds the deterministic per-test RNG.
+#[doc(hidden)]
+pub fn __test_rng(test_name: &str) -> ChaCha12Rng {
+    let seed: u64 = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x_c0ff_ee00_2006);
+    // Mix the test name in so sibling tests see different streams.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
+    for b in test_name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    ChaCha12Rng::seed_from_u64(h)
+}
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// The main test-definition macro. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@items ($cfg) $($rest)*);
+    };
+    (@items ($cfg:expr) ) => {};
+    (@items ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::Strategy as _;
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::__test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = ($strat).generate(&mut rng);)+
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    $(let $arg = $arg.clone();)+
+                    $body
+                }));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest case {}/{} failed for inputs:",
+                        case + 1,
+                        config.cases
+                    );
+                    $(eprintln!("  {} = {:?}", stringify!($arg), $arg);)+
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::proptest!(@items ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@items ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (f64, usize)> {
+        (0.0f64..1.0, 1usize..10).prop_map(|(a, b)| (a * 2.0, b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(0u64..100, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn mapped_strategy_applies(p in pair()) {
+            prop_assert!(p.0 < 2.0);
+            prop_assert!(p.1 >= 1);
+        }
+
+        #[test]
+        fn any_f64_generates(bits in prop::num::f64::ANY) {
+            // No constraint — just exercise NaN/inf handling.
+            let _ = bits;
+            prop_assert!(true);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        use crate::Strategy as _;
+        let a: Vec<u64> = (0..8)
+            .map(|_| (0u64..1000).generate(&mut crate::__test_rng("t")))
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map(|_| (0u64..1000).generate(&mut crate::__test_rng("t")))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,109 @@
+//! Offline vendored stand-in for `rand_core`.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors a minimal, API-compatible subset of the `rand` family (see
+//! `vendor/README.md`). This crate provides the two core traits; the
+//! generators live in `rand` / `rand_chacha`.
+//!
+//! Determinism contract: everything here is pure integer arithmetic with no
+//! platform-dependent behaviour, so streams replay byte-identically across
+//! platforms — the property `vcoord_netsim::SeedStream` documents.
+
+/// A source of uniformly random bits.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// splitmix64 — the same seed-expansion function real `rand_core` uses for
+/// `seed_from_u64`, so small integer seeds decorrelate well.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// An RNG constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed via splitmix64.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut s = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = splitmix64(&mut s).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 += 1;
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest.iter_mut() {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut c = Counter(0);
+        let r = &mut c;
+        fn take<R: RngCore>(mut r: R) -> u64 {
+            r.next_u64()
+        }
+        assert_eq!(take(&mut *r), 1);
+        assert_eq!(r.next_u64(), 2);
+    }
+
+    #[test]
+    fn splitmix_differs_per_step() {
+        let mut s = 0u64;
+        let a = splitmix64(&mut s);
+        let b = splitmix64(&mut s);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! Exposes `Serialize` / `Deserialize` as blanket-implemented marker traits
+//! plus the no-op derives from the vendored `serde_derive`, giving the
+//! workspace the same *compile* surface as real serde without any
+//! serialization machinery. Swapping in the real crates later is a
+//! manifest-only change (see `vendor/README.md`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker: a type that would be serializable under real serde.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker: a type that would be deserializable under real serde.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, mirroring `serde::de::DeserializeOwned`.
+pub mod de {
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}
