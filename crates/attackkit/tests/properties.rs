@@ -1,0 +1,163 @@
+//! Property-based tests over the attackkit invariants the ISSUE pins down:
+//! frog-boiling's per-round reported displacement stays below the
+//! configured step bound, and the partition attack splits colluders into
+//! exactly two coherent drift groups.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use vcoord_attackkit::{
+    AttackStrategy, Collusion, CoordView, FrogBoiling, NetworkPartition, Probe, Protocol,
+};
+use vcoord_space::{Coord, Space};
+
+/// A population of `n` nodes on a ring, first `k` malicious.
+fn population(space: &Space, n: usize, k: usize) -> (Vec<Coord>, Vec<bool>) {
+    let coords: Vec<Coord> = (0..n)
+        .map(|i| {
+            let a = i as f64 / n as f64 * std::f64::consts::TAU;
+            let mut vec = vec![100.0 * a.cos(), 100.0 * a.sin()];
+            vec.resize(space.dim(), 7.0);
+            Coord::from_vec(vec)
+        })
+        .collect();
+    let malicious: Vec<bool> = (0..n).map(|i| i < k).collect();
+    (coords, malicious)
+}
+
+fn view_at<'a>(
+    space: &'a Space,
+    coords: &'a [Coord],
+    malicious: &'a [bool],
+    round: u64,
+) -> CoordView<'a> {
+    CoordView {
+        space,
+        coords,
+        errors: &[],
+        layer: &[],
+        malicious,
+        is_ref: &[],
+        round,
+        now_ms: round * 1000,
+        params: Protocol::default(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- Frog-boiling: per-round displacement bound --------------------
+
+    #[test]
+    fn frog_boiling_per_round_displacement_stays_below_step(
+        step in 0.1f64..50.0,
+        dim in 2usize..6,
+        seed in 0u64..500,
+        rounds in 1usize..30,
+    ) {
+        let space = Space::Euclidean(dim);
+        let (coords, malicious) = population(&space, 12, 4);
+        let attackers: Vec<usize> = (0..4).collect();
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut coll = Collusion::new();
+        let mut adv = FrogBoiling::new(step);
+        adv.inject(&attackers, &mut coll, &view_at(&space, &coords, &malicious, 0), &mut rng);
+
+        let probe = Probe { attacker: 1, victim: 8, rtt: 60.0 };
+        let mut prev = adv
+            .respond(&probe, &mut coll, &view_at(&space, &coords, &malicious, 0), &mut rng)
+            .expect("frog-boiling always lies")
+            .coord;
+        for r in 1..=rounds as u64 {
+            adv.on_round(&mut coll, &view_at(&space, &coords, &malicious, r), &mut rng);
+            let lie = adv
+                .respond(&probe, &mut coll, &view_at(&space, &coords, &malicious, r), &mut rng)
+                .expect("frog-boiling always lies")
+                .coord;
+            let moved = space.distance(&lie, &prev);
+            prop_assert!(
+                moved <= step + 1e-9,
+                "round {r}: reported coordinate moved {moved} > step {step}"
+            );
+            prev = lie;
+        }
+        // And the total drift integrated exactly rounds·step.
+        let total = space.distance(&prev, &coords[1]);
+        prop_assert!((total - rounds as f64 * step).abs() < 1e-6);
+    }
+
+    // ---- Partition: exactly two coherent drift groups ------------------
+
+    #[test]
+    fn partition_splits_colluders_into_two_coherent_groups(
+        n_attackers in 2usize..10,
+        step in 1.0f64..40.0,
+        seed in 0u64..500,
+        rounds in 1usize..20,
+    ) {
+        let space = Space::Euclidean(3);
+        let (coords, malicious) = population(&space, 16, n_attackers);
+        let attackers: Vec<usize> = (0..n_attackers).collect();
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut coll = Collusion::new();
+        let mut adv = NetworkPartition::new(step);
+        adv.inject(&attackers, &mut coll, &view_at(&space, &coords, &malicious, 0), &mut rng);
+
+        // Exactly two groups, disjoint, covering every colluder.
+        prop_assert_eq!(coll.groups().len(), 2);
+        let mut seen = std::collections::HashSet::new();
+        for g in coll.groups() {
+            for &m in &g.members {
+                prop_assert!(seen.insert(m), "node {} in two groups", m);
+            }
+        }
+        prop_assert_eq!(seen.len(), n_attackers);
+        for &a in &attackers {
+            prop_assert!(coll.group_of(a).is_some());
+        }
+
+        // Antiparallel unit axes.
+        let a0 = &coll.groups()[0].axis;
+        let a1 = &coll.groups()[1].axis;
+        let dot: f64 = a0.vec.iter().zip(&a1.vec).map(|(x, y)| x * y).sum();
+        prop_assert!((dot + 1.0).abs() < 1e-9, "axes not antiparallel: dot {}", dot);
+
+        // Coherent drift: after `rounds`, every colluder's lie sits exactly
+        // rounds·step from its truth, along its own group's axis.
+        for r in 1..=rounds as u64 {
+            adv.on_round(&mut coll, &view_at(&space, &coords, &malicious, r), &mut rng);
+        }
+        let expected = rounds as f64 * step;
+        for &a in &attackers {
+            let lie = adv
+                .respond(
+                    &Probe { attacker: a, victim: 12, rtt: 60.0 },
+                    &mut coll,
+                    &view_at(&space, &coords, &malicious, rounds as u64),
+                    &mut rng,
+                )
+                .expect("active partition always lies")
+                .coord;
+            let moved = space.distance(&lie, &coords[a]);
+            prop_assert!(
+                (moved - expected).abs() < 1e-6,
+                "colluder {} drifted {} instead of {}",
+                a,
+                moved,
+                expected
+            );
+            // The drift is along the group axis: projecting onto it
+            // recovers the full magnitude (sign tells the two groups apart).
+            let g = &coll.groups()[coll.group_of(a).unwrap()];
+            let proj: f64 = lie
+                .vec
+                .iter()
+                .zip(&coords[a].vec)
+                .zip(&g.axis.vec)
+                .map(|((x, t), ax)| (x - t) * ax)
+                .sum();
+            prop_assert!((proj - expected).abs() < 1e-6, "drift off-axis: {}", proj);
+        }
+    }
+}

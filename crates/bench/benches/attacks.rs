@@ -4,8 +4,12 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
+use vcoord::attackkit::{
+    AttackStrategy, CoordView, Deflation, FrogBoiling, Inflation, NetworkPartition, Oscillation,
+    Probe, Protocol, RandomLie, Scenario,
+};
 use vcoord::attacks::geometry::{anti_detection_lie, repulsion_lie};
-use vcoord::space::Space;
+use vcoord::space::{Coord, Space};
 
 fn bench_repulsion_lie(c: &mut Criterion) {
     let space = Space::Euclidean(2);
@@ -63,9 +67,76 @@ fn bench_anti_detection_lie(c: &mut Criterion) {
     group.finish();
 }
 
+/// The attackkit strategies answer every probe of a malicious node inside
+/// the simulator's innermost loop: a full scenario round-trip (round
+/// bookkeeping + lie construction) must stay cheap.
+fn bench_attackkit_strategies(c: &mut Criterion) {
+    let space = Space::Euclidean(2);
+    let mut rng = ChaCha12Rng::seed_from_u64(3);
+    let n = 100;
+    let coords: Vec<Coord> = (0..n)
+        .map(|_| space.random_coord(150.0, &mut rng))
+        .collect();
+    let mut malicious = vec![true; n / 4];
+    malicious.extend(vec![false; n - n / 4]);
+    let attackers: Vec<usize> = (0..n / 4).collect();
+
+    let strategies: Vec<(&str, Box<dyn AttackStrategy>)> = vec![
+        ("frog_boiling", Box::new(FrogBoiling::default())),
+        ("oscillation", Box::new(Oscillation::default())),
+        ("partition", Box::new(NetworkPartition::default())),
+        ("inflation", Box::new(Inflation::default())),
+        ("deflation", Box::new(Deflation::default())),
+        ("random_lie", Box::new(RandomLie::default())),
+    ];
+
+    let mut group = c.benchmark_group("attackkit_respond");
+    for (label, strategy) in strategies {
+        let view = CoordView {
+            space: &space,
+            coords: &coords,
+            errors: &[],
+            layer: &[],
+            malicious: &malicious,
+            is_ref: &[],
+            round: 0,
+            now_ms: 0,
+            params: Protocol::default(),
+        };
+        let mut scenario = Scenario::new(strategy);
+        scenario.inject(&attackers, &view, &mut rng);
+        let probe = Probe {
+            attacker: 0,
+            victim: n - 1,
+            rtt: 80.0,
+        };
+        let mut round = 0u64;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                // Advance the round each iteration so per-round hooks are
+                // included in the measured cost.
+                round += 1;
+                let view = CoordView {
+                    space: &space,
+                    coords: &coords,
+                    errors: &[],
+                    layer: &[],
+                    malicious: &malicious,
+                    is_ref: &[],
+                    round,
+                    now_ms: round * 1000,
+                    params: Protocol::default(),
+                };
+                scenario.respond(black_box(probe), &view, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(50).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_repulsion_lie, bench_anti_detection_lie
+    targets = bench_repulsion_lie, bench_anti_detection_lie, bench_attackkit_strategies
 }
 criterion_main!(benches);

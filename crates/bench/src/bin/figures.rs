@@ -117,27 +117,46 @@ fn main() {
 
     let mut failures = 0;
     let total_start = Instant::now();
+
+    // Figures compute multi-threaded (each fans repetitions over a worker
+    // pool), but rendering + writing a CSV is serial I/O — push it onto a
+    // dedicated writer thread so the next figure's compute overlaps the
+    // previous figure's output. The channel is FIFO, so stdout stays in
+    // figure order; joining the writer before the summary line keeps the
+    // output complete.
+    let (tx, rx) = std::sync::mpsc::channel::<(vcoord::experiments::FigureResult, f64)>();
+    let out_dir = args.out.clone();
+    let writer = std::thread::spawn(move || {
+        for (fig, compute_secs) in rx {
+            println!("{}", fig.to_table());
+            let path = out_dir.join(format!("{}.csv", fig.id));
+            let mut file = std::fs::File::create(&path).expect("create CSV");
+            file.write_all(fig.to_csv().as_bytes()).expect("write CSV");
+            println!(
+                "wrote {} ({} rows) in {compute_secs:.1}s\n",
+                path.display(),
+                fig.rows.len(),
+            );
+        }
+    });
+
     for id in &ids {
         let start = Instant::now();
         match registry::run_figure(id, &args.scale, args.seed) {
-            Some(fig) => {
-                println!("{}", fig.to_table());
-                let path = args.out.join(format!("{id}.csv"));
-                let mut file = std::fs::File::create(&path).expect("create CSV");
-                file.write_all(fig.to_csv().as_bytes()).expect("write CSV");
-                println!(
-                    "wrote {} ({} rows) in {:.1}s\n",
-                    path.display(),
-                    fig.rows.len(),
-                    start.elapsed().as_secs_f64()
-                );
-            }
+            // Stamp the compute time here: on the writer thread it would
+            // also count time spent queued behind earlier figures' I/O.
+            Some(fig) => tx
+                .send((fig, start.elapsed().as_secs_f64()))
+                .expect("writer thread alive"),
             None => {
                 eprintln!("unknown figure id: {id} (try --list)");
                 failures += 1;
             }
         }
     }
+    drop(tx);
+    writer.join().expect("writer thread panicked");
+
     println!(
         "# done: {} figures in {:.1}s",
         ids.len() - failures,

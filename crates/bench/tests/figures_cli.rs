@@ -114,6 +114,55 @@ fn smoke_run_writes_csv_with_rows() {
 }
 
 #[test]
+fn attack_sweep_figures_write_csvs_under_smoke() {
+    let dir = tempdir("atk-sweeps");
+    let out = run(&[
+        "atk-sweep-vivaldi",
+        "atk-frog-drift",
+        "--smoke",
+        "--seed",
+        "7",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "attack figures --smoke failed:\n{}",
+        stderr(&out)
+    );
+    for id in ["atk-sweep-vivaldi", "atk-frog-drift"] {
+        let csv_path = dir.join(format!("{id}.csv"));
+        assert!(csv_path.exists(), "expected {}", csv_path.display());
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        let data_rows: Vec<&str> = csv
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .collect();
+        assert!(
+            data_rows.len() >= 2,
+            "{id}: header plus rows needed:\n{csv}"
+        );
+        for cell in data_rows[1].split(',') {
+            cell.parse::<f64>()
+                .unwrap_or_else(|_| panic!("{id}: non-numeric cell {cell:?}"));
+        }
+    }
+    // The sweep carries both error and drift columns per strategy.
+    let sweep = std::fs::read_to_string(dir.join("atk-sweep-vivaldi.csv")).unwrap();
+    assert!(sweep.contains("err_frog_boiling"));
+    assert!(sweep.contains("drift_partition"));
+}
+
+#[test]
+fn attack_sweep_ids_are_listed() {
+    let out = run(&["--list"]);
+    let text = stdout(&out);
+    for id in ["atk-sweep-vivaldi", "atk-sweep-nps", "atk-frog-drift"] {
+        assert!(text.contains(id), "--list missing {id}:\n{text}");
+    }
+}
+
+#[test]
 fn same_seed_same_csv_bytes() {
     let a = tempdir("repro-a");
     let b = tempdir("repro-b");

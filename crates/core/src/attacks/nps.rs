@@ -4,7 +4,9 @@
 //! coordinates and delay positioning probes. Unlike Vivaldi, NPS victims do
 //! not hand their coordinates to arbitrary peers, so the strategies here
 //! route all victim-coordinate access through the [`Knowledge`] model
-//! (figures 19, 20 and 22 sweep it).
+//! (figures 19, 20 and 22 sweep it). All of them implement the generic
+//! [`vcoord_attackkit::AttackStrategy`] seam; the NPS-specific part is
+//! which oracle fields they use (`layer`, `params.probe_threshold_ms`).
 
 use crate::attacks::geometry::{anti_detection_lie, sophistication_cut_ms};
 use crate::knowledge::Knowledge;
@@ -12,7 +14,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
 use std::collections::{HashMap, HashSet};
-use vcoord_nps::{NpsAdversary, NpsView, RefLie};
+use vcoord_attackkit::{AttackStrategy, Collusion, CoordView, Lie, Probe};
 use vcoord_space::Coord;
 
 /// §5.4.1 — *independent disorder*: a malicious reference point transmits
@@ -32,17 +34,17 @@ impl Default for NpsSimpleDisorder {
     }
 }
 
-impl NpsAdversary for NpsSimpleDisorder {
+impl AttackStrategy for NpsSimpleDisorder {
     fn respond(
         &mut self,
-        attacker: usize,
-        _victim: usize,
-        _rtt: f64,
-        view: &NpsView<'_>,
+        probe: &Probe,
+        _collusion: &mut Collusion,
+        view: &CoordView<'_>,
         rng: &mut ChaCha12Rng,
-    ) -> Option<RefLie> {
-        Some(RefLie {
-            coord: view.coords[attacker].clone(),
+    ) -> Option<Lie> {
+        Some(Lie {
+            coord: view.coords[probe.attacker].clone(),
+            error: 0.01,
             delay_ms: rng.gen_range(self.delay_range.0..self.delay_range.1),
         })
     }
@@ -107,28 +109,27 @@ impl NpsAntiDetection {
     }
 }
 
-impl NpsAdversary for NpsAntiDetection {
+impl AttackStrategy for NpsAntiDetection {
     fn respond(
         &mut self,
-        attacker: usize,
-        victim: usize,
-        rtt: f64,
-        view: &NpsView<'_>,
+        probe: &Probe,
+        _collusion: &mut Collusion,
+        view: &CoordView<'_>,
         rng: &mut ChaCha12Rng,
-    ) -> Option<RefLie> {
+    ) -> Option<Lie> {
         let knows = self.knowledge.knows(rng);
         // Distance estimate: the true RTT when the victim is known (the
         // attacker can correlate coordinates and measurements), otherwise
         // the one-way timestamp difference of the incoming probe (≈ rtt/2).
-        let d_est = if knows { rtt } else { rtt / 2.0 };
+        let d_est = if knows { probe.rtt } else { probe.rtt / 2.0 };
 
-        if self.sophisticated && d_est > self.victim_cut_ms(view.probe_threshold_ms) {
+        if self.sophisticated && d_est > self.victim_cut_ms(view.params.probe_threshold_ms) {
             return None; // too far: attacking would trip the probe threshold
         }
 
-        let attacker_pos = &view.coords[attacker];
+        let attacker_pos = &view.coords[probe.attacker];
         let anchor = if knows {
-            view.coords[victim].clone()
+            view.coords[probe.victim].clone()
         } else {
             attacker_pos.clone()
         };
@@ -142,9 +143,10 @@ impl NpsAdversary for NpsAntiDetection {
             knows,
             rng,
         );
-        Some(RefLie {
+        Some(Lie {
             coord: lie.coord,
-            delay_ms: lie.needed_rtt - rtt,
+            error: 0.01,
+            delay_ms: lie.needed_rtt - probe.rtt,
         })
     }
 
@@ -221,12 +223,18 @@ impl NpsCollusionIsolation {
     }
 }
 
-impl NpsAdversary for NpsCollusionIsolation {
-    fn inject(&mut self, attackers: &[usize], view: &NpsView<'_>, rng: &mut ChaCha12Rng) {
+impl AttackStrategy for NpsCollusionIsolation {
+    fn inject(
+        &mut self,
+        attackers: &[usize],
+        _collusion: &mut Collusion,
+        view: &CoordView<'_>,
+        rng: &mut ChaCha12Rng,
+    ) {
         let colluders: Vec<usize> = attackers
             .iter()
             .copied()
-            .filter(|&a| view.layer[a] == self.attack_layer)
+            .filter(|&a| view.layer_of(a) == self.attack_layer)
             .collect();
         if colluders.len() < self.min_active {
             log::debug!(
@@ -243,8 +251,8 @@ impl NpsAdversary for NpsCollusionIsolation {
         // must claim (≈ 2·range); cap it safely under the victims' probe
         // threshold — the colluders know the protocol constant, and a lie
         // above it would simply be discarded and banned.
-        let range = if view.probe_threshold_ms.is_finite() {
-            self.cluster_range.min(0.4 * view.probe_threshold_ms)
+        let range = if view.params.probe_threshold_ms.is_finite() {
+            self.cluster_range.min(0.4 * view.params.probe_threshold_ms)
         } else {
             self.cluster_range
         };
@@ -266,7 +274,7 @@ impl NpsAdversary for NpsCollusionIsolation {
         // caller preset one).
         if !self.victims_preset {
             let mut pool: Vec<usize> = (0..view.coords.len())
-                .filter(|&i| view.layer[i] == self.attack_layer + 1 && !view.malicious[i])
+                .filter(|&i| view.layer_of(i) == self.attack_layer + 1 && !view.malicious[i])
                 .collect();
             pool.shuffle(rng);
             let k = ((pool.len() as f64) * self.victim_fraction.clamp(0.0, 1.0)).round() as usize;
@@ -277,22 +285,22 @@ impl NpsAdversary for NpsCollusionIsolation {
 
     fn respond(
         &mut self,
-        attacker: usize,
-        victim: usize,
-        rtt: f64,
-        view: &NpsView<'_>,
+        probe: &Probe,
+        _collusion: &mut Collusion,
+        view: &CoordView<'_>,
         _rng: &mut ChaCha12Rng,
-    ) -> Option<RefLie> {
-        if !self.active || !self.victims.contains(&victim) {
+    ) -> Option<Lie> {
+        if !self.active || !self.victims.contains(&probe.victim) {
             return None; // honest toward everyone but the agreed victims
         }
-        let pos = self.cluster.get(&attacker)?;
+        let pos = self.cluster.get(&probe.attacker)?;
         // Consistent with the victim sitting at the isolation point: the
         // positioning solution is dragged toward it.
         let needed = view.space.distance(pos, &self.isolation_point);
-        Some(RefLie {
+        Some(Lie {
             coord: pos.clone(),
-            delay_ms: needed - rtt,
+            error: 0.01,
+            delay_ms: needed - probe.rtt,
         })
     }
 
@@ -338,15 +346,21 @@ impl NpsCombined {
     }
 }
 
-impl NpsAdversary for NpsCombined {
-    fn inject(&mut self, attackers: &[usize], view: &NpsView<'_>, rng: &mut ChaCha12Rng) {
+impl AttackStrategy for NpsCombined {
+    fn inject(
+        &mut self,
+        attackers: &[usize],
+        collusion: &mut Collusion,
+        view: &CoordView<'_>,
+        rng: &mut ChaCha12Rng,
+    ) {
         let mut shuffled = attackers.to_vec();
         shuffled.shuffle(rng);
         // Give the collusion share first pick of reference-layer nodes so
         // the activation threshold has a fighting chance at low fractions,
         // then split the rest evenly.
         shuffled.sort_by_key(|&a| {
-            if view.layer[a] == self.collusion.attack_layer {
+            if view.layer_of(a) == self.collusion.attack_layer {
                 0
             } else {
                 1
@@ -364,23 +378,20 @@ impl NpsAdversary for NpsCombined {
         for &x in a {
             self.assignment.insert(x, 1);
         }
-        self.collusion.inject(c, view, rng);
+        self.collusion.inject(c, collusion, view, rng);
     }
 
     fn respond(
         &mut self,
-        attacker: usize,
-        victim: usize,
-        rtt: f64,
-        view: &NpsView<'_>,
+        probe: &Probe,
+        collusion: &mut Collusion,
+        view: &CoordView<'_>,
         rng: &mut ChaCha12Rng,
-    ) -> Option<RefLie> {
-        match self.assignment.get(&attacker) {
-            Some(0) => self.disorder.respond(attacker, victim, rtt, view, rng),
-            Some(1) => self
-                .anti_detection
-                .respond(attacker, victim, rtt, view, rng),
-            Some(2) => self.collusion.respond(attacker, victim, rtt, view, rng),
+    ) -> Option<Lie> {
+        match self.assignment.get(&probe.attacker) {
+            Some(0) => self.disorder.respond(probe, collusion, view, rng),
+            Some(1) => self.anti_detection.respond(probe, collusion, view, rng),
+            Some(2) => self.collusion.respond(probe, collusion, view, rng),
             _ => None,
         }
     }
@@ -394,6 +405,7 @@ impl NpsAdversary for NpsCombined {
 mod tests {
     use super::*;
     use rand::SeedableRng;
+    use vcoord_attackkit::Protocol;
     use vcoord_space::Space;
 
     struct Fixture {
@@ -424,15 +436,28 @@ mod tests {
         }
     }
 
-    fn view(f: &Fixture) -> NpsView<'_> {
-        NpsView {
+    fn view(f: &Fixture) -> CoordView<'_> {
+        CoordView {
             space: &f.space,
             coords: &f.coords,
+            errors: &[],
             layer: &f.layer,
             malicious: &f.malicious,
             is_ref: &f.is_ref,
-            probe_threshold_ms: 5_000.0,
+            round: 0,
             now_ms: 0,
+            params: Protocol {
+                cc: 0.25,
+                probe_threshold_ms: 5_000.0,
+            },
+        }
+    }
+
+    fn probe(attacker: usize, victim: usize, rtt: f64) -> Probe {
+        Probe {
+            attacker,
+            victim,
+            rtt,
         }
     }
 
@@ -441,8 +466,11 @@ mod tests {
         let f = fixture();
         let v = view(&f);
         let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let mut coll = Collusion::new();
         let mut adv = NpsSimpleDisorder::default();
-        let lie = adv.respond(2, 7, 50.0, &v, &mut rng).unwrap();
+        let lie = adv
+            .respond(&probe(2, 7, 50.0), &mut coll, &v, &mut rng)
+            .unwrap();
         assert_eq!(lie.coord, f.coords[2], "coords must be truthful");
         assert!((100.0..1000.0).contains(&lie.delay_ms));
     }
@@ -452,9 +480,12 @@ mod tests {
         let f = fixture();
         let v = view(&f);
         let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let mut coll = Collusion::new();
         let mut adv = NpsAntiDetection::naive(Knowledge::Oracle);
         let rtt = f.space.distance(&f.coords[0], &f.coords[7]);
-        let lie = adv.respond(0, 7, rtt, &v, &mut rng).unwrap();
+        let lie = adv
+            .respond(&probe(0, 7, rtt), &mut coll, &v, &mut rng)
+            .unwrap();
         // Victim-side fitting error at its current coordinates equals the
         // margin bound — under C·median for a typically-converged victim.
         let measured = rtt + lie.delay_ms;
@@ -470,13 +501,18 @@ mod tests {
         let f = fixture();
         let v = view(&f);
         let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let mut coll = Collusion::new();
         let mut adv = NpsAntiDetection::sophisticated(Knowledge::Oracle);
         assert_eq!(adv.victim_cut_ms(5_000.0), 25.0);
         // Far victim (rtt 100 > 25): honest behaviour.
-        assert!(adv.respond(0, 7, 100.0, &v, &mut rng).is_none());
+        assert!(adv
+            .respond(&probe(0, 7, 100.0), &mut coll, &v, &mut rng)
+            .is_none());
         // Near victim: attacked, and the inflated RTT stays under the
         // threshold.
-        let lie = adv.respond(0, 7, 20.0, &v, &mut rng).unwrap();
+        let lie = adv
+            .respond(&probe(0, 7, 20.0), &mut coll, &v, &mut rng)
+            .unwrap();
         assert!(
             20.0 + lie.delay_ms <= 5_000.0,
             "must not trip the threshold"
@@ -488,10 +524,13 @@ mod tests {
         let f = fixture();
         let v = view(&f);
         let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let mut coll = Collusion::new();
         let mut adv = NpsCollusionIsolation::new(0.5);
-        adv.inject(&[0, 1, 2, 3], &v, &mut rng); // only 4 < 5
+        adv.inject(&[0, 1, 2, 3], &mut coll, &v, &mut rng); // only 4 < 5
         assert!(!adv.is_active());
-        assert!(adv.respond(0, 7, 50.0, &v, &mut rng).is_none());
+        assert!(adv
+            .respond(&probe(0, 7, 50.0), &mut coll, &v, &mut rng)
+            .is_none());
     }
 
     #[test]
@@ -499,26 +538,31 @@ mod tests {
         let f = fixture();
         let v = view(&f);
         let mut rng = ChaCha12Rng::seed_from_u64(4);
+        let mut coll = Collusion::new();
         let mut adv = NpsCollusionIsolation::new(0.5);
-        adv.inject(&[0, 1, 2, 3, 4], &v, &mut rng);
+        adv.inject(&[0, 1, 2, 3, 4], &mut coll, &v, &mut rng);
         assert!(adv.is_active());
         let victims = adv.victims().clone();
         assert!(!victims.is_empty());
         assert!(victims.iter().all(|&w| f.layer[w] == 2 && !f.malicious[w]));
         for w in 6..12 {
-            let lie = adv.respond(0, w, 50.0, &v, &mut rng);
+            let lie = adv.respond(&probe(0, w, 50.0), &mut coll, &v, &mut rng);
             assert_eq!(lie.is_some(), victims.contains(&w));
         }
         // Cluster coordinates are remote and consistent across probes.
         let w = *victims.iter().next().unwrap();
-        let l1 = adv.respond(1, w, 50.0, &v, &mut rng).unwrap();
-        let l2 = adv.respond(1, w, 50.0, &v, &mut rng).unwrap();
+        let l1 = adv
+            .respond(&probe(1, w, 50.0), &mut coll, &v, &mut rng)
+            .unwrap();
+        let l2 = adv
+            .respond(&probe(1, w, 50.0), &mut coll, &v, &mut rng)
+            .unwrap();
         assert_eq!(l1.coord, l2.coord);
         // Cluster is remote, but its separation from the isolation point is
         // capped under the probe threshold (≈ 0.4 × 5000 = 2000 here).
         assert!(l1.coord.magnitude() > 1_000.0);
         assert!(
-            50.0 + l1.delay_ms <= v.probe_threshold_ms,
+            50.0 + l1.delay_ms <= v.params.probe_threshold_ms,
             "lie must pass the threshold"
         );
     }
@@ -528,9 +572,10 @@ mod tests {
         let f = fixture();
         let v = view(&f);
         let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let mut coll = Collusion::new();
         let mut adv = NpsCombined::new(Knowledge::half(), 0.3);
         let attackers = [0usize, 1, 2, 3, 4, 5];
-        adv.inject(&attackers, &v, &mut rng);
+        adv.inject(&attackers, &mut coll, &v, &mut rng);
         let (d, a, c) = adv.class_sizes();
         assert_eq!(d + a + c, 6);
         assert!(d >= 1 && a >= 1 && c >= 1);

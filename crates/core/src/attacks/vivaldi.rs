@@ -3,15 +3,17 @@
 //! In Vivaldi every node freely hands out its coordinates when probed, so
 //! attackers legitimately learn victim positions "by means of previous
 //! requests" (§5.3.2) — the strategies here therefore read the view oracle
-//! directly.
+//! directly. All of them implement the generic
+//! [`vcoord_attackkit::AttackStrategy`] seam; the Vivaldi-specific part is
+//! only which oracle fields they use (`errors`, `params.cc`).
 
 use crate::attacks::geometry::repulsion_lie;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
 use std::collections::{HashMap, HashSet};
+use vcoord_attackkit::{AttackStrategy, Collusion, CoordView, Lie, Probe};
 use vcoord_space::Coord;
-use vcoord_vivaldi::{ProbeLie, VivaldiAdversary, VivaldiView};
 
 /// §5.3.1 — the *disorder* attack.
 ///
@@ -19,41 +21,23 @@ use vcoord_vivaldi::{ProbeLie, VivaldiAdversary, VivaldiView};
 /// with a very low reported error (0.01) and delays the measurement by a
 /// random value in `[100, 1000]` ms. No lie consistency is attempted: the
 /// low reported error alone maximizes the victim's adaptive timestep.
-#[derive(Debug, Clone)]
-pub struct VivaldiDisorder {
-    /// Range of the random coordinate components (the paper's random
-    /// scenario interval, `[-50000, 50000]`, is the default).
-    pub coord_range: f64,
-    /// Error estimate reported with every lie.
-    pub lie_error: f64,
-    /// Probe delay range in ms.
-    pub delay_range: (f64, f64),
-}
+///
+/// The lie shape is exactly [`RandomLie`](vcoord_attackkit::RandomLie) —
+/// this type only pins the paper's name and defaults on it, so the two can
+/// never drift apart.
+// `RandomLie::default()` IS the paper's §5.3.1 parameter set.
+#[derive(Debug, Clone, Default)]
+pub struct VivaldiDisorder(vcoord_attackkit::RandomLie);
 
-impl Default for VivaldiDisorder {
-    fn default() -> Self {
-        VivaldiDisorder {
-            coord_range: 50_000.0,
-            lie_error: 0.01,
-            delay_range: (100.0, 1000.0),
-        }
-    }
-}
-
-impl VivaldiAdversary for VivaldiDisorder {
+impl AttackStrategy for VivaldiDisorder {
     fn respond(
         &mut self,
-        _attacker: usize,
-        _victim: usize,
-        _rtt: f64,
-        view: &VivaldiView<'_>,
+        probe: &Probe,
+        collusion: &mut Collusion,
+        view: &CoordView<'_>,
         rng: &mut ChaCha12Rng,
-    ) -> Option<ProbeLie> {
-        Some(ProbeLie {
-            coord: view.space.random_coord(self.coord_range, rng),
-            error: self.lie_error,
-            delay_ms: rng.gen_range(self.delay_range.0..self.delay_range.1),
-        })
+    ) -> Option<Lie> {
+        self.0.respond(probe, collusion, view, rng)
     }
 
     fn label(&self) -> &'static str {
@@ -117,8 +101,14 @@ impl Default for VivaldiRepulsion {
     }
 }
 
-impl VivaldiAdversary for VivaldiRepulsion {
-    fn inject(&mut self, attackers: &[usize], view: &VivaldiView<'_>, rng: &mut ChaCha12Rng) {
+impl AttackStrategy for VivaldiRepulsion {
+    fn inject(
+        &mut self,
+        attackers: &[usize],
+        _collusion: &mut Collusion,
+        view: &CoordView<'_>,
+        rng: &mut ChaCha12Rng,
+    ) {
         let population: Vec<usize> = (0..view.coords.len())
             .filter(|i| !view.malicious[*i])
             .collect();
@@ -142,23 +132,28 @@ impl VivaldiAdversary for VivaldiRepulsion {
 
     fn respond(
         &mut self,
-        attacker: usize,
-        victim: usize,
-        rtt: f64,
-        view: &VivaldiView<'_>,
+        probe: &Probe,
+        _collusion: &mut Collusion,
+        view: &CoordView<'_>,
         rng: &mut ChaCha12Rng,
-    ) -> Option<ProbeLie> {
-        if let Some(set) = self.victims.get(&attacker) {
-            if !set.contains(&victim) {
+    ) -> Option<Lie> {
+        if let Some(set) = self.victims.get(&probe.attacker) {
+            if !set.contains(&probe.victim) {
                 return None; // outside my subset: behave honestly
             }
         }
-        let target = self.targets.get(&attacker)?;
-        let lie = repulsion_lie(view.space, &view.coords[victim], target, view.cc, rng);
-        Some(ProbeLie {
+        let target = self.targets.get(&probe.attacker)?;
+        let lie = repulsion_lie(
+            view.space,
+            &view.coords[probe.victim],
+            target,
+            view.params.cc,
+            rng,
+        );
+        Some(Lie {
             coord: lie.coord,
             error: self.lie_error,
-            delay_ms: lie.needed_rtt - rtt,
+            delay_ms: lie.needed_rtt - probe.rtt,
         })
     }
 
@@ -212,7 +207,7 @@ impl VivaldiCollusionRepel {
     fn designated_for(
         &mut self,
         victim: usize,
-        view: &VivaldiView<'_>,
+        view: &CoordView<'_>,
         rng: &mut ChaCha12Rng,
     ) -> Coord {
         if let Some(c) = self.designated.get(&victim) {
@@ -228,8 +223,14 @@ impl VivaldiCollusionRepel {
     }
 }
 
-impl VivaldiAdversary for VivaldiCollusionRepel {
-    fn inject(&mut self, _attackers: &[usize], view: &VivaldiView<'_>, rng: &mut ChaCha12Rng) {
+impl AttackStrategy for VivaldiCollusionRepel {
+    fn inject(
+        &mut self,
+        _attackers: &[usize],
+        _collusion: &mut Collusion,
+        view: &CoordView<'_>,
+        rng: &mut ChaCha12Rng,
+    ) {
         if self.target.is_none() {
             let honest: Vec<usize> = (0..view.coords.len())
                 .filter(|i| !view.malicious[*i])
@@ -243,22 +244,27 @@ impl VivaldiAdversary for VivaldiCollusionRepel {
 
     fn respond(
         &mut self,
-        _attacker: usize,
-        victim: usize,
-        rtt: f64,
-        view: &VivaldiView<'_>,
+        probe: &Probe,
+        _collusion: &mut Collusion,
+        view: &CoordView<'_>,
         rng: &mut ChaCha12Rng,
-    ) -> Option<ProbeLie> {
+    ) -> Option<Lie> {
         let target = self.target?;
-        if victim == target {
+        if probe.victim == target {
             return None; // the target observes honest behaviour
         }
-        let dest = self.designated_for(victim, view, rng);
-        let lie = repulsion_lie(view.space, &view.coords[victim], &dest, view.cc, rng);
-        Some(ProbeLie {
+        let dest = self.designated_for(probe.victim, view, rng);
+        let lie = repulsion_lie(
+            view.space,
+            &view.coords[probe.victim],
+            &dest,
+            view.params.cc,
+            rng,
+        );
+        Some(Lie {
             coord: lie.coord,
             error: self.lie_error,
-            delay_ms: lie.needed_rtt - rtt,
+            delay_ms: lie.needed_rtt - probe.rtt,
         })
     }
 
@@ -309,8 +315,14 @@ impl VivaldiCollusionLure {
     }
 }
 
-impl VivaldiAdversary for VivaldiCollusionLure {
-    fn inject(&mut self, attackers: &[usize], view: &VivaldiView<'_>, rng: &mut ChaCha12Rng) {
+impl AttackStrategy for VivaldiCollusionLure {
+    fn inject(
+        &mut self,
+        attackers: &[usize],
+        _collusion: &mut Collusion,
+        view: &CoordView<'_>,
+        rng: &mut ChaCha12Rng,
+    ) {
         if self.target.is_none() {
             let honest: Vec<usize> = (0..view.coords.len())
                 .filter(|i| !view.malicious[*i])
@@ -332,20 +344,19 @@ impl VivaldiAdversary for VivaldiCollusionLure {
 
     fn respond(
         &mut self,
-        attacker: usize,
-        victim: usize,
-        _rtt: f64,
-        _view: &VivaldiView<'_>,
+        probe: &Probe,
+        _collusion: &mut Collusion,
+        _view: &CoordView<'_>,
         _rng: &mut ChaCha12Rng,
-    ) -> Option<ProbeLie> {
-        if Some(victim) != self.target {
+    ) -> Option<Lie> {
+        if Some(probe.victim) != self.target {
             return None;
         }
-        let coord = self.cluster.get(&attacker)?.clone();
+        let coord = self.cluster.get(&probe.attacker)?.clone();
         // No delay needed: the huge reported distance versus the small true
         // RTT already pulls the victim toward the cluster with maximal
         // steps (rtt − dist ≪ 0).
-        Some(ProbeLie {
+        Some(Lie {
             coord,
             error: self.lie_error,
             delay_ms: 0.0,
@@ -400,8 +411,14 @@ impl Default for VivaldiCombined {
     }
 }
 
-impl VivaldiAdversary for VivaldiCombined {
-    fn inject(&mut self, attackers: &[usize], view: &VivaldiView<'_>, rng: &mut ChaCha12Rng) {
+impl AttackStrategy for VivaldiCombined {
+    fn inject(
+        &mut self,
+        attackers: &[usize],
+        collusion: &mut Collusion,
+        view: &CoordView<'_>,
+        rng: &mut ChaCha12Rng,
+    ) {
         // The paper uses equal percentages of each type.
         let mut shuffled = attackers.to_vec();
         shuffled.shuffle(rng);
@@ -417,22 +434,21 @@ impl VivaldiAdversary for VivaldiCombined {
         for &a in c {
             self.assignment.insert(a, 2);
         }
-        self.repulsion.inject(r, view, rng);
-        self.collusion.inject(c, view, rng);
+        self.repulsion.inject(r, collusion, view, rng);
+        self.collusion.inject(c, collusion, view, rng);
     }
 
     fn respond(
         &mut self,
-        attacker: usize,
-        victim: usize,
-        rtt: f64,
-        view: &VivaldiView<'_>,
+        probe: &Probe,
+        collusion: &mut Collusion,
+        view: &CoordView<'_>,
         rng: &mut ChaCha12Rng,
-    ) -> Option<ProbeLie> {
-        match self.assignment.get(&attacker) {
-            Some(0) => self.disorder.respond(attacker, victim, rtt, view, rng),
-            Some(1) => self.repulsion.respond(attacker, victim, rtt, view, rng),
-            Some(2) => self.collusion.respond(attacker, victim, rtt, view, rng),
+    ) -> Option<Lie> {
+        match self.assignment.get(&probe.attacker) {
+            Some(0) => self.disorder.respond(probe, collusion, view, rng),
+            Some(1) => self.repulsion.respond(probe, collusion, view, rng),
+            Some(2) => self.collusion.respond(probe, collusion, view, rng),
             _ => None,
         }
     }
@@ -446,6 +462,7 @@ impl VivaldiAdversary for VivaldiCombined {
 mod tests {
     use super::*;
     use rand::SeedableRng;
+    use vcoord_attackkit::Protocol;
     use vcoord_space::Space;
 
     fn view_fixture<'a>(
@@ -453,14 +470,20 @@ mod tests {
         coords: &'a [Coord],
         errors: &'a [f64],
         malicious: &'a [bool],
-    ) -> VivaldiView<'a> {
-        VivaldiView {
+    ) -> CoordView<'a> {
+        CoordView {
             space,
             coords,
             errors,
+            layer: &[],
             malicious,
-            cc: 0.25,
+            is_ref: &[],
+            round: 0,
             now_ms: 0,
+            params: Protocol {
+                cc: 0.25,
+                probe_threshold_ms: f64::INFINITY,
+            },
         }
     }
 
@@ -477,14 +500,25 @@ mod tests {
         (space, coords, errors, malicious)
     }
 
+    fn probe(attacker: usize, victim: usize, rtt: f64) -> Probe {
+        Probe {
+            attacker,
+            victim,
+            rtt,
+        }
+    }
+
     #[test]
     fn disorder_lies_have_paper_shape() {
         let (space, coords, errors, malicious) = fixture();
         let view = view_fixture(&space, &coords, &errors, &malicious);
         let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let mut coll = Collusion::new();
         let mut adv = VivaldiDisorder::default();
         for _ in 0..50 {
-            let lie = adv.respond(0, 1, 80.0, &view, &mut rng).unwrap();
+            let lie = adv
+                .respond(&probe(0, 1, 80.0), &mut coll, &view, &mut rng)
+                .unwrap();
             assert_eq!(lie.error, 0.01);
             assert!((100.0..1000.0).contains(&lie.delay_ms));
             assert!(lie.coord.vec.iter().all(|x| x.abs() <= 50_000.0));
@@ -496,15 +530,18 @@ mod tests {
         let (space, coords, errors, malicious) = fixture();
         let view = view_fixture(&space, &coords, &errors, &malicious);
         let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let mut coll = Collusion::new();
         let mut adv = VivaldiRepulsion::new(5_000.0);
-        adv.inject(&[0], &view, &mut rng);
+        adv.inject(&[0], &mut coll, &view, &mut rng);
         let target = adv.target_of(0).unwrap().clone();
         assert!(
             target.magnitude() >= 2_500.0,
             "target must be far from origin"
         );
 
-        let lie = adv.respond(0, 1, 80.0, &view, &mut rng).unwrap();
+        let lie = adv
+            .respond(&probe(0, 1, 80.0), &mut coll, &view, &mut rng)
+            .unwrap();
         // Consistency: measured (rtt + delay) equals d/Cc + d for the
         // victim-target distance d.
         let d = space.distance(&coords[1], &target);
@@ -520,10 +557,14 @@ mod tests {
         let (space, coords, errors, malicious) = fixture();
         let view = view_fixture(&space, &coords, &errors, &malicious);
         let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let mut coll = Collusion::new();
         let mut adv = VivaldiRepulsion::with_subset(5_000.0, 1);
-        adv.inject(&[0], &view, &mut rng);
+        adv.inject(&[0], &mut coll, &view, &mut rng);
         let attacked: Vec<bool> = (1..4)
-            .map(|v| adv.respond(0, v, 80.0, &view, &mut rng).is_some())
+            .map(|v| {
+                adv.respond(&probe(0, v, 80.0), &mut coll, &view, &mut rng)
+                    .is_some()
+            })
             .collect();
         assert_eq!(attacked.iter().filter(|&&b| b).count(), 1);
     }
@@ -533,12 +574,19 @@ mod tests {
         let (space, coords, errors, malicious) = fixture();
         let view = view_fixture(&space, &coords, &errors, &malicious);
         let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let mut coll = Collusion::new();
         let mut adv = VivaldiCollusionRepel::against(3, 4_000.0);
-        adv.inject(&[0], &view, &mut rng);
-        assert!(adv.respond(0, 3, 80.0, &view, &mut rng).is_none());
+        adv.inject(&[0], &mut coll, &view, &mut rng);
+        assert!(adv
+            .respond(&probe(0, 3, 80.0), &mut coll, &view, &mut rng)
+            .is_none());
         // Designated coordinate for a victim is frozen across probes.
-        let l1 = adv.respond(0, 1, 80.0, &view, &mut rng).unwrap();
-        let l2 = adv.respond(0, 1, 80.0, &view, &mut rng).unwrap();
+        let l1 = adv
+            .respond(&probe(0, 1, 80.0), &mut coll, &view, &mut rng)
+            .unwrap();
+        let l2 = adv
+            .respond(&probe(0, 1, 80.0), &mut coll, &view, &mut rng)
+            .unwrap();
         assert_eq!(l1.coord, l2.coord);
         assert_eq!(l1.delay_ms, l2.delay_ms);
     }
@@ -548,10 +596,15 @@ mod tests {
         let (space, coords, errors, malicious) = fixture();
         let view = view_fixture(&space, &coords, &errors, &malicious);
         let mut rng = ChaCha12Rng::seed_from_u64(4);
+        let mut coll = Collusion::new();
         let mut adv = VivaldiCollusionLure::against(2, 8_000.0);
-        adv.inject(&[0], &view, &mut rng);
-        assert!(adv.respond(0, 1, 80.0, &view, &mut rng).is_none());
-        let lie = adv.respond(0, 2, 80.0, &view, &mut rng).unwrap();
+        adv.inject(&[0], &mut coll, &view, &mut rng);
+        assert!(adv
+            .respond(&probe(0, 1, 80.0), &mut coll, &view, &mut rng)
+            .is_none());
+        let lie = adv
+            .respond(&probe(0, 2, 80.0), &mut coll, &view, &mut rng)
+            .unwrap();
         assert_eq!(lie.delay_ms, 0.0);
         assert!(
             lie.coord.magnitude() > 4_000.0,
@@ -565,9 +618,10 @@ mod tests {
         let (space, coords, errors, malicious) = fixture();
         let view = view_fixture(&space, &coords, &errors, &malicious);
         let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let mut coll = Collusion::new();
         let mut adv = VivaldiCombined::new();
         let attackers: Vec<usize> = (0..9).collect();
-        adv.inject(&attackers, &view, &mut rng);
+        adv.inject(&attackers, &mut coll, &view, &mut rng);
         assert_eq!(adv.class_sizes(), (3, 3, 3));
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! * [`ext_genesis`] — *genesis vs injection* timing: the paper studies the
 //!   injection scenario and cites its companion work (Kaafar et al.,
-//!   SIGCOMM LSAD'06, reference [9]) for attackers present from the
+//!   SIGCOMM LSAD'06, reference \[9\]) for attackers present from the
 //!   system's creation. This experiment runs both timings side by side on
 //!   identical topologies and seeds.
 //! * [`ext_faults`] — *benign faults are not attacks*: probe loss and
@@ -22,7 +22,7 @@ use vcoord_vivaldi::{VivaldiConfig, VivaldiSim};
 /// When the malicious population becomes active.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AttackTiming {
-    /// Attackers are present from the system's creation (reference [9]'s
+    /// Attackers are present from the system's creation (reference \[9\]'s
     /// scenario): honest nodes never get a clean convergence phase.
     Genesis,
     /// Attackers are injected into a converged system (the paper's §5

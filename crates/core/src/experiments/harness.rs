@@ -6,12 +6,13 @@
 //! after. Every run is fully determined by `(master_seed, repetition)`.
 
 use crate::experiments::Scale;
+use vcoord_attackkit::AttackStrategy;
 use vcoord_metrics::{random_baseline, EvalPlan, FilterLedger, TimeSeries};
 use vcoord_netsim::SeedStream;
-use vcoord_nps::{NpsAdversary, NpsConfig, NpsSim};
-use vcoord_space::Space;
+use vcoord_nps::{NpsConfig, NpsSim};
+use vcoord_space::{Coord, Space};
 use vcoord_topo::{KingLike, KingLikeConfig};
-use vcoord_vivaldi::{VivaldiAdversary, VivaldiConfig, VivaldiSim};
+use vcoord_vivaldi::{VivaldiConfig, VivaldiSim};
 
 /// The random-coordinate interval of the paper's worst-case baseline.
 pub const RANDOM_RANGE: f64 = 50_000.0;
@@ -31,6 +32,10 @@ pub struct VivaldiRun {
     pub final_errors: Vec<f64>,
     /// Error of the focus set (e.g. the isolation target), when tracked.
     pub focus_series: Option<TimeSeries>,
+    /// Mean honest-node coordinate displacement per tick during the attack
+    /// window (ms/tick) — the *drift velocity* gradual attacks maximize
+    /// while staying under displacement thresholds.
+    pub drift_series: TimeSeries,
     /// Average error of the random-coordinate baseline on this topology.
     pub random_baseline: f64,
     /// Number of attackers injected.
@@ -40,12 +45,25 @@ pub struct VivaldiRun {
 /// Builds the adversary once the attacker set is known. Returns the boxed
 /// strategy plus an optional *focus set* of nodes whose error the harness
 /// should track separately (isolation targets, designated victims).
-pub type VivaldiFactory<'a> = &'a (dyn Fn(
-    &mut VivaldiSim,
-    &[usize],
-    &SeedStream,
-) -> (Box<dyn VivaldiAdversary>, Option<Vec<usize>>)
+pub type VivaldiFactory<'a> = &'a (dyn Fn(&mut VivaldiSim, &[usize], &SeedStream) -> (Box<dyn AttackStrategy>, Option<Vec<usize>>)
          + Sync);
+
+/// Mean displacement per round of `nodes` between `prev` (updated in
+/// place) and their current coordinates — the drift-velocity sample.
+fn drift_sample(
+    nodes: &[usize],
+    prev: &mut [Coord],
+    coords: &[Coord],
+    space: &Space,
+    rounds: u64,
+) -> f64 {
+    let mut total = 0.0;
+    for (k, &i) in nodes.iter().enumerate() {
+        total += space.distance(&coords[i], &prev[k]);
+        prev[k] = coords[i].clone();
+    }
+    total / (nodes.len().max(1) as f64 * rounds.max(1) as f64)
+}
 
 /// Run one Vivaldi injection experiment.
 ///
@@ -109,8 +127,14 @@ pub fn run_vivaldi(
     });
 
     let mut attack_series = TimeSeries::new();
+    let mut drift_series = TimeSeries::new();
     let mut focus_series = focus_indices.as_ref().map(|_| TimeSeries::new());
     let mut final_errors: Vec<f64> = Vec::new();
+    let mut prev_coords: Vec<Coord> = plan_honest
+        .nodes()
+        .iter()
+        .map(|&i| sim.coords()[i].clone())
+        .collect();
     let mut t = 0;
     while t < scale.vivaldi_attack_ticks {
         sim.run_ticks(scale.vivaldi_record_every);
@@ -118,6 +142,16 @@ pub fn run_vivaldi(
         let errs = plan_honest.per_node_errors(sim.coords(), sim.space(), sim.matrix());
         let avg = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
         attack_series.push(sim.now_ticks(), avg);
+        drift_series.push(
+            sim.now_ticks(),
+            drift_sample(
+                plan_honest.nodes(),
+                &mut prev_coords,
+                sim.coords(),
+                sim.space(),
+                scale.vivaldi_record_every,
+            ),
+        );
         if let (Some(fs), Some(fi)) = (focus_series.as_mut(), focus_indices.as_ref()) {
             let favg = fi.iter().map(|&k| errs[k]).sum::<f64>() / fi.len().max(1) as f64;
             fs.push(sim.now_ticks(), favg);
@@ -139,6 +173,7 @@ pub fn run_vivaldi(
         clean_ref,
         final_errors,
         focus_series,
+        drift_series,
         random_baseline,
         attackers: n_attackers,
     }
@@ -159,6 +194,9 @@ pub struct NpsRun {
     pub layer_series: Vec<(u8, TimeSeries)>,
     /// Error of the focus set (designated victims), when tracked.
     pub focus_series: Option<TimeSeries>,
+    /// Mean honest-node coordinate displacement per repositioning round
+    /// during the attack window (ms/round) — the drift velocity.
+    pub drift_series: TimeSeries,
     /// Security-filter events attributable to the attack window.
     pub ledger: FilterLedger,
     /// Probe-threshold eliminations during the attack window.
@@ -170,7 +208,7 @@ pub struct NpsRun {
 }
 
 /// Adversary factory for NPS runs (see [`VivaldiFactory`]).
-pub type NpsFactory<'a> = &'a (dyn Fn(&mut NpsSim, &[usize], &SeedStream) -> (Box<dyn NpsAdversary>, Option<Vec<usize>>)
+pub type NpsFactory<'a> = &'a (dyn Fn(&mut NpsSim, &[usize], &SeedStream) -> (Box<dyn AttackStrategy>, Option<Vec<usize>>)
          + Sync);
 
 /// Run one NPS injection experiment.
@@ -255,10 +293,16 @@ pub fn run_nps(
     });
 
     let mut attack_series = TimeSeries::new();
+    let mut drift_series = TimeSeries::new();
     let mut layer_acc: Vec<(u8, TimeSeries)> =
         (1..layers).map(|l| (l as u8, TimeSeries::new())).collect();
     let mut focus_series = focus_indices.as_ref().map(|_| TimeSeries::new());
     let mut final_errors: Vec<f64> = Vec::new();
+    let mut prev_coords: Vec<Coord> = plan_honest
+        .nodes()
+        .iter()
+        .map(|&i| sim.coords()[i].clone())
+        .collect();
     let mut r = 0;
     while r < scale.nps_attack_rounds {
         sim.run_rounds(scale.nps_record_every);
@@ -266,6 +310,16 @@ pub fn run_nps(
         let errs = plan_honest.per_node_errors(sim.coords(), sim.space(), sim.matrix());
         let avg = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
         attack_series.push(sim.now_rounds(), avg);
+        drift_series.push(
+            sim.now_rounds(),
+            drift_sample(
+                plan_honest.nodes(),
+                &mut prev_coords,
+                sim.coords(),
+                sim.space(),
+                scale.nps_record_every,
+            ),
+        );
         for (l, series) in layer_acc.iter_mut() {
             let vals: Vec<f64> = errs
                 .iter()
@@ -316,6 +370,7 @@ pub fn run_nps(
         final_errors,
         layer_series: layer_acc,
         focus_series,
+        drift_series,
         ledger,
         threshold_ledger,
         random_baseline,

@@ -10,6 +10,7 @@
 //! See `DESIGN.md` for the figure-by-figure index and `EXPERIMENTS.md` for
 //! recorded paper-vs-measured outcomes.
 
+pub mod attack_figs;
 pub mod extensions;
 pub mod harness;
 pub mod nps_figs;
@@ -168,25 +169,51 @@ pub fn average_series(series: &[TimeSeries]) -> TimeSeries {
     out
 }
 
-/// Run `repetitions` independent jobs on worker threads and collect their
-/// results in repetition order. Used by every figure runner; CPU-bound
-/// work, so plain scoped threads (see DESIGN.md guide-conformance notes).
+/// Run `repetitions` independent jobs on a bounded pool of worker threads
+/// and collect their results in repetition order. Used by every figure
+/// runner; CPU-bound work, so plain scoped threads (see DESIGN.md
+/// guide-conformance notes).
+///
+/// The pool is capped at the machine's available parallelism: spawning one
+/// thread per repetition was fine at the paper's 10 repetitions, but
+/// over-subscribes badly once sweeps multiply the job count. Workers pull
+/// repetition indices from a shared counter, so the cap costs nothing when
+/// `repetitions` is small.
 pub fn run_repetitions<T, F>(repetitions: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let cap = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = cap.min(repetitions).max(1);
+    let next = AtomicUsize::new(0);
     let mut results: Vec<Option<T>> = (0..repetitions).map(|_| None).collect();
     std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (rep, slot) in results.iter_mut().enumerate() {
-            let f = &f;
-            handles.push(scope.spawn(move || {
-                *slot = Some(f(rep as u64));
-            }));
-        }
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let f = &f;
+                let next = &next;
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let rep = next.fetch_add(1, Ordering::Relaxed);
+                        if rep >= repetitions {
+                            break;
+                        }
+                        done.push((rep, f(rep as u64)));
+                    }
+                    done
+                })
+            })
+            .collect();
         for h in handles {
-            h.join().expect("repetition worker panicked");
+            for (rep, value) in h.join().expect("repetition worker panicked") {
+                results[rep] = Some(value);
+            }
         }
     });
     results
@@ -231,6 +258,32 @@ mod tests {
     fn run_repetitions_preserves_order() {
         let out = run_repetitions(8, |rep| rep * 10);
         assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn run_repetitions_bounds_concurrency() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let cap = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let active = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        // Far more repetitions than cores: the pool must still finish, keep
+        // order, and never run more jobs at once than the cap.
+        let out = run_repetitions(4 * cap + 3, |rep| {
+            let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            active.fetch_sub(1, Ordering::SeqCst);
+            rep
+        });
+        assert_eq!(out, (0..(4 * cap as u64 + 3)).collect::<Vec<_>>());
+        assert!(
+            peak.load(Ordering::SeqCst) <= cap,
+            "worker pool exceeded available parallelism: {} > {cap}",
+            peak.load(Ordering::SeqCst)
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@ fn quantile_grid() -> Vec<f64> {
     (0..=50).map(|k| k as f64 / 50.0).collect()
 }
 
-type BoxedNpsAdversary = Box<dyn vcoord_nps::NpsAdversary>;
+type BoxedNpsAdversary = Box<dyn vcoord_attackkit::AttackStrategy>;
 
 fn disorder_factory() -> impl Fn(
     &mut vcoord_nps::NpsSim,
@@ -538,7 +538,7 @@ pub fn fig25(scale: &Scale, seed: u64) -> FigureResult {
     let factory = collusion_factory(0.2);
     let honest_factory: NpsFactory<'_> = &|_sim, _attackers, _seeds| {
         (
-            Box::new(vcoord_nps::adversary::HonestNpsAdversary) as BoxedNpsAdversary,
+            Box::new(vcoord_attackkit::Honest) as BoxedNpsAdversary,
             None,
         )
     };

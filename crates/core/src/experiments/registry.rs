@@ -1,6 +1,6 @@
 //! Figure registry: id → runner.
 
-use crate::experiments::{extensions, nps_figs, vivaldi_figs, FigureResult, Scale};
+use crate::experiments::{attack_figs, extensions, nps_figs, vivaldi_figs, FigureResult, Scale};
 
 type Runner = fn(&Scale, u64) -> FigureResult;
 
@@ -149,6 +149,23 @@ pub const FIGURES: &[(&str, Runner, &str)] = &[
         extensions::ext_faults,
         "EXT: benign faults vs adversarial behaviour",
     ),
+    // attackkit scenario families (frog-boiling, oscillation, partition,
+    // inflation, deflation — see experiments::attack_figs).
+    (
+        "atk-sweep-vivaldi",
+        attack_figs::atk_sweep_vivaldi,
+        "ATK: attackkit strategy sweep on Vivaldi (error + drift)",
+    ),
+    (
+        "atk-sweep-nps",
+        attack_figs::atk_sweep_nps,
+        "ATK: attackkit strategy sweep on NPS (error + drift)",
+    ),
+    (
+        "atk-frog-drift",
+        attack_figs::atk_frog_drift,
+        "ATK: frog-boiling drift velocity by step size (Vivaldi)",
+    ),
 ];
 
 /// All known figure ids, in paper order.
@@ -179,12 +196,19 @@ mod tests {
     #[test]
     fn registry_covers_every_evaluation_figure() {
         let ids = figure_ids();
-        assert_eq!(ids.len(), 28, "26 paper figures + 2 extensions");
+        assert_eq!(
+            ids.len(),
+            31,
+            "26 paper figures + 2 extensions + 3 attackkit sweeps"
+        );
         for k in 1..=26 {
             assert!(ids.contains(&format!("fig{k}").as_str()), "missing fig{k}");
         }
         assert!(ids.contains(&"ext-genesis"));
         assert!(ids.contains(&"ext-faults"));
+        for id in ["atk-sweep-vivaldi", "atk-sweep-nps", "atk-frog-drift"] {
+            assert!(ids.contains(&id), "missing {id}");
+        }
     }
 
     #[test]

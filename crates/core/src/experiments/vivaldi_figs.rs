@@ -18,7 +18,7 @@ pub const FRACTIONS: [f64; 6] = [0.10, 0.20, 0.30, 0.40, 0.50, 0.75];
 
 /// What an adversary factory yields: the adversary and its victims (if any).
 type AdversaryChoice = (
-    Box<dyn vcoord_vivaldi::VivaldiAdversary>,
+    Box<dyn vcoord_attackkit::AttackStrategy>,
     Option<Vec<usize>>,
 );
 
@@ -32,7 +32,7 @@ fn disorder_factory(
        + Sync {
     |_sim, _attackers, _seeds| {
         (
-            Box::new(VivaldiDisorder::default()) as Box<dyn vcoord_vivaldi::VivaldiAdversary>,
+            Box::new(VivaldiDisorder::default()) as Box<dyn vcoord_attackkit::AttackStrategy>,
             None,
         )
     }
@@ -43,7 +43,7 @@ fn repulsion_factory(
 ) -> impl Fn(&mut vcoord_vivaldi::VivaldiSim, &[usize], &vcoord_netsim::SeedStream) -> AdversaryChoice
        + Sync {
     move |_sim, _attackers, _seeds| {
-        let adv: Box<dyn vcoord_vivaldi::VivaldiAdversary> = match subset {
+        let adv: Box<dyn vcoord_attackkit::AttackStrategy> = match subset {
             Some(k) => Box::new(VivaldiRepulsion::with_subset(50_000.0, k)),
             None => Box::new(VivaldiRepulsion::default()),
         };
@@ -68,7 +68,7 @@ fn collusion_repel_factory(
             .expect("honest nodes exist");
         (
             Box::new(VivaldiCollusionRepel::against(target, 10_000.0))
-                as Box<dyn vcoord_vivaldi::VivaldiAdversary>,
+                as Box<dyn vcoord_attackkit::AttackStrategy>,
             Some(vec![target]),
         )
     }
@@ -90,7 +90,7 @@ fn collusion_lure_factory(
             .expect("honest nodes exist");
         (
             Box::new(VivaldiCollusionLure::against(target, 10_000.0))
-                as Box<dyn vcoord_vivaldi::VivaldiAdversary>,
+                as Box<dyn vcoord_attackkit::AttackStrategy>,
             Some(vec![target]),
         )
     }
@@ -101,7 +101,7 @@ fn combined_factory(
        + Sync {
     |_sim, _attackers, _seeds| {
         (
-            Box::new(VivaldiCombined::new()) as Box<dyn vcoord_vivaldi::VivaldiAdversary>,
+            Box::new(VivaldiCombined::new()) as Box<dyn vcoord_attackkit::AttackStrategy>,
             None,
         )
     }

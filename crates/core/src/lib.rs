@@ -15,6 +15,7 @@
 //! | [`topo`] | `vcoord-topo` | latency matrices, King-equivalent synthesis |
 //! | [`netsim`] | `vcoord-netsim` | discrete-event engine, seed streams |
 //! | [`metrics`] | `vcoord-metrics` | relative error, CDFs, filter ledger |
+//! | [`attackkit`] | `vcoord-attackkit` | generic attack-scenario engine |
 //! | [`vivaldi`] | `vcoord-vivaldi` | the Vivaldi system under test |
 //! | [`nps`] | `vcoord-nps` | the NPS system under test |
 //!
@@ -56,6 +57,7 @@ pub mod knowledge;
 pub use knowledge::Knowledge;
 
 // Substrate re-exports under stable names.
+pub use vcoord_attackkit as attackkit;
 pub use vcoord_metrics as metrics;
 pub use vcoord_netsim as netsim;
 pub use vcoord_nps as nps;
@@ -73,6 +75,10 @@ pub mod prelude {
         VivaldiRepulsion,
     };
     pub use crate::knowledge::Knowledge;
+    pub use vcoord_attackkit::{
+        AttackStrategy, Collusion, CoordView, Deflation, FrogBoiling, Honest, Inflation, Lie,
+        NetworkPartition, Oscillation, Probe, Protocol, RandomLie, Scenario,
+    };
     pub use vcoord_metrics::{relative_error, Cdf, EvalPlan, FilterLedger, TimeSeries};
     pub use vcoord_netsim::{LinkModel, SeedStream};
     pub use vcoord_nps::{NpsConfig, NpsSim};

@@ -1,108 +1,66 @@
-//! The NPS adversary interface.
+//! The NPS adversary seam.
 //!
-//! Mirrors the Vivaldi seam (`vcoord_vivaldi::adversary`) with NPS-specific
-//! context: attackers act when they serve as *reference points* in a
-//! victim's positioning round. An NPS response carries reported coordinates
-//! and an added probe delay (there is no error-estimate field in NPS).
+//! Mirrors the Vivaldi seam (`vcoord_vivaldi::adversary`): attack behaviour
+//! is injected through the generic scenario engine of [`vcoord_attackkit`],
+//! and attackers act when they serve as *reference points* in a victim's
+//! positioning round. NPS-specific reading of the generic contract:
+//!
+//! * an NPS response carries reported coordinates and an added probe delay;
+//!   there is no error-estimate field in the protocol, so [`Lie::error`] is
+//!   ignored by the simulator;
+//! * the [`CoordView`] oracle exposes the hierarchy: `layer` (0 =
+//!   landmark), `is_ref` (reference-eligible nodes), and an empty `errors`
+//!   slice (NPS victims keep no error estimate); `round` is the
+//!   repositioning period index;
+//! * [`Protocol::probe_threshold_ms`](vcoord_attackkit::Protocol) is the
+//!   victim-side probe threshold (a public protocol constant): measured
+//!   RTTs above it are discarded *and the reference banned*, which is what
+//!   threshold-aware strategies must stay under.
 
-use rand_chacha::ChaCha12Rng;
-use vcoord_space::{Coord, Space};
-
-/// What a probed malicious reference point sends back.
-#[derive(Debug, Clone)]
-pub struct RefLie {
-    /// Reported reference coordinates `P_Ri` (possibly false).
-    pub coord: Coord,
-    /// Extra probe delay in ms; clamped to `>= 0` by the simulator (the
-    /// threat model forbids shortening RTTs).
-    pub delay_ms: f64,
-}
-
-/// Read-only oracle view handed to NPS adversaries.
-pub struct NpsView<'a> {
-    /// The embedding space.
-    pub space: &'a Space,
-    /// True current coordinates of every node.
-    pub coords: &'a [Coord],
-    /// Layer of every node (0 = landmark).
-    pub layer: &'a [u8],
-    /// Malicious flags.
-    pub malicious: &'a [bool],
-    /// Whether each node currently serves in a reference-eligible layer.
-    pub is_ref: &'a [bool],
-    /// The victim-side probe threshold (protocol constant, public).
-    pub probe_threshold_ms: f64,
-    /// Current simulated time (ms).
-    pub now_ms: u64,
-}
-
-/// A strategy deciding how malicious NPS reference points answer
-/// positioning probes.
-pub trait NpsAdversary {
-    /// Called once at injection with the converged system as oracle.
-    fn inject(&mut self, _attackers: &[usize], _view: &NpsView<'_>, _rng: &mut ChaCha12Rng) {}
-
-    /// Reference point `attacker` was probed by `victim` (true RTT `rtt`).
-    /// Return the lie, or `None` to behave honestly for this probe.
-    fn respond(
-        &mut self,
-        attacker: usize,
-        victim: usize,
-        rtt: f64,
-        view: &NpsView<'_>,
-        rng: &mut ChaCha12Rng,
-    ) -> Option<RefLie>;
-
-    /// Short label for logs and CSV headers.
-    fn label(&self) -> &'static str {
-        "adversary"
-    }
-}
-
-/// Null adversary: malicious nodes that never actually misbehave.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct HonestNpsAdversary;
-
-impl NpsAdversary for HonestNpsAdversary {
-    fn respond(
-        &mut self,
-        _attacker: usize,
-        _victim: usize,
-        _rtt: f64,
-        _view: &NpsView<'_>,
-        _rng: &mut ChaCha12Rng,
-    ) -> Option<RefLie> {
-        None
-    }
-
-    fn label(&self) -> &'static str {
-        "honest"
-    }
-}
+pub use vcoord_attackkit::{
+    AttackStrategy, Collusion, CoordView, Honest, Lie, Probe, Protocol, Scenario,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
+    use vcoord_space::{Coord, Space};
 
     #[test]
-    fn honest_adversary_never_lies() {
+    fn honest_scenario_never_lies_through_the_seam() {
         let space = Space::Euclidean(2);
         let coords = vec![Coord::origin(2); 2];
         let layer = vec![1u8, 2u8];
         let malicious = vec![true, false];
         let is_ref = vec![true, false];
-        let view = NpsView {
+        let view = CoordView {
             space: &space,
             coords: &coords,
+            errors: &[],
             layer: &layer,
             malicious: &malicious,
             is_ref: &is_ref,
-            probe_threshold_ms: 5000.0,
+            round: 0,
             now_ms: 0,
+            params: Protocol {
+                cc: 0.25,
+                probe_threshold_ms: 5000.0,
+            },
         };
-        let mut rng = rand::SeedableRng::seed_from_u64(0);
-        assert!(HonestNpsAdversary
-            .respond(0, 1, 10.0, &view, &mut rng)
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(0);
+        let mut scenario = Scenario::new(Box::new(Honest));
+        scenario.inject(&[0], &view, &mut rng);
+        assert!(scenario
+            .respond(
+                Probe {
+                    attacker: 0,
+                    victim: 1,
+                    rtt: 10.0
+                },
+                &view,
+                &mut rng
+            )
             .is_none());
     }
 }

@@ -21,11 +21,11 @@
 //!   per positioning. A 5-second **probe threshold** additionally discards
 //!   implausibly slow probes.
 //!
-//! Malicious reference-point behaviour is injected via
-//! [`adversary::NpsAdversary`]; the simulator enforces the delay-only threat
-//! model and accounts every filter decision in a
-//! [`vcoord_metrics::FilterLedger`] (true vs false positives — figures 20
-//! and 22).
+//! Malicious reference-point behaviour is injected through the generic
+//! [`vcoord_attackkit::AttackStrategy`] seam (see [`adversary`]); the
+//! simulator enforces the delay-only threat model and accounts every filter
+//! decision in a [`vcoord_metrics::FilterLedger`] (true vs false positives
+//! — figures 20 and 22).
 
 pub mod adversary;
 pub mod config;
@@ -34,7 +34,7 @@ pub mod membership;
 pub mod position;
 pub mod sim;
 
-pub use adversary::{NpsAdversary, NpsView, RefLie};
+pub use adversary::{AttackStrategy, Collusion, CoordView, Honest, Lie, Probe, Protocol, Scenario};
 pub use config::NpsConfig;
 pub use position::{
     position_node, position_node_with, FitObjective, PositionOutcome, RefSample, SecurityPolicy,

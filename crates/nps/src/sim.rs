@@ -15,7 +15,7 @@
 //! the paper's threat model assumes "landmarks are highly secure machines
 //! that never cheat".
 
-use crate::adversary::{NpsAdversary, NpsView, RefLie};
+use crate::adversary::{AttackStrategy, CoordView, Lie, Probe, Protocol, Scenario};
 use crate::config::NpsConfig;
 use crate::layers::{assign_layers, select_landmarks};
 use crate::membership::Membership;
@@ -62,7 +62,7 @@ struct NpsWorld {
     refs: Vec<Vec<usize>>,
     banned: Vec<Vec<usize>>,
     malicious: Vec<bool>,
-    adversary: Option<Box<dyn NpsAdversary>>,
+    scenario: Option<Scenario>,
     ledger: FilterLedger,
     threshold_ledger: FilterLedger,
     counters: NpsCounters,
@@ -91,23 +91,39 @@ impl NpsWorld {
             }
         };
 
-        let lie = if let (true, Some(adversary)) = (self.malicious[r], self.adversary.as_mut()) {
-            let view = NpsView {
+        let lie = if let (true, Some(scenario)) = (self.malicious[r], self.scenario.as_mut()) {
+            let view = CoordView {
                 space: &self.config.space,
                 coords: &self.coords,
+                errors: &[],
                 layer: &self.layer,
                 malicious: &self.malicious,
                 is_ref: &self.is_ref,
-                probe_threshold_ms: self.config.probe_threshold_ms,
+                round: now_ms / self.config.reposition_ms.max(1),
                 now_ms,
+                params: Protocol {
+                    probe_threshold_ms: self.config.probe_threshold_ms,
+                    ..Protocol::default()
+                },
             };
-            adversary.respond(r, node, true_rtt, &view, &mut self.adv_rng)
+            scenario.respond(
+                Probe {
+                    attacker: r,
+                    victim: node,
+                    rtt: true_rtt,
+                },
+                &view,
+                &mut self.adv_rng,
+            )
         } else {
             None
         };
 
         let (coord, rtt) = match lie {
-            Some(RefLie { coord, delay_ms }) => {
+            // NPS carries no error-estimate field: `Lie::error` is ignored.
+            Some(Lie {
+                coord, delay_ms, ..
+            }) => {
                 self.counters.lies_served += 1;
                 let delay = if delay_ms < 0.0 {
                     self.counters.delay_clamped += 1;
@@ -327,7 +343,7 @@ impl NpsSim {
             refs,
             banned: vec![Vec::new(); n],
             malicious: vec![false; n],
-            adversary: None,
+            scenario: None,
             ledger: FilterLedger::new(),
             threshold_ledger: FilterLedger::new(),
             counters: NpsCounters::default(),
@@ -442,36 +458,51 @@ impl NpsSim {
         pool
     }
 
-    /// Turn `attackers` malicious under `adversary` (the injection
-    /// scenario).
-    pub fn inject_adversary(&mut self, attackers: &[usize], mut adversary: Box<dyn NpsAdversary>) {
+    /// Turn `attackers` malicious under `strategy` (the injection
+    /// scenario); all subsequent reference probes of malicious nodes route
+    /// through the resulting [`Scenario`].
+    pub fn inject_adversary(&mut self, attackers: &[usize], strategy: Box<dyn AttackStrategy>) {
         for &a in attackers {
             assert_ne!(self.world.layer[a], 0, "landmarks never cheat (paper §5.4)");
             self.world.malicious[a] = true;
         }
-        let view = NpsView {
+        let view = CoordView {
             space: &self.world.config.space,
             coords: &self.world.coords,
+            errors: &[],
             layer: &self.world.layer,
             malicious: &self.world.malicious,
             is_ref: &self.world.is_ref,
-            probe_threshold_ms: self.world.config.probe_threshold_ms,
+            round: self.engine.now() / self.world.config.reposition_ms.max(1),
             now_ms: self.engine.now(),
+            params: Protocol {
+                probe_threshold_ms: self.world.config.probe_threshold_ms,
+                ..Protocol::default()
+            },
         };
-        adversary.inject(attackers, &view, &mut self.world.adv_rng);
-        self.world.adversary = Some(adversary);
+        let mut scenario = Scenario::new(strategy);
+        scenario.inject(attackers, &view, &mut self.world.adv_rng);
+        self.world.scenario = Some(scenario);
         log::trace!(
             "nps: injected {} attackers at t={}ms",
             attackers.len(),
             self.engine.now()
         );
     }
+
+    /// The running attack scenario, if one was injected (its [`Collusion`]
+    /// state is observable for diagnostics and tests).
+    ///
+    /// [`Collusion`]: vcoord_attackkit::Collusion
+    pub fn scenario(&self) -> Option<&Scenario> {
+        self.world.scenario.as_ref()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::adversary::HonestNpsAdversary;
+    use crate::adversary::Honest;
     use vcoord_metrics::EvalPlan;
     use vcoord_topo::{KingLike, KingLikeConfig};
 
@@ -548,7 +579,7 @@ mod tests {
         let plan = EvalPlan::new(&sim.eval_nodes(), &mut SeedStream::new(7).rng("plan"));
         let before = plan.avg_error(sim.coords(), sim.space(), sim.matrix());
         let attackers = sim.pick_attackers(0.3);
-        sim.inject_adversary(&attackers, Box::new(HonestNpsAdversary));
+        sim.inject_adversary(&attackers, Box::new(Honest));
         sim.run_ms(400_000);
         let plan2 = EvalPlan::new(&sim.eval_nodes(), &mut SeedStream::new(7).rng("plan"));
         let after = plan2.avg_error(sim.coords(), sim.space(), sim.matrix());

@@ -1,121 +1,65 @@
-//! The adversary interface: how malicious nodes answer probes.
+//! The adversary seam: how malicious nodes answer probes.
 //!
-//! Attack *strategies* (disorder, repulsion, collusion, …) live in the
-//! `vcoord` core crate; this module defines the seam between them and the
-//! simulator. The contract encodes the paper's threat model:
+//! Attack behaviour is injected through the generic scenario engine of
+//! [`vcoord_attackkit`] — the simulator holds a [`Scenario`] and routes
+//! every probe of a malicious node through it. This module pins down the
+//! Vivaldi-specific reading of the generic contract:
 //!
-//! * a malicious node controls the **coordinates** and **error estimate** it
-//!   reports, and may **delay** the probe;
-//! * it can never *shorten* a measurement — the simulator clamps negative
-//!   delays to zero and logs the violation;
-//! * attackers may know their victims' true coordinates (the paper's
-//!   "knowledge" parameter); the [`VivaldiView`] passed to the adversary is
-//!   that oracle, and strategies decide how much of it to use.
+//! * a malicious node controls the **coordinates** and **error estimate**
+//!   it reports ([`Lie::coord`] / [`Lie::error`]), and may **delay** the
+//!   probe; the simulator clamps negative delays to zero and logs the
+//!   violation — the threat model forbids shortening measurements;
+//! * the [`CoordView`] handed to strategies is the knowledge oracle:
+//!   `coords` and `errors` are the true per-node state (attackers
+//!   legitimately learn victim positions "by means of previous requests",
+//!   paper §5.3.2), `round` is the probe tick, and
+//!   [`Protocol::cc`](vcoord_attackkit::Protocol) is Vivaldi's public
+//!   adaptive-timestep constant;
+//! * Vivaldi has no probe threshold, so
+//!   [`Protocol::probe_threshold_ms`](vcoord_attackkit::Protocol) is
+//!   infinite — strategies need no delay cap here.
 
-use rand_chacha::ChaCha12Rng;
-use vcoord_space::{Coord, Space};
-
-/// What a probed malicious node sends back.
-#[derive(Debug, Clone)]
-pub struct ProbeLie {
-    /// Reported coordinates (`x_j` in the update rule).
-    pub coord: Coord,
-    /// Reported error estimate (`e_j`); the disorder attack reports 0.01.
-    pub error: f64,
-    /// Extra delay added to the probe, in ms. Clamped to `>= 0` by the
-    /// simulator: the threat model forbids shortening RTTs.
-    pub delay_ms: f64,
-}
-
-/// Read-only view of the true system state offered to adversaries.
-///
-/// This is the knowledge *oracle*: strategies with partial knowledge must
-/// throttle themselves (see `vcoord::attacks::Knowledge`).
-pub struct VivaldiView<'a> {
-    /// The embedding space.
-    pub space: &'a Space,
-    /// True current coordinates of every node.
-    pub coords: &'a [Coord],
-    /// True current local error estimates of every node.
-    pub errors: &'a [f64],
-    /// Which nodes are currently malicious.
-    pub malicious: &'a [bool],
-    /// The adaptive-timestep constant `Cc` of the victims (public protocol
-    /// knowledge; repulsion lies need it to aim their displacement).
-    pub cc: f64,
-    /// Current simulated time, ms.
-    pub now_ms: u64,
-}
-
-/// A strategy deciding how malicious Vivaldi nodes answer probes.
-pub trait VivaldiAdversary {
-    /// Called once when the attacker set is injected into the running
-    /// system, before any lie is requested. Collusion strategies use this to
-    /// agree on targets and cluster positions.
-    fn inject(&mut self, _attackers: &[usize], _view: &VivaldiView<'_>, _rng: &mut ChaCha12Rng) {}
-
-    /// `victim` probed `attacker` (true RTT `rtt` ms): produce the response.
-    ///
-    /// Returning `None` means "behave honestly for this probe" (used by
-    /// subset-targeted and colluding attacks when facing a non-victim).
-    fn respond(
-        &mut self,
-        attacker: usize,
-        victim: usize,
-        rtt: f64,
-        view: &VivaldiView<'_>,
-        rng: &mut ChaCha12Rng,
-    ) -> Option<ProbeLie>;
-
-    /// A short label for logs and CSV headers.
-    fn label(&self) -> &'static str {
-        "adversary"
-    }
-}
-
-/// The null adversary: every malicious node behaves honestly. Useful for
-/// validating that injection plumbing alone does not perturb the system.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct HonestAdversary;
-
-impl VivaldiAdversary for HonestAdversary {
-    fn respond(
-        &mut self,
-        _attacker: usize,
-        _victim: usize,
-        _rtt: f64,
-        _view: &VivaldiView<'_>,
-        _rng: &mut ChaCha12Rng,
-    ) -> Option<ProbeLie> {
-        None
-    }
-
-    fn label(&self) -> &'static str {
-        "honest"
-    }
-}
+pub use vcoord_attackkit::{
+    AttackStrategy, Collusion, CoordView, Honest, Lie, Probe, Protocol, Scenario,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
+    use vcoord_space::{Coord, Space};
 
     #[test]
-    fn honest_adversary_never_lies() {
+    fn honest_scenario_never_lies_through_the_seam() {
         let space = Space::Euclidean(2);
         let coords = vec![Coord::origin(2); 2];
         let errors = vec![1.0; 2];
         let malicious = vec![true, false];
-        let view = VivaldiView {
+        let view = CoordView {
             space: &space,
             coords: &coords,
             errors: &errors,
+            layer: &[],
             malicious: &malicious,
-            cc: 0.25,
+            is_ref: &[],
+            round: 0,
             now_ms: 0,
+            params: Protocol::default(),
         };
-        let mut rng = rand::SeedableRng::seed_from_u64(0);
-        let mut adv = HonestAdversary;
-        assert!(adv.respond(0, 1, 10.0, &view, &mut rng).is_none());
-        assert_eq!(adv.label(), "honest");
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(0);
+        let mut scenario = Scenario::new(Box::new(Honest));
+        scenario.inject(&[0], &view, &mut rng);
+        assert!(scenario
+            .respond(
+                Probe {
+                    attacker: 0,
+                    victim: 1,
+                    rtt: 10.0
+                },
+                &view,
+                &mut rng
+            )
+            .is_none());
+        assert_eq!(scenario.label(), "honest");
     }
 }

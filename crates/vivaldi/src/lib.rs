@@ -12,11 +12,12 @@
 //! node of which 32 are closer than 50 ms, `Cc = 0.25`, a 2-D coordinate
 //! space, and one probe per node per ~17 s tick.
 //!
-//! Malicious behaviour is injected through the [`adversary::VivaldiAdversary`]
-//! trait: when an honest node probes a malicious one, the adversary supplies
-//! the reported coordinates, the reported error estimate, and an extra probe
-//! delay. The simulator enforces the paper's threat model — attackers can
-//! *delay* probes but never shorten them.
+//! Malicious behaviour is injected through the generic
+//! [`vcoord_attackkit::AttackStrategy`] seam (see [`adversary`]): when an
+//! honest node probes a malicious one, the running [`adversary::Scenario`]
+//! supplies the reported coordinates, the reported error estimate, and an
+//! extra probe delay. The simulator enforces the paper's threat model —
+//! attackers can *delay* probes but never shorten them.
 
 pub mod adversary;
 pub mod config;
@@ -25,7 +26,7 @@ pub mod neighbors;
 pub mod node;
 pub mod sim;
 
-pub use adversary::{ProbeLie, VivaldiAdversary, VivaldiView};
+pub use adversary::{AttackStrategy, Collusion, CoordView, Honest, Lie, Probe, Protocol, Scenario};
 pub use config::VivaldiConfig;
 pub use convergence::ConvergenceTracker;
 pub use sim::VivaldiSim;

@@ -2,7 +2,7 @@
 //!
 //! Each node fires one probe per tick (with a per-node phase so probes
 //! interleave), aimed at a random member of its spring set. The probed
-//! node's response — honest state or an adversarial [`ProbeLie`] — travels
+//! node's response — honest state or an adversarial [`Lie`] — travels
 //! back as a simulator message arriving after the *measured* RTT (true RTT
 //! plus adversarial delay plus benign jitter), at which point the victim
 //! applies the Vivaldi update rule.
@@ -11,7 +11,7 @@
 //! `malicious`) so the whole coordinate table can be lent to adversaries as
 //! the knowledge oracle without copies.
 
-use crate::adversary::{ProbeLie, VivaldiAdversary, VivaldiView};
+use crate::adversary::{AttackStrategy, CoordView, Lie, Probe, Protocol, Scenario};
 use crate::config::VivaldiConfig;
 use crate::neighbors::select_neighbors;
 use crate::node::vivaldi_update;
@@ -55,7 +55,7 @@ struct VivaldiWorld {
     errors: Vec<f64>,
     neighbors: Vec<Vec<usize>>,
     malicious: Vec<bool>,
-    adversary: Option<Box<dyn VivaldiAdversary>>,
+    scenario: Option<Scenario>,
     probe_rng: ChaCha12Rng,
     update_rng: ChaCha12Rng,
     adv_rng: ChaCha12Rng,
@@ -85,22 +85,36 @@ impl World for VivaldiWorld {
         };
 
         let response =
-            if let (true, Some(adversary)) = (self.malicious[peer], self.adversary.as_mut()) {
-                let view = VivaldiView {
+            if let (true, Some(scenario)) = (self.malicious[peer], self.scenario.as_mut()) {
+                let view = CoordView {
                     space: &self.config.space,
                     coords: &self.coords,
                     errors: &self.errors,
+                    layer: &[],
                     malicious: &self.malicious,
-                    cc: self.config.cc,
+                    is_ref: &[],
+                    round: sched.now() / self.config.tick_ms.max(1),
                     now_ms: sched.now(),
+                    params: Protocol {
+                        cc: self.config.cc,
+                        probe_threshold_ms: f64::INFINITY,
+                    },
                 };
-                adversary.respond(peer, node, rtt, &view, &mut self.adv_rng)
+                scenario.respond(
+                    Probe {
+                        attacker: peer,
+                        victim: node,
+                        rtt,
+                    },
+                    &view,
+                    &mut self.adv_rng,
+                )
             } else {
                 None
             };
 
         let (coord, error, measured) = match response {
-            Some(ProbeLie {
+            Some(Lie {
                 coord,
                 error,
                 delay_ms,
@@ -186,7 +200,7 @@ impl VivaldiSim {
             errors: vec![config.initial_error; n],
             neighbors,
             malicious: vec![false; n],
-            adversary: None,
+            scenario: None,
             probe_rng: seeds.rng("vivaldi/probe"),
             update_rng: seeds.rng("vivaldi/update"),
             adv_rng: seeds.rng("vivaldi/adversary"),
@@ -274,41 +288,54 @@ impl VivaldiSim {
         ids
     }
 
-    /// Turn `attackers` malicious under `adversary`, in place — the paper's
+    /// Turn `attackers` malicious under `strategy`, in place — the paper's
     /// *injection* scenario (attack a converged system, §5.2).
     ///
-    /// The adversary's [`VivaldiAdversary::inject`] hook runs immediately
-    /// with the current (converged) state as its knowledge oracle.
-    pub fn inject_adversary(
-        &mut self,
-        attackers: &[usize],
-        mut adversary: Box<dyn VivaldiAdversary>,
-    ) {
+    /// The strategy's [`AttackStrategy::inject`] hook runs immediately with
+    /// the current (converged) state as its knowledge oracle; all
+    /// subsequent probes of malicious nodes route through the resulting
+    /// [`Scenario`].
+    pub fn inject_adversary(&mut self, attackers: &[usize], strategy: Box<dyn AttackStrategy>) {
         for &a in attackers {
             self.world.malicious[a] = true;
         }
-        let view = VivaldiView {
+        let view = CoordView {
             space: &self.world.config.space,
             coords: &self.world.coords,
             errors: &self.world.errors,
+            layer: &[],
             malicious: &self.world.malicious,
-            cc: self.world.config.cc,
+            is_ref: &[],
+            round: self.engine.now() / self.world.config.tick_ms.max(1),
             now_ms: self.engine.now(),
+            params: Protocol {
+                cc: self.world.config.cc,
+                probe_threshold_ms: f64::INFINITY,
+            },
         };
-        adversary.inject(attackers, &view, &mut self.world.adv_rng);
-        self.world.adversary = Some(adversary);
+        let mut scenario = Scenario::new(strategy);
+        scenario.inject(attackers, &view, &mut self.world.adv_rng);
+        self.world.scenario = Some(scenario);
         log::trace!(
             "vivaldi: injected {} attackers at t={}ms",
             attackers.len(),
             self.engine.now()
         );
     }
+
+    /// The running attack scenario, if one was injected (its [`Collusion`]
+    /// state is observable for diagnostics and tests).
+    ///
+    /// [`Collusion`]: vcoord_attackkit::Collusion
+    pub fn scenario(&self) -> Option<&Scenario> {
+        self.world.scenario.as_ref()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::adversary::HonestAdversary;
+    use crate::adversary::Honest;
     use vcoord_metrics::EvalPlan;
     use vcoord_topo::{KingLike, KingLikeConfig};
 
@@ -362,7 +389,7 @@ mod tests {
         let before = plan.avg_error(sim.coords(), sim.space(), sim.matrix());
         let attackers = sim.pick_attackers(0.3);
         assert_eq!(attackers.len(), 12);
-        sim.inject_adversary(&attackers, Box::new(HonestAdversary));
+        sim.inject_adversary(&attackers, Box::new(Honest));
         sim.run_ticks(100);
         // Evaluate over the still-honest population.
         let plan2 = EvalPlan::new(&sim.honest_nodes(), &mut SeedStream::new(9).rng("plan"));
@@ -378,7 +405,7 @@ mod tests {
         let mut sim = small_sim(20, 4);
         sim.run_ticks(50);
         let attackers = sim.pick_attackers(0.25);
-        sim.inject_adversary(&attackers, Box::new(HonestAdversary));
+        sim.inject_adversary(&attackers, Box::new(Honest));
         let frozen: Vec<Coord> = attackers.iter().map(|&a| sim.coords()[a].clone()).collect();
         sim.run_ticks(30);
         for (k, &a) in attackers.iter().enumerate() {

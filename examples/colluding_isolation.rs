@@ -9,7 +9,6 @@
 //! ```
 
 use vcoord::prelude::*;
-use vcoord::vivaldi::VivaldiAdversary;
 
 fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
     let args: Vec<String> = std::env::args().collect();
@@ -73,7 +72,7 @@ fn main() {
         "  coordinate-selected neighbour: {pick} ({pick_rtt:.1} ms; true optimum {optimal} at {optimal_rtt:.1} ms)"
     );
 
-    let adversary: Box<dyn VivaldiAdversary> = match strategy.as_str() {
+    let adversary: Box<dyn AttackStrategy> = match strategy.as_str() {
         "repel" => Box::new(VivaldiCollusionRepel::against(victim, 10_000.0)),
         "lure" => Box::new(VivaldiCollusionLure::against(victim, 10_000.0)),
         other => {

@@ -10,7 +10,7 @@
 //! ```
 
 use vcoord::knowledge::Knowledge;
-use vcoord::nps::NpsAdversary;
+
 use vcoord::prelude::*;
 
 fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
@@ -73,7 +73,7 @@ fn main() {
 
     // Attack.
     let attackers = sim.pick_attackers(fraction);
-    let adversary: Box<dyn NpsAdversary> = match attack.as_str() {
+    let adversary: Box<dyn AttackStrategy> = match attack.as_str() {
         "disorder" => Box::new(NpsSimpleDisorder::default()),
         "antidetect" => Box::new(NpsAntiDetection::naive(Knowledge::half())),
         "sophisticated" => Box::new(NpsAntiDetection::sophisticated(Knowledge::half())),

@@ -10,7 +10,6 @@
 //! ```
 
 use vcoord::prelude::*;
-use vcoord::vivaldi::VivaldiAdversary;
 
 fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
     let args: Vec<String> = std::env::args().collect();
@@ -66,7 +65,7 @@ fn main() {
 
     // Injection.
     let attackers = sim.pick_attackers(fraction);
-    let adversary: Box<dyn VivaldiAdversary> = match attack.as_str() {
+    let adversary: Box<dyn AttackStrategy> = match attack.as_str() {
         "disorder" => Box::new(VivaldiDisorder::default()),
         "repulsion" => Box::new(VivaldiRepulsion::default()),
         "collusion" => Box::new(VivaldiCollusionRepel::new(10_000.0)),

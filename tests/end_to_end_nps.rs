@@ -90,7 +90,7 @@ fn heavy_disorder_defeats_the_filter() {
 fn filter_catches_disorder_but_not_oracle_anti_detection() {
     // The core of figures 18/20/22: inconsistent delayers are filterable;
     // consistent anti-detection lies from knowing attackers are not.
-    let run = |adversary: Box<dyn vcoord::nps::NpsAdversary>| -> (f64, u64, u64) {
+    let run = |adversary: Box<dyn vcoord::attackkit::AttackStrategy>| -> (f64, u64, u64) {
         let (mut sim, _seeds) = build(250, 5, NpsConfig::default());
         sim.run_rounds(25);
         let before = sim.ledger();

@@ -80,7 +80,7 @@ pub mod prop {
         use super::super::Strategy;
         use rand::{Rng, RngCore};
 
-        /// Accepted by [`vec`] as a length specification.
+        /// Accepted by [`vec()`] as a length specification.
         pub trait IntoSizeRange {
             fn pick_len(&self, rng: &mut dyn RngCore) -> usize;
         }
