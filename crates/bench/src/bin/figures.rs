@@ -1,13 +1,15 @@
 //! Regenerate the paper's evaluation figures.
 //!
 //! ```text
-//! figures [IDS...] [--full|--quick|--smoke] [--seed N] [--out DIR] [--list]
+//! figures [IDS...] [--full|--quick|--smoke] [--seed N] [--jobs N] [--out DIR] [--list]
 //!
 //!   IDS        figure ids (fig1 .. fig26) or `all` (default: all)
 //!   --quick    400 nodes, 3 repetitions (default; minutes)
 //!   --full     1740 nodes, 10 repetitions (paper scale; hours)
 //!   --smoke    72 nodes, 1 repetition (seconds; sanity only)
 //!   --seed N   master seed (default 2006, the paper's year)
+//!   --jobs N   figure ids computed concurrently (default: the
+//!              VCOORD_THREADS override when set, else 1)
 //!   --out DIR  CSV output directory (default ./results)
 //!   --list     print the figure index and exit
 //! ```
@@ -15,9 +17,15 @@
 //! Each figure prints as an aligned table and is written to
 //! `DIR/<id>.csv`. Shape notes (the qualitative claims the paper makes
 //! about each figure) are embedded as `#`-comments.
+//!
+//! Every figure derives its seeds from `(master seed, figure id)` alone, so
+//! `--jobs` changes wall-clock time but never a CSV byte; the writer thread
+//! reorders completions so stdout also stays in figure order.
 
+use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 use vcoord::experiments::{registry, Scale};
 
@@ -26,6 +34,7 @@ struct Args {
     scale: Scale,
     scale_name: &'static str,
     seed: u64,
+    jobs: usize,
     out: PathBuf,
     list: bool,
 }
@@ -35,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = Scale::quick();
     let mut scale_name = "quick";
     let mut seed = 2006u64;
+    let mut jobs = vcoord::metrics::parallel::env_threads().unwrap_or(1);
     let mut out = PathBuf::from(vcoord_bench::DEFAULT_OUT_DIR);
     let mut list = false;
     let mut argv = std::env::args().skip(1);
@@ -59,12 +69,22 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad seed: {e}"))?;
             }
+            "--jobs" => {
+                jobs = argv
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad job count: {e}"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
             "--out" => {
                 out = PathBuf::from(argv.next().ok_or("--out needs a value")?);
             }
             "--list" => list = true,
             "--help" | "-h" => {
-                return Err("usage: figures [IDS...|all] [--quick|--full|--smoke] [--seed N] [--out DIR] [--list]".into());
+                return Err("usage: figures [IDS...|all] [--quick|--full|--smoke] [--seed N] [--jobs N] [--out DIR] [--list]".into());
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other}"));
@@ -77,6 +97,7 @@ fn parse_args() -> Result<Args, String> {
         scale,
         scale_name,
         seed,
+        jobs,
         out,
         list,
     })
@@ -100,7 +121,7 @@ fn main() {
         return;
     }
 
-    let ids: Vec<String> = if args.ids.is_empty() || args.ids.iter().any(|i| i == "all") {
+    let requested: Vec<String> = if args.ids.is_empty() || args.ids.iter().any(|i| i == "all") {
         registry::figure_ids()
             .iter()
             .map(|s| s.to_string())
@@ -109,57 +130,95 @@ fn main() {
         args.ids.clone()
     };
 
-    std::fs::create_dir_all(&args.out).expect("create output directory");
-    println!(
-        "# vcoord figure harness — scale={} nodes={} reps={} seed={}",
-        args.scale_name, args.scale.nodes, args.scale.repetitions, args.seed
-    );
-
+    // Validate up front so a typo fails fast instead of after an hour of
+    // `--full` compute on the ids before it.
     let mut failures = 0;
-    let total_start = Instant::now();
-
-    // Figures compute multi-threaded (each fans repetitions over a worker
-    // pool), but rendering + writing a CSV is serial I/O — push it onto a
-    // dedicated writer thread so the next figure's compute overlaps the
-    // previous figure's output. The channel is FIFO, so stdout stays in
-    // figure order; joining the writer before the summary line keeps the
-    // output complete.
-    let (tx, rx) = std::sync::mpsc::channel::<(vcoord::experiments::FigureResult, f64)>();
-    let out_dir = args.out.clone();
-    let writer = std::thread::spawn(move || {
-        for (fig, compute_secs) in rx {
-            println!("{}", fig.to_table());
-            let path = out_dir.join(format!("{}.csv", fig.id));
-            let mut file = std::fs::File::create(&path).expect("create CSV");
-            file.write_all(fig.to_csv().as_bytes()).expect("write CSV");
-            println!(
-                "wrote {} ({} rows) in {compute_secs:.1}s\n",
-                path.display(),
-                fig.rows.len(),
-            );
-        }
-    });
-
-    for id in &ids {
-        let start = Instant::now();
-        match registry::run_figure(id, &args.scale, args.seed) {
-            // Stamp the compute time here: on the writer thread it would
-            // also count time spent queued behind earlier figures' I/O.
-            Some(fig) => tx
-                .send((fig, start.elapsed().as_secs_f64()))
-                .expect("writer thread alive"),
-            None => {
+    let ids: Vec<String> = requested
+        .into_iter()
+        .filter(|id| {
+            let known = registry::describe(id).is_some();
+            if !known {
                 eprintln!("unknown figure id: {id} (try --list)");
                 failures += 1;
             }
-        }
+            known
+        })
+        .collect();
+
+    std::fs::create_dir_all(&args.out).expect("create output directory");
+    println!(
+        "# vcoord figure harness — scale={} nodes={} reps={} seed={} jobs={}",
+        args.scale_name, args.scale.nodes, args.scale.repetitions, args.seed, args.jobs
+    );
+
+    let total_start = Instant::now();
+
+    // Split the machine budget among the `--jobs` workers: every figure
+    // job sizes its internal pools (repetitions, EvalPlan sweeps) via
+    // worker_threads(), so without this cap `jobs × pools` would compound
+    // multiplicatively instead of staying at the pinned total.
+    if args.jobs > 1 {
+        let total = vcoord::metrics::worker_threads();
+        vcoord::metrics::parallel::set_worker_budget((total / args.jobs).max(1));
     }
+
+    // Figure compute fans out over `--jobs` workers (each figure already
+    // fans repetitions over its own bounded pool); rendering + writing a
+    // CSV is serial I/O on a dedicated writer thread so compute overlaps
+    // output. Per-figure seeding makes the CSV bytes independent of the
+    // completion order; the writer's reorder buffer keeps stdout in figure
+    // order too.
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, vcoord::experiments::FigureResult, f64)>();
+    let out_dir = args.out.clone();
+    let writer = std::thread::spawn(move || {
+        let mut pending: BTreeMap<usize, (vcoord::experiments::FigureResult, f64)> =
+            BTreeMap::new();
+        let mut next = 0usize;
+        for (idx, fig, compute_secs) in rx {
+            pending.insert(idx, (fig, compute_secs));
+            while let Some((fig, compute_secs)) = pending.remove(&next) {
+                println!("{}", fig.to_table());
+                let path = out_dir.join(format!("{}.csv", fig.id));
+                let mut file = std::fs::File::create(&path).expect("create CSV");
+                file.write_all(fig.to_csv().as_bytes()).expect("write CSV");
+                println!(
+                    "wrote {} ({} rows) in {compute_secs:.1}s\n",
+                    path.display(),
+                    fig.rows.len(),
+                );
+                next += 1;
+            }
+        }
+    });
+
+    let workers = args.jobs.min(ids.len()).max(1);
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let ids = &ids;
+            let cursor = &cursor;
+            let scale = &args.scale;
+            let seed = args.seed;
+            scope.spawn(move || loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(id) = ids.get(idx) else { break };
+                let start = Instant::now();
+                // Stamp the compute time here: on the writer thread it
+                // would also count time spent queued behind earlier
+                // figures' I/O.
+                let fig = registry::run_figure(id, scale, seed).expect("id validated above");
+                tx.send((idx, fig, start.elapsed().as_secs_f64()))
+                    .expect("writer thread alive");
+            });
+        }
+    });
     drop(tx);
     writer.join().expect("writer thread panicked");
 
     println!(
         "# done: {} figures in {:.1}s",
-        ids.len() - failures,
+        ids.len(),
         total_start.elapsed().as_secs_f64()
     );
     if failures > 0 {

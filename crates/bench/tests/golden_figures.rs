@@ -1,0 +1,83 @@
+//! Golden-figure regression test: regenerate the full smoke-scale figure
+//! suite with the committed seed and diff every CSV byte-for-byte against
+//! the files committed under `results/`.
+//!
+//! This is the CI teeth behind every "numerics-preserving" refactor claim:
+//! the Simplex kernel, the `EvalPlan` snapshot path, and the `--jobs`
+//! figure sweep are all allowed to change wall-clock time only — a single
+//! flipped output byte fails here. The run uses `--jobs 2` so the parallel
+//! sweep path itself is the thing being proven byte-stable.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The committed reference CSVs: `<workspace root>/results`.
+fn results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+#[test]
+fn smoke_suite_reproduces_committed_csvs_byte_for_byte() {
+    let out = Path::new(env!("CARGO_TARGET_TMPDIR")).join("golden-figures");
+    let _ = std::fs::remove_dir_all(&out);
+    std::fs::create_dir_all(&out).unwrap();
+
+    // The committed results were produced by `figures all --smoke --seed
+    // 2006`; EXPERIMENTS.md records that provenance.
+    let run = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .args(["all", "--smoke", "--seed", "2006", "--jobs", "2"])
+        .arg("--out")
+        .arg(&out)
+        .output()
+        .expect("spawn figures binary");
+    assert!(
+        run.status.success(),
+        "figures all --smoke failed:\n{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+
+    let reference = results_dir();
+    let csv_names = |dir: &Path| -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(dir)
+            .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+            .map(|entry| entry.unwrap().path())
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("csv"))
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        names
+    };
+    // Two-way set equality first: a figure added to the registry without a
+    // committed golden CSV (or removed without cleaning results/) must fail
+    // here, not silently narrow the comparison.
+    let committed = csv_names(&reference);
+    let fresh_names = csv_names(&out);
+    assert_eq!(
+        committed, fresh_names,
+        "committed results/ and the freshly generated suite disagree on the \
+         figure set; commit the golden CSV for every registry id (figures \
+         <ids> --smoke --seed 2006 --out results)"
+    );
+
+    let mut diverged: Vec<String> = Vec::new();
+    for name in &committed {
+        let committed_bytes = std::fs::read(reference.join(name)).unwrap();
+        let fresh_bytes = std::fs::read(out.join(name)).unwrap();
+        if committed_bytes != fresh_bytes {
+            diverged.push(name.clone());
+        }
+    }
+    assert!(
+        committed.len() >= 31,
+        "expected the full 31-figure suite under results/, found {} CSVs",
+        committed.len()
+    );
+    assert!(
+        diverged.is_empty(),
+        "CSV bytes diverged from committed results/ for: {diverged:?}\n\
+         A numerics-preserving change must not alter any figure output; if \
+         the change is *intentionally* numeric, re-record the affected CSVs \
+         (figures <ids> --smoke --seed 2006) and explain the delta in \
+         EXPERIMENTS.md"
+    );
+}

@@ -58,7 +58,12 @@ fn disorder_run(scale: &Scale, timing: AttackTiming, fraction: f64, seed: u64, r
         scale.eval_sample_peers,
         &mut seeds.rng("plan"),
     );
-    plan.avg_error(sim.coords(), sim.space(), sim.matrix())
+    plan.avg_error_with(
+        sim.coords(),
+        sim.space(),
+        sim.matrix(),
+        crate::experiments::eval_thread_budget(scale.repetitions),
+    )
 }
 
 /// Genesis vs injection comparison across attacker fractions.
@@ -145,7 +150,12 @@ pub fn ext_faults(scale: &Scale, seed: u64) -> FigureResult {
                 scale.eval_sample_peers,
                 &mut seeds.rng("plan"),
             );
-            plan.avg_error(sim.coords(), sim.space(), sim.matrix())
+            plan.avg_error_with(
+                sim.coords(),
+                sim.space(),
+                sim.matrix(),
+                crate::experiments::eval_thread_budget(scale.repetitions),
+            )
         });
         let mean = errs.iter().sum::<f64>() / errs.len() as f64;
         rows.push(vec![idx as f64, mean]);

@@ -7,7 +7,7 @@
 
 use crate::experiments::Scale;
 use vcoord_attackkit::AttackStrategy;
-use vcoord_metrics::{random_baseline, EvalPlan, FilterLedger, TimeSeries};
+use vcoord_metrics::{random_baseline_with, EvalPlan, FilterLedger, TimeSeries};
 use vcoord_netsim::SeedStream;
 use vcoord_nps::{NpsConfig, NpsSim};
 use vcoord_space::{Coord, Space};
@@ -48,6 +48,12 @@ pub struct VivaldiRun {
 pub type VivaldiFactory<'a> = &'a (dyn Fn(&mut VivaldiSim, &[usize], &SeedStream) -> (Box<dyn AttackStrategy>, Option<Vec<usize>>)
          + Sync);
 
+/// Thread budget for per-tick `EvalPlan` sweeps inside one repetition —
+/// see [`eval_thread_budget`](crate::experiments::eval_thread_budget).
+fn eval_threads(scale: &Scale) -> usize {
+    crate::experiments::eval_thread_budget(scale.repetitions)
+}
+
 /// Mean displacement per round of `nodes` between `prev` (updated in
 /// place) and their current coordinates — the drift-velocity sample.
 fn drift_sample(
@@ -83,6 +89,7 @@ pub fn run_vivaldi(
     let matrix = KingLike::new(KingLikeConfig::with_nodes(nodes)).generate(&mut seeds.rng("topo"));
     let config = VivaldiConfig::in_space(space);
     let mut sim = VivaldiSim::new(matrix, config, &seeds);
+    let threads = eval_threads(scale);
 
     let all: Vec<usize> = (0..nodes).collect();
     let mut plan_rng = seeds.rng("eval-plan");
@@ -101,7 +108,7 @@ pub fn run_vivaldi(
         t += scale.vivaldi_record_every;
         clean_series.push(
             sim.now_ticks(),
-            plan_all.avg_error(sim.coords(), sim.space(), sim.matrix()),
+            plan_all.avg_error_with(sim.coords(), sim.space(), sim.matrix(), threads),
         );
     }
     let clean_ref = clean_series.tail_mean(5).max(1e-6);
@@ -139,7 +146,8 @@ pub fn run_vivaldi(
     while t < scale.vivaldi_attack_ticks {
         sim.run_ticks(scale.vivaldi_record_every);
         t += scale.vivaldi_record_every;
-        let errs = plan_honest.per_node_errors(sim.coords(), sim.space(), sim.matrix());
+        let errs =
+            plan_honest.per_node_errors_with(sim.coords(), sim.space(), sim.matrix(), threads);
         let avg = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
         attack_series.push(sim.now_ticks(), avg);
         drift_series.push(
@@ -159,12 +167,13 @@ pub fn run_vivaldi(
         final_errors = errs;
     }
 
-    let random_baseline = random_baseline(
+    let random_baseline = random_baseline_with(
         &plan_honest,
         sim.space(),
         sim.matrix(),
         RANDOM_RANGE,
         &mut seeds.rng("random-baseline"),
+        threads,
     );
 
     VivaldiRun {
@@ -225,6 +234,7 @@ pub fn run_nps(
     let matrix = KingLike::new(KingLikeConfig::with_nodes(nodes)).generate(&mut seeds.rng("topo"));
     let layers = config.layers;
     let mut sim = NpsSim::new(matrix, config, &seeds);
+    let threads = eval_threads(scale);
     let mut plan_rng = seeds.rng("eval-plan");
 
     // Warm-up: staggered joins + clean repositioning.
@@ -246,7 +256,7 @@ pub fn run_nps(
         );
         clean_series.push(
             sim.now_rounds(),
-            plan.avg_error(sim.coords(), sim.space(), sim.matrix()),
+            plan.avg_error_with(sim.coords(), sim.space(), sim.matrix(), threads),
         );
     }
     let clean_tail: Vec<f64> = clean_series
@@ -307,7 +317,8 @@ pub fn run_nps(
     while r < scale.nps_attack_rounds {
         sim.run_rounds(scale.nps_record_every);
         r += scale.nps_record_every;
-        let errs = plan_honest.per_node_errors(sim.coords(), sim.space(), sim.matrix());
+        let errs =
+            plan_honest.per_node_errors_with(sim.coords(), sim.space(), sim.matrix(), threads);
         let avg = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
         attack_series.push(sim.now_rounds(), avg);
         drift_series.push(
@@ -355,12 +366,13 @@ pub fn run_nps(
         filtered_honest: threshold_after.filtered_honest - threshold_before.filtered_honest,
     };
 
-    let random_baseline = random_baseline(
+    let random_baseline = random_baseline_with(
         &plan_honest,
         sim.space(),
         sim.matrix(),
         RANDOM_RANGE,
         &mut seeds.rng("random-baseline"),
+        threads,
     );
 
     NpsRun {

@@ -174,11 +174,13 @@ pub fn average_series(series: &[TimeSeries]) -> TimeSeries {
 /// runner; CPU-bound work, so plain scoped threads (see DESIGN.md
 /// guide-conformance notes).
 ///
-/// The pool is capped at the machine's available parallelism: spawning one
-/// thread per repetition was fine at the paper's 10 repetitions, but
-/// over-subscribes badly once sweeps multiply the job count. Workers pull
-/// repetition indices from a shared counter, so the cap costs nothing when
-/// `repetitions` is small.
+/// The pool is capped at [`vcoord_metrics::worker_threads`] — the machine's
+/// available parallelism unless the `VCOORD_THREADS` override pins it (CI
+/// and benches set the override so runs are reproducible on any core
+/// count). Spawning one thread per repetition was fine at the paper's 10
+/// repetitions, but over-subscribes badly once sweeps multiply the job
+/// count. Workers pull repetition indices from a shared counter, so the cap
+/// costs nothing when `repetitions` is small.
 pub fn run_repetitions<T, F>(repetitions: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -186,10 +188,7 @@ where
 {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
-    let cap = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let workers = cap.min(repetitions).max(1);
+    let workers = repetition_pool_width(repetitions);
     let next = AtomicUsize::new(0);
     let mut results: Vec<Option<T>> = (0..repetitions).map(|_| None).collect();
     std::thread::scope(|scope| {
@@ -222,9 +221,44 @@ where
         .collect()
 }
 
+/// Width of the [`run_repetitions`] pool for `repetitions` jobs — the
+/// single source of truth shared with [`eval_thread_budget`].
+pub fn repetition_pool_width(repetitions: usize) -> usize {
+    vcoord_metrics::worker_threads().min(repetitions).max(1)
+}
+
+/// Leftover per-repetition thread budget for nested sweeps (the
+/// [`EvalPlan`] snapshot path) running *inside* a [`run_repetitions`]
+/// worker: the machine budget divided by the pool width, never zero.
+/// Handing each repetition the full budget instead would multiply pools —
+/// W×W scoped threads spawned per sample tick. The sweeps are bit-identical
+/// for any worker count, so this is purely a scheduling choice.
+///
+/// [`EvalPlan`]: vcoord_metrics::EvalPlan
+pub fn eval_thread_budget(repetitions: usize) -> usize {
+    (vcoord_metrics::worker_threads() / repetition_pool_width(repetitions)).max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn repetition_pool_and_eval_budget_partition_the_machine() {
+        let total = vcoord_metrics::worker_threads();
+        for reps in [1usize, 2, 3, 10, 1000] {
+            let pool = repetition_pool_width(reps);
+            let eval = eval_thread_budget(reps);
+            assert!(pool >= 1 && eval >= 1);
+            assert!(pool <= total.max(1));
+            // The product never oversubscribes the budget (up to the
+            // integer-division remainder kept by the final .max(1)).
+            assert!(
+                pool * eval <= total.max(1) || eval == 1,
+                "pool={pool} eval={eval} total={total}"
+            );
+        }
+    }
 
     #[test]
     fn csv_roundtrip_shape() {
@@ -264,9 +298,7 @@ mod tests {
     fn run_repetitions_bounds_concurrency() {
         use std::sync::atomic::{AtomicUsize, Ordering};
 
-        let cap = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
+        let cap = vcoord_metrics::worker_threads();
         let active = AtomicUsize::new(0);
         let peak = AtomicUsize::new(0);
         // Far more repetitions than cores: the pool must still finish, keep

@@ -30,6 +30,65 @@ pub fn relative_error(actual: f64, predicted: f64) -> f64 {
     }
 }
 
+/// Per-pair error clamp: infinite per-pair errors (degenerate predictions)
+/// are bounded so averages stay finite; the paper's plots are bounded the
+/// same way by construction.
+const CLAMP: f64 = 1.0e6;
+
+/// A flat structure-of-arrays snapshot of a coordinate set.
+///
+/// Taken once per sample tick by [`EvalPlan`]'s evaluation methods: the
+/// Euclidean components live in one contiguous `dim`-strided buffer and the
+/// heights in another, so the O(n²) error sweep walks cache-friendly rows
+/// instead of chasing one heap `Vec` per [`Coord`]. Distances computed from
+/// a snapshot are bit-identical to [`Space::distance`] on the original
+/// coordinates (see [`Space::distance_flat`]).
+#[derive(Debug, Clone)]
+pub struct CoordSnapshot {
+    dim: usize,
+    flat: Vec<f64>,
+    heights: Vec<f64>,
+}
+
+impl CoordSnapshot {
+    /// Flatten `coords` for evaluation in `space`.
+    ///
+    /// Returns `None` when any coordinate's dimension disagrees with the
+    /// space (callers fall back to the naive per-`Coord` path, which is the
+    /// behaviour such degenerate inputs always had).
+    pub fn capture(coords: &[Coord], space: &Space) -> Option<CoordSnapshot> {
+        let dim = space.dim();
+        if coords.iter().any(|c| c.vec.len() != dim) {
+            return None;
+        }
+        let mut flat = Vec::with_capacity(coords.len() * dim);
+        let mut heights = Vec::with_capacity(coords.len());
+        for c in coords {
+            flat.extend_from_slice(&c.vec);
+            heights.push(c.height);
+        }
+        Some(CoordSnapshot { dim, flat, heights })
+    }
+
+    /// Euclidean components of node `i`.
+    #[inline]
+    fn point(&self, i: usize) -> &[f64] {
+        &self.flat[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Predicted distance between nodes `i` and `j` — bit-identical to
+    /// `space.distance(&coords[i], &coords[j])`.
+    #[inline]
+    pub fn distance(&self, space: &Space, i: usize, j: usize) -> f64 {
+        space.distance_flat(
+            self.point(i),
+            self.heights[i],
+            self.point(j),
+            self.heights[j],
+        )
+    }
+}
+
 /// A fixed evaluation plan: which peers each node's error is measured
 /// against.
 ///
@@ -89,13 +148,17 @@ impl EvalPlan {
         &self.nodes
     }
 
+    /// Cut-over above which [`EvalPlan::per_node_errors`] fans node
+    /// evaluation out over a worker pool (when more than one worker is
+    /// available). Below it, thread-spawn overhead beats the win.
+    pub const PARALLEL_THRESHOLD: usize = 192;
+
     /// Relative error of the `k`-th planned node given current coordinates.
     ///
     /// Infinite per-pair errors (degenerate predictions) are clamped to
-    /// `clamp` to keep averages finite; the paper's plots are bounded the
-    /// same way by construction.
+    /// keep averages finite; the paper's plots are bounded the same way by
+    /// construction.
     pub fn node_error(&self, k: usize, coords: &[Coord], space: &Space, matrix: &RttMatrix) -> f64 {
-        const CLAMP: f64 = 1.0e6;
         let i = self.nodes[k];
         let peers = &self.peers[k];
         if peers.is_empty() {
@@ -105,6 +168,29 @@ impl EvalPlan {
         for &j in peers {
             let actual = matrix.rtt(i, j);
             let predicted = space.distance(&coords[i], &coords[j]);
+            sum += relative_error(actual, predicted).min(CLAMP);
+        }
+        sum / peers.len() as f64
+    }
+
+    /// [`EvalPlan::node_error`] evaluated against a flat snapshot — the same
+    /// floating-point operations in the same order, on cache-friendly rows.
+    fn node_error_snap(
+        &self,
+        k: usize,
+        snap: &CoordSnapshot,
+        space: &Space,
+        matrix: &RttMatrix,
+    ) -> f64 {
+        let i = self.nodes[k];
+        let peers = &self.peers[k];
+        if peers.is_empty() {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for &j in peers {
+            let actual = matrix.rtt(i, j);
+            let predicted = snap.distance(space, i, j);
             sum += relative_error(actual, predicted).min(CLAMP);
         }
         sum / peers.len() as f64
@@ -121,7 +207,6 @@ impl EvalPlan {
         space: &Space,
         matrix: &RttMatrix,
     ) -> f64 {
-        const CLAMP: f64 = 1.0e6;
         let i = self.nodes[k];
         let peers = &self.peers[k];
         if peers.is_empty() {
@@ -150,20 +235,86 @@ impl EvalPlan {
     }
 
     /// Per-node relative errors, in `nodes()` order.
+    ///
+    /// Restructured around a [`CoordSnapshot`] taken once per call; above
+    /// [`EvalPlan::PARALLEL_THRESHOLD`] nodes the sweep fans out over
+    /// [`worker_threads`] workers. Each worker owns a contiguous chunk of
+    /// the output and every per-node value is a complete, independently
+    /// computed mean, so results are bit-identical to the serial naive path
+    /// regardless of worker count.
+    ///
+    /// [`worker_threads`]: crate::parallel::worker_threads
     pub fn per_node_errors(&self, coords: &[Coord], space: &Space, matrix: &RttMatrix) -> Vec<f64> {
-        (0..self.nodes.len())
-            .map(|k| self.node_error(k, coords, space, matrix))
-            .collect()
+        self.per_node_errors_with(coords, space, matrix, crate::parallel::worker_threads())
+    }
+
+    /// [`EvalPlan::per_node_errors`] with an explicit worker count
+    /// (reproducibility harnesses and tests pin this; `1` forces the serial
+    /// path).
+    pub fn per_node_errors_with(
+        &self,
+        coords: &[Coord],
+        space: &Space,
+        matrix: &RttMatrix,
+        threads: usize,
+    ) -> Vec<f64> {
+        let n = self.nodes.len();
+        let Some(snap) = CoordSnapshot::capture(coords, space) else {
+            // Dimension-degenerate input: the naive path is the behaviour
+            // such coordinates always had.
+            return (0..n)
+                .map(|k| self.node_error(k, coords, space, matrix))
+                .collect();
+        };
+        let mut out = vec![0.0; n];
+        let workers = threads.max(1).min(n.max(1));
+        if workers == 1 || n < Self::PARALLEL_THRESHOLD {
+            for (k, e) in out.iter_mut().enumerate() {
+                *e = self.node_error_snap(k, &snap, space, matrix);
+            }
+            return out;
+        }
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (c, slot) in out.chunks_mut(chunk).enumerate() {
+                let snap = &snap;
+                scope.spawn(move || {
+                    for (off, e) in slot.iter_mut().enumerate() {
+                        *e = self.node_error_snap(c * chunk + off, snap, space, matrix);
+                    }
+                });
+            }
+        });
+        out
     }
 
     /// System-wide average relative error (the paper's headline accuracy
     /// indicator).
+    ///
+    /// Computed over [`EvalPlan::per_node_errors`] (snapshot path, possibly
+    /// parallel) and reduced in deterministic `nodes()` order, so the result
+    /// is bit-identical to the naive serial sweep.
     pub fn avg_error(&self, coords: &[Coord], space: &Space, matrix: &RttMatrix) -> f64 {
+        self.avg_error_with(coords, space, matrix, crate::parallel::worker_threads())
+    }
+
+    /// [`EvalPlan::avg_error`] with an explicit worker count — callers that
+    /// already run inside a worker pool (e.g. the figure harness's
+    /// repetition workers) pass their leftover thread budget here instead
+    /// of multiplying pools.
+    pub fn avg_error_with(
+        &self,
+        coords: &[Coord],
+        space: &Space,
+        matrix: &RttMatrix,
+        threads: usize,
+    ) -> f64 {
         if self.nodes.is_empty() {
             return 0.0;
         }
-        let total: f64 = (0..self.nodes.len())
-            .map(|k| self.node_error(k, coords, space, matrix))
+        let total: f64 = self
+            .per_node_errors_with(coords, space, matrix, threads)
+            .iter()
             .sum();
         total / self.nodes.len() as f64
     }
@@ -179,10 +330,30 @@ pub fn random_baseline<R: Rng + ?Sized>(
     range: f64,
     rng: &mut R,
 ) -> f64 {
+    random_baseline_with(
+        plan,
+        space,
+        matrix,
+        range,
+        rng,
+        crate::parallel::worker_threads(),
+    )
+}
+
+/// [`random_baseline`] with an explicit worker count — see
+/// [`EvalPlan::avg_error_with`] for when callers pass their own budget.
+pub fn random_baseline_with<R: Rng + ?Sized>(
+    plan: &EvalPlan,
+    space: &Space,
+    matrix: &RttMatrix,
+    range: f64,
+    rng: &mut R,
+    threads: usize,
+) -> f64 {
     let coords: Vec<Coord> = (0..matrix.len())
         .map(|_| space.random_coord(range, rng))
         .collect();
-    plan.avg_error(&coords, space, matrix)
+    plan.avg_error_with(&coords, space, matrix, threads)
 }
 
 #[cfg(test)]
@@ -302,6 +473,92 @@ mod tests {
         let plan = EvalPlan::new(&[0, 1, 2], &mut rng);
         let base = random_baseline(&plan, &space, &m, 50_000.0, &mut rng);
         assert!(base > 100.0, "baseline {base} suspiciously good");
+    }
+
+    /// The pre-snapshot evaluation path, retained as the oracle for the
+    /// snapshot/parallel rewrite.
+    fn per_node_errors_naive(
+        plan: &EvalPlan,
+        coords: &[Coord],
+        space: &Space,
+        m: &RttMatrix,
+    ) -> Vec<f64> {
+        (0..plan.nodes.len())
+            .map(|k| plan.node_error(k, coords, space, m))
+            .collect()
+    }
+
+    /// Random-ish but deterministic test world big enough to cross
+    /// [`EvalPlan::PARALLEL_THRESHOLD`].
+    fn random_world(n: usize, space: &Space, seed: u64) -> (RttMatrix, Vec<Coord>, EvalPlan) {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut m = RttMatrix::zeros(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                m.set(i, j, rng.gen_range(1.0..400.0));
+            }
+        }
+        let coords: Vec<Coord> = (0..n)
+            .map(|_| space.random_coord(200.0, &mut rng))
+            .collect();
+        let nodes: Vec<usize> = (0..n).collect();
+        let plan = EvalPlan::with_params(&nodes, n / 2, 24, &mut rng);
+        (m, coords, plan)
+    }
+
+    #[test]
+    fn snapshot_path_matches_naive_bitwise() {
+        for space in [Space::Euclidean(3), Space::EuclideanHeight(2)] {
+            let (m, coords, plan) = random_world(EvalPlan::PARALLEL_THRESHOLD + 28, &space, 9);
+            let naive = per_node_errors_naive(&plan, &coords, &space, &m);
+            for threads in [1, 2, 5] {
+                let fast = plan.per_node_errors_with(&coords, &space, &m, threads);
+                let naive_bits: Vec<u64> = naive.iter().map(|v| v.to_bits()).collect();
+                let fast_bits: Vec<u64> = fast.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(naive_bits, fast_bits, "threads={threads} {space:?}");
+            }
+            // And the headline aggregate reduces identically.
+            let avg_naive = naive.iter().sum::<f64>() / naive.len() as f64;
+            let avg = plan.avg_error(&coords, &space, &m);
+            assert_eq!(avg_naive.to_bits(), avg.to_bits());
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_mismatched_dimensions() {
+        let space = Space::Euclidean(2);
+        let ragged = vec![Coord::from_vec(vec![0.0, 1.0]), Coord::from_vec(vec![2.0])];
+        assert!(CoordSnapshot::capture(&ragged, &space).is_none());
+        // Coordinates of a dimension the space doesn't expect (but mutually
+        // consistent): the evaluation path must fall back to the naive loop
+        // and agree with it, not panic.
+        let coords = vec![
+            Coord::from_vec(vec![0.0, 1.0, 2.0]),
+            Coord::from_vec(vec![3.0, 4.0, 5.0]),
+        ];
+        assert!(CoordSnapshot::capture(&coords, &space).is_none());
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        let mut m = RttMatrix::zeros(2);
+        m.set(0, 1, 5.0);
+        let plan = EvalPlan::new(&[0, 1], &mut rng);
+        let errs = plan.per_node_errors(&coords, &space, &m);
+        assert_eq!(errs, per_node_errors_naive(&plan, &coords, &space, &m));
+    }
+
+    #[test]
+    fn snapshot_distance_matches_space_distance() {
+        let space = Space::EuclideanHeight(3);
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let coords: Vec<Coord> = (0..8).map(|_| space.random_coord(50.0, &mut rng)).collect();
+        let snap = CoordSnapshot::capture(&coords, &space).unwrap();
+        for i in 0..coords.len() {
+            for j in 0..coords.len() {
+                assert_eq!(
+                    snap.distance(&space, i, j).to_bits(),
+                    space.distance(&coords[i], &coords[j]).to_bits()
+                );
+            }
+        }
     }
 
     #[test]

@@ -14,14 +14,19 @@
 //! * [`random_baseline`] — the worst-case *random coordinate system* where
 //!   every component is drawn from `[-50000, 50000]`.
 //! * [`stats`] — small summary-statistics helpers.
+//! * [`worker_threads`] — `VCOORD_THREADS`-aware worker-pool sizing, shared
+//!   by every parallel seam in the workspace (repetition pool, [`EvalPlan`]
+//!   chunked evaluation, figure `--jobs` sweep).
 
 pub mod cdf;
 pub mod error;
 pub mod ledger;
+pub mod parallel;
 pub mod series;
 pub mod stats;
 
 pub use cdf::Cdf;
-pub use error::{random_baseline, relative_error, EvalPlan};
+pub use error::{random_baseline, random_baseline_with, relative_error, CoordSnapshot, EvalPlan};
 pub use ledger::FilterLedger;
+pub use parallel::worker_threads;
 pub use series::TimeSeries;

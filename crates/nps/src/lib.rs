@@ -37,6 +37,7 @@ pub mod sim;
 pub use adversary::{AttackStrategy, Collusion, CoordView, Honest, Lie, Probe, Protocol, Scenario};
 pub use config::NpsConfig;
 pub use position::{
-    position_node, position_node_with, FitObjective, PositionOutcome, RefSample, SecurityPolicy,
+    position_node, position_node_scratch, position_node_with, FitObjective, PositionOutcome,
+    PositionScratch, RefSample, SecurityPolicy,
 };
 pub use sim::NpsSim;

@@ -2,7 +2,7 @@
 //! functions (directly testable against §3.1 of the paper).
 
 use serde::{Deserialize, Serialize};
-use vcoord_space::{simplex_downhill, Coord, SimplexOptions, Space};
+use vcoord_space::{simplex_downhill_scratch, Coord, SimplexOptions, SimplexScratch, Space};
 
 /// The latency-fit objective minimized by Simplex Downhill.
 ///
@@ -80,6 +80,39 @@ pub struct PositionOutcome {
     pub filtered: Option<usize>,
 }
 
+/// Reusable buffers for [`position_node_scratch`]: the Simplex working
+/// state, the objective's evaluation coordinate, and the usable/surviving
+/// sample index sets.
+///
+/// One long-lived scratch per simulation world makes every positioning
+/// round after the first run without heap allocation on the Simplex hot
+/// path (only the returned [`PositionOutcome`] is allocated).
+#[derive(Debug, Clone)]
+pub struct PositionScratch {
+    simplex: SimplexScratch,
+    probe: Coord,
+    usable: Vec<usize>,
+    surviving: Vec<usize>,
+}
+
+impl Default for PositionScratch {
+    fn default() -> PositionScratch {
+        PositionScratch::new()
+    }
+}
+
+impl PositionScratch {
+    /// A new, empty scratch; buffers grow on first use.
+    pub fn new() -> PositionScratch {
+        PositionScratch {
+            simplex: SimplexScratch::new(),
+            probe: Coord::origin(0),
+            usable: Vec::new(),
+            surviving: Vec::new(),
+        }
+    }
+}
+
 /// Fitting error of one reference after positioning:
 /// `E_Ri = |dist(P_H, P_Ri) − D_Ri| / D_Ri`.
 fn fit_error(space: &Space, at: &Coord, s: &RefSample) -> f64 {
@@ -115,20 +148,31 @@ pub fn position_node(
     )
 }
 
-/// Run one Simplex fit over `samples`, minimizing `objective_kind`.
+/// Run one Simplex fit over `samples[idxs]`, minimizing `objective_kind`.
+///
+/// Allocation-free apart from the returned coordinate: the Simplex state
+/// lives in `simplex` and the objective evaluates through the reusable
+/// `probe` coordinate instead of materializing a fresh [`Coord`] per call.
+#[allow(clippy::too_many_arguments)]
 fn fit_samples(
     space: &Space,
-    samples: &[&RefSample],
+    samples: &[RefSample],
+    idxs: &[usize],
     start: &Coord,
     opts: &SimplexOptions,
     objective_kind: FitObjective,
+    simplex: &mut SimplexScratch,
+    probe: &mut Coord,
 ) -> (Coord, f64) {
+    probe.vec.clear();
+    probe.vec.resize(start.vec.len(), 0.0);
+    probe.height = 0.0;
     let objective = |x: &[f64]| -> f64 {
-        let p = Coord::from_vec(x.to_vec());
-        samples
-            .iter()
-            .map(|s| {
-                let diff = space.distance(&p, &s.coord) - s.rtt;
+        probe.vec.copy_from_slice(x);
+        idxs.iter()
+            .map(|&k| {
+                let s = &samples[k];
+                let diff = space.distance(probe, &s.coord) - s.rtt;
                 match objective_kind {
                     FitObjective::SquaredAbsolute => diff * diff,
                     FitObjective::SquaredRelative => (diff / s.rtt) * (diff / s.rtt),
@@ -136,7 +180,7 @@ fn fit_samples(
             })
             .sum()
     };
-    let result = simplex_downhill(objective, &start.vec, opts);
+    let result = simplex_downhill_scratch(objective, &start.vec, opts, simplex);
     let mut coord = Coord::from_vec(result.point);
     coord.sanitize();
     (coord, result.value)
@@ -167,10 +211,46 @@ pub fn position_node_with(
     opts: &SimplexOptions,
     objective_kind: FitObjective,
 ) -> Option<PositionOutcome> {
-    let usable: Vec<&RefSample> = samples
-        .iter()
-        .filter(|s| s.rtt > 0.0 && s.rtt.is_finite() && s.coord.is_finite())
-        .collect();
+    let mut scratch = PositionScratch::new();
+    position_node_scratch(
+        space,
+        samples,
+        start,
+        incumbent,
+        security,
+        opts,
+        objective_kind,
+        &mut scratch,
+    )
+}
+
+/// [`position_node_with`] reusing caller-held buffers — the allocation-free
+/// hot path driven once per repositioning round by the NPS simulator.
+///
+/// Numerically identical to [`position_node_with`] (which delegates here
+/// with a throwaway scratch): the same samples are visited in the same
+/// order, so every floating-point operation matches bit for bit.
+#[allow(clippy::too_many_arguments)]
+pub fn position_node_scratch(
+    space: &Space,
+    samples: &[RefSample],
+    start: &Coord,
+    incumbent: Option<&Coord>,
+    security: SecurityPolicy,
+    opts: &SimplexOptions,
+    objective_kind: FitObjective,
+    scratch: &mut PositionScratch,
+) -> Option<PositionOutcome> {
+    let PositionScratch {
+        simplex,
+        probe,
+        usable,
+        surviving,
+    } = scratch;
+    usable.clear();
+    usable.extend(samples.iter().enumerate().filter_map(|(k, s)| {
+        (s.rtt > 0.0 && s.rtt.is_finite() && s.coord.is_finite()).then_some(k)
+    }));
     if usable.len() < space.dim() + 1 {
         log::debug!(
             "nps: under-constrained positioning ({} refs for {}-D)",
@@ -184,7 +264,19 @@ pub fn position_node_with(
     // otherwise a provisional fit over all samples.
     let frame: Coord = match incumbent {
         Some(c) => c.clone(),
-        None => fit_samples(space, &usable, start, opts, objective_kind).0,
+        None => {
+            fit_samples(
+                space,
+                samples,
+                usable,
+                start,
+                opts,
+                objective_kind,
+                simplex,
+                probe,
+            )
+            .0
+        }
     };
     let fit_errors: Vec<f64> = samples
         .iter()
@@ -197,16 +289,28 @@ pub fn position_node_with(
     };
 
     // Final fit over the surviving samples (at most one eliminated).
-    let surviving: Vec<&RefSample> = usable
-        .iter()
-        .copied()
-        .filter(|s| Some(s.id) != filtered)
-        .collect();
-    let (coord, objective_value) = if surviving.len() > space.dim() {
-        fit_samples(space, &surviving, start, opts, objective_kind)
+    surviving.clear();
+    surviving.extend(
+        usable
+            .iter()
+            .copied()
+            .filter(|&k| Some(samples[k].id) != filtered),
+    );
+    let fit_over = if surviving.len() > space.dim() {
+        &*surviving
     } else {
-        fit_samples(space, &usable, start, opts, objective_kind)
+        &*usable
     };
+    let (coord, objective_value) = fit_samples(
+        space,
+        samples,
+        fit_over,
+        start,
+        opts,
+        objective_kind,
+        simplex,
+        probe,
+    );
 
     Some(PositionOutcome {
         coord,

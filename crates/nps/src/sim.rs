@@ -19,7 +19,7 @@ use crate::adversary::{AttackStrategy, CoordView, Lie, Probe, Protocol, Scenario
 use crate::config::NpsConfig;
 use crate::layers::{assign_layers, select_landmarks};
 use crate::membership::Membership;
-use crate::position::{position_node_with, RefSample, SecurityPolicy};
+use crate::position::{position_node_scratch, PositionScratch, RefSample, SecurityPolicy};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
@@ -68,6 +68,13 @@ struct NpsWorld {
     counters: NpsCounters,
     probe_rng: ChaCha12Rng,
     adv_rng: ChaCha12Rng,
+    /// Reusable Simplex/positioning buffers (allocation-free hot path).
+    pos_scratch: PositionScratch,
+    /// Recycled gathering buffer for one round's reference samples.
+    samples_buf: Vec<RefSample>,
+    /// Recycled copy of the repositioning node's reference set (decouples
+    /// the probe loop from `self.refs` borrows without a per-round clone).
+    refs_buf: Vec<usize>,
 }
 
 impl NpsWorld {
@@ -178,26 +185,36 @@ impl NpsWorld {
     }
 
     fn reposition(&mut self, node: usize, now_ms: u64) {
-        let refs = self.refs[node].clone();
-        let samples: Vec<RefSample> = refs
-            .iter()
-            .filter_map(|&r| self.probe_ref(node, r, now_ms))
-            .collect();
+        // Recycle the refs/samples gathering buffers across rounds: after
+        // warm-up the probe loop runs without fresh allocations (the lie
+        // coordinates inside each `RefSample` are the only per-probe values
+        // still materialized).
+        let mut refs = std::mem::take(&mut self.refs_buf);
+        refs.clear();
+        refs.extend_from_slice(&self.refs[node]);
+        let mut samples = std::mem::take(&mut self.samples_buf);
+        samples.clear();
+        samples.extend(refs.iter().filter_map(|&r| self.probe_ref(node, r, now_ms)));
+        self.refs_buf = refs;
 
+        let mut scratch = std::mem::take(&mut self.pos_scratch);
         let incumbent = if self.positioned[node] {
-            Some(self.coords[node].clone())
+            Some(&self.coords[node])
         } else {
             None
         };
-        let outcome = position_node_with(
+        let outcome = position_node_scratch(
             &self.config.space,
             &samples,
             &self.coords[node],
-            incumbent.as_ref(),
+            incumbent,
             self.security(),
             &self.config.simplex,
             self.config.objective,
+            &mut scratch,
         );
+        self.pos_scratch = scratch;
+        self.samples_buf = samples;
         let Some(outcome) = outcome else {
             self.counters.skipped_rounds += 1;
             return;
@@ -284,25 +301,30 @@ impl NpsSim {
         for &l in &landmark_ids {
             coords[l] = config.space.random_coord(scale, &mut lm_rng);
         }
+        let mut lm_scratch = PositionScratch::new();
+        let mut lm_samples: Vec<RefSample> = Vec::with_capacity(landmark_ids.len());
         for _round in 0..config.landmark_rounds {
             for &l in &landmark_ids {
-                let samples: Vec<RefSample> = landmark_ids
-                    .iter()
-                    .filter(|&&o| o != l)
-                    .map(|&o| RefSample {
-                        id: o,
-                        coord: coords[o].clone(),
-                        rtt: matrix.rtt(l, o),
-                    })
-                    .collect();
-                if let Some(out) = position_node_with(
+                lm_samples.clear();
+                lm_samples.extend(
+                    landmark_ids
+                        .iter()
+                        .filter(|&&o| o != l)
+                        .map(|&o| RefSample {
+                            id: o,
+                            coord: coords[o].clone(),
+                            rtt: matrix.rtt(l, o),
+                        }),
+                );
+                if let Some(out) = position_node_scratch(
                     &config.space,
-                    &samples,
+                    &lm_samples,
                     &coords[l],
                     None,
                     SecurityPolicy::off(),
                     &config.simplex,
                     config.objective,
+                    &mut lm_scratch,
                 ) {
                     coords[l] = out.coord;
                 }
@@ -349,6 +371,9 @@ impl NpsSim {
             counters: NpsCounters::default(),
             probe_rng: seeds.rng("nps/probe"),
             adv_rng: seeds.rng("nps/adversary"),
+            pos_scratch: lm_scratch,
+            samples_buf: lm_samples,
+            refs_buf: Vec::new(),
             matrix,
             config,
         };

@@ -29,5 +29,7 @@ pub mod space;
 pub mod vector;
 
 pub use coord::{Coord, Displacement};
-pub use simplex::{simplex_downhill, SimplexOptions, SimplexResult};
+pub use simplex::{
+    simplex_downhill, simplex_downhill_scratch, SimplexOptions, SimplexResult, SimplexScratch,
+};
 pub use space::Space;

@@ -5,6 +5,17 @@
 //! dependency-free implementation with the standard reflection / expansion /
 //! contraction / shrink moves and deterministic behaviour (no internal
 //! randomness; ties broken by index).
+//!
+//! Two entry points share one kernel: [`simplex_downhill`] allocates its own
+//! working state per call, while [`simplex_downhill_scratch`] reuses a
+//! caller-held [`SimplexScratch`] so the hot NPS repositioning path runs
+//! **allocation-free** (the only allocation left is the returned best point).
+//! The kernel replaces the original full index sort per iteration with an
+//! incrementally maintained order array — a single ordered reinsertion on
+//! the common reflect/expand/contract moves — while performing *bit-identical*
+//! floating-point operations in the identical order, so optimization
+//! trajectories match the retained [`oracle`] exactly (property-tested in
+//! this module and relied on by the figure-CSV golden tests).
 
 /// Tuning knobs for [`simplex_downhill`].
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -53,6 +64,81 @@ pub struct SimplexResult {
     pub converged: bool,
 }
 
+/// Reusable working state for [`simplex_downhill_scratch`].
+///
+/// Holds the simplex vertices and objective values, the incrementally
+/// maintained vertex order, the centroid, and the trial-point buffers. A
+/// scratch grows to fit the largest dimension it has seen and never shrinks,
+/// so a long-lived scratch (e.g. one per [`NpsSim`] world) makes every
+/// positioning after the first allocation-free.
+///
+/// [`NpsSim`]: https://docs.rs/vcoord-nps
+#[derive(Debug, Clone, Default)]
+pub struct SimplexScratch {
+    /// `n + 1` simplex vertices of dimension `n`.
+    verts: Vec<Vec<f64>>,
+    /// Objective value per vertex, parallel to `verts`.
+    vals: Vec<f64>,
+    /// Vertex indices sorted ascending by `(value, index)` — exactly the
+    /// stable-sort-by-value order of the reference implementation.
+    order: Vec<usize>,
+    /// Centroid of all vertices but the worst.
+    centroid: Vec<f64>,
+    /// Copy of the best vertex, pinned during a shrink.
+    best: Vec<f64>,
+    /// Reflection/contraction trial point.
+    trial: Vec<f64>,
+    /// Expansion trial point.
+    trial2: Vec<f64>,
+}
+
+impl SimplexScratch {
+    /// A new, empty scratch. Buffers are sized lazily on first use.
+    pub fn new() -> SimplexScratch {
+        SimplexScratch::default()
+    }
+
+    /// Size every buffer for an `n`-dimensional problem, retaining capacity.
+    fn reset(&mut self, n: usize) {
+        self.verts.resize_with(n + 1, Vec::new);
+        for v in &mut self.verts {
+            v.clear();
+            v.resize(n, 0.0);
+        }
+        self.vals.clear();
+        self.vals.resize(n + 1, 0.0);
+        self.order.clear();
+        self.centroid.clear();
+        self.centroid.resize(n, 0.0);
+        self.best.clear();
+        self.best.resize(n, 0.0);
+        self.trial.clear();
+        self.trial.resize(n, 0.0);
+        self.trial2.clear();
+        self.trial2.resize(n, 0.0);
+    }
+}
+
+/// Compare two vertices by `(value, index)` — the total order equivalent to
+/// the reference implementation's *stable* sort by value over an
+/// index-ascending array.
+#[inline]
+fn before(vals: &[f64], a: usize, b: usize) -> bool {
+    match vals[a].partial_cmp(&vals[b]) {
+        Some(std::cmp::Ordering::Less) => true,
+        Some(std::cmp::Ordering::Greater) => false,
+        _ => a < b,
+    }
+}
+
+/// In-place lerp: `out[j] = from[j] + t * (to[j] - from[j])`.
+#[inline]
+fn lerp_into(out: &mut [f64], from: &[f64], to: &[f64], t: f64) {
+    for ((o, a), b) in out.iter_mut().zip(from).zip(to) {
+        *o = a + t * (b - a);
+    }
+}
+
 /// Minimize `f` starting from `x0` using the Simplex Downhill method.
 ///
 /// ```
@@ -69,15 +155,51 @@ pub struct SimplexResult {
 /// from them, which keeps adversarially-poisoned NPS objectives from
 /// propagating NaNs into coordinates.
 ///
+/// This is the convenience wrapper that allocates a fresh [`SimplexScratch`]
+/// per call; hot paths should hold a scratch and call
+/// [`simplex_downhill_scratch`].
+///
 /// # Panics
 /// Panics if `x0` is empty.
 pub fn simplex_downhill<F>(f: F, x0: &[f64], opts: &SimplexOptions) -> SimplexResult
 where
-    F: Fn(&[f64]) -> f64,
+    F: FnMut(&[f64]) -> f64,
+{
+    let mut scratch = SimplexScratch::new();
+    simplex_downhill_scratch(f, x0, opts, &mut scratch)
+}
+
+/// [`simplex_downhill`] reusing caller-held buffers: the allocation-free
+/// kernel (only the returned point is allocated).
+///
+/// The objective is `FnMut` so callers can thread their own evaluation
+/// scratch (e.g. a reusable coordinate) through it without interior
+/// mutability.
+///
+/// # Panics
+/// Panics if `x0` is empty.
+pub fn simplex_downhill_scratch<F>(
+    mut f: F,
+    x0: &[f64],
+    opts: &SimplexOptions,
+    scratch: &mut SimplexScratch,
+) -> SimplexResult
+where
+    F: FnMut(&[f64]) -> f64,
 {
     assert!(!x0.is_empty(), "cannot optimize a zero-dimensional point");
     let n = x0.len();
-    let eval = |x: &[f64]| -> f64 {
+    scratch.reset(n);
+    let SimplexScratch {
+        verts,
+        vals,
+        order,
+        centroid,
+        best: best_buf,
+        trial,
+        trial2,
+    } = scratch;
+    let mut eval = |x: &[f64]| -> f64 {
         let v = f(x);
         if v.is_finite() {
             v
@@ -87,31 +209,49 @@ where
     };
 
     // Initial simplex: x0 plus one vertex per axis.
-    let mut verts: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
-    verts.push(x0.to_vec());
-    for i in 0..n {
-        let mut v = x0.to_vec();
-        v[i] += if v[i].abs() > 1.0 {
-            opts.initial_step.copysign(v[i])
-        } else {
-            opts.initial_step
-        };
-        verts.push(v);
+    for (k, v) in verts.iter_mut().enumerate() {
+        v.copy_from_slice(x0);
+        if k > 0 {
+            let i = k - 1;
+            v[i] += if v[i].abs() > 1.0 {
+                opts.initial_step.copysign(v[i])
+            } else {
+                opts.initial_step
+            };
+        }
     }
-    let mut vals: Vec<f64> = verts.iter().map(|v| eval(v)).collect();
+    for (val, v) in vals.iter_mut().zip(verts.iter()) {
+        *val = eval(v);
+    }
+
+    // Establish the (value, index) order once; reflect/expand/contract
+    // moves below maintain it with a single ordered reinsertion, and only
+    // the rare shrink move pays for a full re-sort.
+    order.extend(0..=n);
+    order.sort_unstable_by(|&a, &b| {
+        if before(vals, a, b) {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Greater
+        }
+    });
+
+    // Replace the worst vertex (at `order[n]`) with `src`/`value` and slot
+    // it back into the maintained order.
+    let reinsert =
+        |verts: &mut [Vec<f64>], vals: &mut [f64], order: &mut [usize], src: &[f64], value: f64| {
+            let worst = order[n];
+            verts[worst].copy_from_slice(src);
+            vals[worst] = value;
+            let pos = order[..n].partition_point(|&o| before(vals, o, worst));
+            order[pos..=n].rotate_right(1);
+        };
 
     let mut iterations = 0;
     let mut converged = false;
     while iterations < opts.max_iterations {
         iterations += 1;
 
-        // Order vertices: best first. Stable sort keeps determinism on ties.
-        let mut order: Vec<usize> = (0..=n).collect();
-        order.sort_by(|&a, &b| {
-            vals[a]
-                .partial_cmp(&vals[b])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
         let best = order[0];
         let worst = order[n];
         let second_worst = order[n - 1];
@@ -121,63 +261,69 @@ where
             break;
         }
 
-        // Centroid of all but the worst vertex.
-        let mut centroid = vec![0.0; n];
+        // Centroid of all but the worst vertex, accumulated in order so the
+        // floating-point sum matches the reference bit for bit.
+        centroid.fill(0.0);
         for &i in order.iter().take(n) {
             for (c, x) in centroid.iter_mut().zip(&verts[i]) {
                 *c += x;
             }
         }
-        for c in &mut centroid {
+        for c in centroid.iter_mut() {
             *c /= n as f64;
         }
 
-        let lerp = |from: &[f64], to: &[f64], t: f64| -> Vec<f64> {
-            from.iter().zip(to).map(|(a, b)| a + t * (b - a)).collect()
-        };
-
         // Reflection.
-        let reflected = lerp(&centroid, &verts[worst], -opts.alpha);
-        let fr = eval(&reflected);
+        lerp_into(trial, centroid, &verts[worst], -opts.alpha);
+        let fr = eval(trial);
         if fr < vals[best] {
             // Expansion.
-            let expanded = lerp(&centroid, &verts[worst], -opts.gamma);
-            let fe = eval(&expanded);
+            lerp_into(trial2, centroid, &verts[worst], -opts.gamma);
+            let fe = eval(trial2);
             if fe < fr {
-                verts[worst] = expanded;
-                vals[worst] = fe;
+                reinsert(verts, vals, order, trial2, fe);
             } else {
-                verts[worst] = reflected;
-                vals[worst] = fr;
+                reinsert(verts, vals, order, trial, fr);
             }
             continue;
         }
         if fr < vals[second_worst] {
-            verts[worst] = reflected;
-            vals[worst] = fr;
+            reinsert(verts, vals, order, trial, fr);
             continue;
         }
 
         // Contraction (outside if the reflection improved on the worst,
         // inside otherwise).
-        let contracted = if fr < vals[worst] {
-            lerp(&centroid, &reflected, opts.rho)
+        if fr < vals[worst] {
+            lerp_into(trial2, centroid, trial, opts.rho);
         } else {
-            lerp(&centroid, &verts[worst], opts.rho)
-        };
-        let fc = eval(&contracted);
+            lerp_into(trial2, centroid, &verts[worst], opts.rho);
+        }
+        let fc = eval(trial2);
         if fc < vals[worst].min(fr) {
-            verts[worst] = contracted;
-            vals[worst] = fc;
+            reinsert(verts, vals, order, trial2, fc);
             continue;
         }
 
-        // Shrink toward the best vertex.
-        let best_v = verts[best].clone();
-        for &i in order.iter().skip(1) {
-            verts[i] = lerp(&best_v, &verts[i], opts.sigma);
-            vals[i] = eval(&verts[i]);
+        // Shrink toward the best vertex; every value changes, so re-sort.
+        best_buf.copy_from_slice(&verts[best]);
+        for i in 0..=n {
+            if i == best {
+                continue;
+            }
+            let v = &mut verts[i];
+            for (x, b) in v.iter_mut().zip(best_buf.iter()) {
+                *x = b + opts.sigma * (*x - b);
+            }
+            vals[i] = eval(v);
         }
+        order.sort_unstable_by(|&a, &b| {
+            if before(vals, a, b) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        });
     }
 
     let (bi, bv) = vals
@@ -190,6 +336,144 @@ where
         value: *bv,
         iterations,
         converged,
+    }
+}
+
+/// The original allocating implementation, retained verbatim as the
+/// correctness and performance oracle for the allocation-free kernel.
+///
+/// Property tests prove [`simplex_downhill`] reproduces this function's
+/// trajectories bit for bit; the `kernels` bench measures the speedup
+/// against it. Not intended for production use.
+pub mod oracle {
+    use super::{SimplexOptions, SimplexResult};
+
+    /// Reference Nelder–Mead implementation (full sort + fresh allocations
+    /// every iteration). See the module docs.
+    ///
+    /// # Panics
+    /// Panics if `x0` is empty.
+    pub fn simplex_downhill_reference<F>(f: F, x0: &[f64], opts: &SimplexOptions) -> SimplexResult
+    where
+        F: Fn(&[f64]) -> f64,
+    {
+        assert!(!x0.is_empty(), "cannot optimize a zero-dimensional point");
+        let n = x0.len();
+        let eval = |x: &[f64]| -> f64 {
+            let v = f(x);
+            if v.is_finite() {
+                v
+            } else {
+                f64::INFINITY
+            }
+        };
+
+        // Initial simplex: x0 plus one vertex per axis.
+        let mut verts: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+        verts.push(x0.to_vec());
+        for i in 0..n {
+            let mut v = x0.to_vec();
+            v[i] += if v[i].abs() > 1.0 {
+                opts.initial_step.copysign(v[i])
+            } else {
+                opts.initial_step
+            };
+            verts.push(v);
+        }
+        let mut vals: Vec<f64> = verts.iter().map(|v| eval(v)).collect();
+
+        let mut iterations = 0;
+        let mut converged = false;
+        while iterations < opts.max_iterations {
+            iterations += 1;
+
+            // Order vertices: best first. Stable sort keeps determinism on
+            // ties.
+            let mut order: Vec<usize> = (0..=n).collect();
+            order.sort_by(|&a, &b| {
+                vals[a]
+                    .partial_cmp(&vals[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let best = order[0];
+            let worst = order[n];
+            let second_worst = order[n - 1];
+
+            if (vals[worst] - vals[best]).abs() < opts.tolerance {
+                converged = true;
+                break;
+            }
+
+            // Centroid of all but the worst vertex.
+            let mut centroid = vec![0.0; n];
+            for &i in order.iter().take(n) {
+                for (c, x) in centroid.iter_mut().zip(&verts[i]) {
+                    *c += x;
+                }
+            }
+            for c in &mut centroid {
+                *c /= n as f64;
+            }
+
+            let lerp = |from: &[f64], to: &[f64], t: f64| -> Vec<f64> {
+                from.iter().zip(to).map(|(a, b)| a + t * (b - a)).collect()
+            };
+
+            // Reflection.
+            let reflected = lerp(&centroid, &verts[worst], -opts.alpha);
+            let fr = eval(&reflected);
+            if fr < vals[best] {
+                // Expansion.
+                let expanded = lerp(&centroid, &verts[worst], -opts.gamma);
+                let fe = eval(&expanded);
+                if fe < fr {
+                    verts[worst] = expanded;
+                    vals[worst] = fe;
+                } else {
+                    verts[worst] = reflected;
+                    vals[worst] = fr;
+                }
+                continue;
+            }
+            if fr < vals[second_worst] {
+                verts[worst] = reflected;
+                vals[worst] = fr;
+                continue;
+            }
+
+            // Contraction (outside if the reflection improved on the worst,
+            // inside otherwise).
+            let contracted = if fr < vals[worst] {
+                lerp(&centroid, &reflected, opts.rho)
+            } else {
+                lerp(&centroid, &verts[worst], opts.rho)
+            };
+            let fc = eval(&contracted);
+            if fc < vals[worst].min(fr) {
+                verts[worst] = contracted;
+                vals[worst] = fc;
+                continue;
+            }
+
+            // Shrink toward the best vertex.
+            let best_v = verts[best].clone();
+            for &i in order.iter().skip(1) {
+                verts[i] = lerp(&best_v, &verts[i], opts.sigma);
+                vals[i] = eval(&verts[i]);
+            }
+        }
+
+        let (bi, bv) = vals
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("simplex has at least one vertex");
+        SimplexResult {
+            point: verts[bi].clone(),
+            value: *bv,
+            iterations,
+            converged,
+        }
     }
 }
 
@@ -268,5 +552,94 @@ mod tests {
         let b = simplex_downhill(f, &[9.0, -9.0], &SimplexOptions::default());
         assert_eq!(a.point, b.point);
         assert_eq!(a.iterations, b.iterations);
+    }
+
+    /// Bit-level equality against the oracle: point, value, iteration count
+    /// and convergence flag must all match exactly.
+    fn assert_bit_identical<F: Fn(&[f64]) -> f64>(f: F, x0: &[f64], opts: &SimplexOptions) {
+        let new = simplex_downhill(&f, x0, opts);
+        let old = oracle::simplex_downhill_reference(&f, x0, opts);
+        assert_eq!(new.iterations, old.iterations, "iterations diverge");
+        assert_eq!(new.converged, old.converged, "convergence flag diverges");
+        assert_eq!(
+            new.value.to_bits(),
+            old.value.to_bits(),
+            "value diverges: {} vs {}",
+            new.value,
+            old.value
+        );
+        let new_bits: Vec<u64> = new.point.iter().map(|v| v.to_bits()).collect();
+        let old_bits: Vec<u64> = old.point.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            new_bits, old_bits,
+            "point diverges: {:?} vs {:?}",
+            new.point, old.point
+        );
+    }
+
+    #[test]
+    fn kernel_matches_oracle_on_standard_objectives() {
+        let opts = SimplexOptions::default();
+        assert_bit_identical(
+            |x| x.iter().map(|v| v * v).sum::<f64>(),
+            &[10.0, -7.0, 3.0],
+            &opts,
+        );
+        assert_bit_identical(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 5.0).powi(2) + 2.0,
+            &[0.0, 0.0],
+            &opts,
+        );
+        let rosen = SimplexOptions {
+            max_iterations: 5000,
+            initial_step: 0.5,
+            ..Default::default()
+        };
+        assert_bit_identical(
+            |x| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+            &[-1.2, 1.0],
+            &rosen,
+        );
+    }
+
+    #[test]
+    fn kernel_matches_oracle_with_nan_regions_and_caps() {
+        let f = |x: &[f64]| {
+            let s: f64 = x.iter().map(|v| v * v).sum();
+            if x[0] > 5.0 {
+                f64::NAN
+            } else {
+                s
+            }
+        };
+        assert_bit_identical(f, &[4.0, 0.0], &SimplexOptions::default());
+        let capped = SimplexOptions {
+            max_iterations: 3,
+            ..Default::default()
+        };
+        assert_bit_identical(
+            |x: &[f64]| x[0].sin() * x[1].cos() + x[0] * x[0] * 1e-4,
+            &[1.0, 1.0],
+            &capped,
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_leak_state() {
+        // A scratch reused across problems of different dimensions must
+        // reproduce fresh-scratch results exactly.
+        let mut scratch = SimplexScratch::new();
+        let opts = SimplexOptions::default();
+        let f3 = |x: &[f64]| x.iter().map(|v| (v - 2.0) * (v - 2.0)).sum::<f64>();
+        let f1 = |x: &[f64]| (x[0] - 42.0).powi(2);
+        for _ in 0..3 {
+            let a = simplex_downhill_scratch(f3, &[9.0, -9.0, 0.5], &opts, &mut scratch);
+            let b = simplex_downhill(f3, &[9.0, -9.0, 0.5], &opts);
+            assert_eq!(a.point, b.point);
+            assert_eq!(a.iterations, b.iterations);
+            let a1 = simplex_downhill_scratch(f1, &[0.0], &opts, &mut scratch);
+            let b1 = simplex_downhill(f1, &[0.0], &opts);
+            assert_eq!(a1.point, b1.point);
+        }
     }
 }

@@ -73,6 +73,28 @@ impl Space {
         }
     }
 
+    /// [`Space::distance`] on raw component slices plus heights — the SoA
+    /// fast path used by `vcoord-metrics`' coordinate snapshots.
+    ///
+    /// Performs exactly the same floating-point operations in the same order
+    /// as [`Space::distance`], so results are bit-identical; heights are
+    /// ignored by the spaces that ignore them there.
+    pub fn distance_flat(&self, a: &[f64], a_height: f64, b: &[f64], b_height: f64) -> f64 {
+        match self {
+            Space::Euclidean(_) => vector::dist(a, b),
+            Space::EuclideanHeight(_) => vector::dist(a, b) + a_height + b_height,
+            Space::Spherical { radius } => {
+                let (la, lo) = (a[0], a[1]);
+                let (lb, lob) = (b[0], b[1]);
+                let dlat = lb - la;
+                let dlon = lob - lo;
+                let h =
+                    (dlat / 2.0).sin().powi(2) + la.cos() * lb.cos() * (dlon / 2.0).sin().powi(2);
+                2.0 * radius * h.sqrt().min(1.0).asin()
+            }
+        }
+    }
+
     /// Displacement `a − b` in this space.
     ///
     /// For Euclidean spaces the height part is forced to zero; for the height
@@ -232,6 +254,28 @@ mod tests {
         let b = Coord::from_vec(vec![0.0, std::f64::consts::PI]);
         let d = s.distance(&a, &b);
         assert!((d - std::f64::consts::PI * 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distance_flat_is_bit_identical_to_distance() {
+        let mut r = rng();
+        for space in [
+            Space::Euclidean(3),
+            Space::EuclideanHeight(2),
+            Space::Spherical { radius: 6371.0 },
+        ] {
+            for _ in 0..50 {
+                let a = space.random_coord(2.0, &mut r);
+                let b = space.random_coord(2.0, &mut r);
+                let via_coord = space.distance(&a, &b);
+                let via_flat = space.distance_flat(&a.vec, a.height, &b.vec, b.height);
+                assert_eq!(
+                    via_coord.to_bits(),
+                    via_flat.to_bits(),
+                    "{space:?}: {via_coord} vs {via_flat}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Property tests pinning the allocation-free Simplex kernel to the
+//! retained oracle: on random quadratics and Rosenbrock starts the two must
+//! agree on the returned point (bit for bit), objective value, iteration
+//! count, and convergence flag — the guarantee behind the byte-identical
+//! figure CSVs.
+
+use proptest::prelude::*;
+use vcoord_space::simplex::oracle::simplex_downhill_reference;
+use vcoord_space::{simplex_downhill_scratch, SimplexOptions, SimplexResult, SimplexScratch};
+
+/// Full bit-level comparison of two runs (panics on divergence, which the
+/// vendored proptest stub reports with the generated inputs).
+fn assert_identical(new: &SimplexResult, old: &SimplexResult) {
+    prop_assert_eq!(new.iterations, old.iterations, "iteration count diverges");
+    prop_assert_eq!(new.converged, old.converged, "convergence flag diverges");
+    prop_assert_eq!(
+        new.value.to_bits(),
+        old.value.to_bits(),
+        "value diverges: {} vs {}",
+        new.value,
+        old.value
+    );
+    let new_bits: Vec<u64> = new.point.iter().map(|v| v.to_bits()).collect();
+    let old_bits: Vec<u64> = old.point.iter().map(|v| v.to_bits()).collect();
+    prop_assert_eq!(new_bits, old_bits, "point diverges");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Axis-weighted quadratics of random dimension, center, and start —
+    /// the family NPS positioning objectives live in near convergence.
+    #[test]
+    fn kernel_matches_oracle_on_random_quadratics(
+        dim in 1usize..6,
+        center in prop::collection::vec(-80.0f64..80.0, 6),
+        weights in prop::collection::vec(0.1f64..10.0, 6),
+        start in prop::collection::vec(-100.0f64..100.0, 6),
+        initial_step in 1.0f64..60.0,
+        max_iterations in 20usize..500,
+    ) {
+        let f = |x: &[f64]| -> f64 {
+            x.iter()
+                .zip(&center)
+                .zip(&weights)
+                .map(|((xi, c), w)| w * (xi - c) * (xi - c))
+                .sum()
+        };
+        let opts = SimplexOptions {
+            initial_step,
+            max_iterations,
+            ..SimplexOptions::default()
+        };
+        let x0 = &start[..dim];
+        // Reuse one scratch across two runs: results must not depend on
+        // scratch history.
+        let mut scratch = SimplexScratch::new();
+        let first = simplex_downhill_scratch(f, x0, &opts, &mut scratch);
+        let second = simplex_downhill_scratch(f, x0, &opts, &mut scratch);
+        let oracle = simplex_downhill_reference(f, x0, &opts);
+        assert_identical(&first, &oracle);
+        assert_identical(&second, &oracle);
+    }
+
+    /// The banana valley exercises long zig-zag trajectories with frequent
+    /// contractions and occasional shrinks — the moves where incremental
+    /// order maintenance could drift from a full re-sort if it were wrong.
+    #[test]
+    fn kernel_matches_oracle_on_rosenbrock_starts(
+        x0 in -2.0f64..2.0,
+        y0 in -1.0f64..3.0,
+        initial_step in 0.05f64..2.0,
+        max_iterations in 100usize..3000,
+    ) {
+        let f = |x: &[f64]| -> f64 {
+            (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+        };
+        let opts = SimplexOptions {
+            initial_step,
+            max_iterations,
+            ..SimplexOptions::default()
+        };
+        let mut scratch = SimplexScratch::new();
+        let new = simplex_downhill_scratch(f, &[x0, y0], &opts, &mut scratch);
+        let oracle = simplex_downhill_reference(f, &[x0, y0], &opts);
+        assert_identical(&new, &oracle);
+    }
+}

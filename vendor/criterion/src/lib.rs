@@ -4,11 +4,21 @@
 //! workspace benches (`bench_function`, `benchmark_group`, `iter`,
 //! `iter_batched`, the group/config builders, and the two macros). Instead of
 //! Criterion's statistical machinery it runs a short calibrated loop and
-//! prints mean wall-clock time per iteration — enough to compare hot paths
-//! order-of-magnitude while offline. Swapping in real Criterion later is a
-//! manifest-only change (see `vendor/README.md`).
+//! prints mean, median, min, and max wall-clock time per iteration (the
+//! median/min/max come from per-batch timings) — enough to compare hot
+//! paths while offline. When the `VCOORD_BENCH_JSON` environment variable
+//! is set to a non-empty value, each benchmark additionally emits one JSON
+//! line (`{"benchmark": ..., "mean_s": ...}`) on stdout so external
+//! harnesses (CI jobs, ad-hoc scripts) can scrape `cargo bench` output
+//! into perf baselines without parsing the human-readable table. Swapping
+//! in real Criterion later is a manifest-only change (see
+//! `vendor/README.md`).
 
 use std::time::{Duration, Instant};
+
+/// Environment variable enabling one machine-readable JSON line per
+/// benchmark on stdout.
+pub const JSON_ENV: &str = "VCOORD_BENCH_JSON";
 
 pub use std::hint::black_box;
 
@@ -108,10 +118,18 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// One measurement: total work plus the per-iteration seconds observed in
+/// each timed batch (the sample set behind median/min/max).
+struct Report {
+    total_iters: u64,
+    total_time: Duration,
+    batch_samples: Vec<f64>,
+}
+
 /// Passed to each benchmark closure; drives the timed loop.
 pub struct Bencher {
     budget: Duration,
-    report: Option<(u64, Duration)>,
+    report: Option<Report>,
 }
 
 impl Bencher {
@@ -120,6 +138,7 @@ impl Bencher {
         let mut batch: u64 = 1;
         let mut total_iters: u64 = 0;
         let mut total_time = Duration::ZERO;
+        let mut batch_samples = Vec::new();
         loop {
             let start = Instant::now();
             for _ in 0..batch {
@@ -128,6 +147,7 @@ impl Bencher {
             let elapsed = start.elapsed();
             total_iters += batch;
             total_time += elapsed;
+            batch_samples.push(elapsed.as_secs_f64() / batch as f64);
             if total_time >= self.budget || total_iters >= 1 << 24 {
                 break;
             }
@@ -135,7 +155,11 @@ impl Bencher {
                 batch = batch.saturating_mul(2);
             }
         }
-        self.report = Some((total_iters, total_time));
+        self.report = Some(Report {
+            total_iters,
+            total_time,
+            batch_samples,
+        });
     }
 
     pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
@@ -145,17 +169,24 @@ impl Bencher {
     {
         let mut total_iters: u64 = 0;
         let mut total_time = Duration::ZERO;
+        let mut batch_samples = Vec::new();
         loop {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
-            total_time += start.elapsed();
+            let elapsed = start.elapsed();
+            total_time += elapsed;
             total_iters += 1;
+            batch_samples.push(elapsed.as_secs_f64());
             if total_time >= self.budget || total_iters >= 1 << 16 {
                 break;
             }
         }
-        self.report = Some((total_iters, total_time));
+        self.report = Some(Report {
+            total_iters,
+            total_time,
+            batch_samples,
+        });
     }
 }
 
@@ -166,9 +197,24 @@ fn run_one<F: FnMut(&mut Bencher)>(id: &str, budget: Duration, mut f: F) {
     };
     f(&mut b);
     match b.report {
-        Some((iters, time)) if iters > 0 => {
-            let per = time.as_secs_f64() / iters as f64;
-            println!("{id:<48} {:>12} iters   {per:>12.3e} s/iter", iters);
+        Some(r) if r.total_iters > 0 && !r.batch_samples.is_empty() => {
+            let mean = r.total_time.as_secs_f64() / r.total_iters as f64;
+            let mut sorted = r.batch_samples.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+            let median = sorted[sorted.len() / 2];
+            let min = sorted[0];
+            let max = sorted[sorted.len() - 1];
+            println!(
+                "{id:<48} {:>10} iters   mean {mean:>10.3e}  median {median:>10.3e}  min {min:>10.3e}  max {max:>10.3e}  s/iter",
+                r.total_iters
+            );
+            if std::env::var(JSON_ENV).is_ok_and(|v| !v.is_empty()) {
+                println!(
+                    "{{\"benchmark\":\"{}\",\"mean_s\":{mean:e},\"median_s\":{median:e},\"min_s\":{min:e},\"max_s\":{max:e},\"iters\":{}}}",
+                    id.replace('\\', "\\\\").replace('"', "\\\""),
+                    r.total_iters
+                );
+            }
         }
         _ => println!("{id:<48} (no measurement)"),
     }
@@ -227,5 +273,27 @@ mod tests {
     fn groups_run() {
         plain();
         configured();
+    }
+
+    #[test]
+    fn reports_carry_batch_samples() {
+        let mut b = Bencher {
+            budget: Duration::from_millis(2),
+            report: None,
+        };
+        b.iter(|| 21 * 2);
+        let r = b.report.expect("iter sets a report");
+        assert!(r.total_iters > 0);
+        assert!(!r.batch_samples.is_empty());
+        // Per-batch per-iteration samples are non-negative and finite.
+        assert!(r.batch_samples.iter().all(|s| s.is_finite() && *s >= 0.0));
+
+        let mut b2 = Bencher {
+            budget: Duration::from_millis(2),
+            report: None,
+        };
+        b2.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        let r2 = b2.report.expect("iter_batched sets a report");
+        assert_eq!(r2.total_iters as usize, r2.batch_samples.len());
     }
 }
