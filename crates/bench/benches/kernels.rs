@@ -1,14 +1,22 @@
-//! Hot-path kernels: the per-event work of both simulators.
+//! Hot-path kernels: the per-event work of both simulators — plus the
+//! defense-inspection kernel, benchmarked under the defense crate's
+//! counting allocator (`vcoord::defense::testing`) so the `NoDefense`
+//! zero-allocation contract is *asserted*, not assumed.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
+use vcoord::defense::testing::{allocations, ring_fill_samples, CountingAllocator};
+use vcoord::defense::{Defense, DriftCap, ResidualOutlier, Update};
 use vcoord::metrics::EvalPlan;
 use vcoord::netsim::SeedStream;
 use vcoord::space::simplex::oracle::simplex_downhill_reference;
 use vcoord::space::{simplex_downhill_scratch, Coord, SimplexScratch, Space};
 use vcoord::topo::{KingLike, KingLikeConfig};
 use vcoord::vivaldi::node::vivaldi_update;
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
 
 fn bench_vivaldi_update(c: &mut Criterion) {
     let mut group = c.benchmark_group("vivaldi_update");
@@ -99,6 +107,103 @@ fn bench_eval_plan(c: &mut Criterion) {
     });
 }
 
+fn bench_defense_inspect(c: &mut Criterion) {
+    const REMOTES: usize = 16;
+    let space = Space::Euclidean(2);
+    let me = Coord::origin(2);
+    let them = Coord::from_vec(vec![120.0, 50.0]);
+    let sample = |remote: usize, round: u64| Update {
+        observer: 0,
+        remote,
+        reported_coord: &them,
+        reported_error: 0.3,
+        rtt: 100.0,
+        round,
+        now_ms: round * 1000,
+    };
+    let mut group = c.benchmark_group("defense_inspect");
+
+    // The NoDefense fast path — with the zero-allocation contract asserted
+    // over a tight manual loop (b.iter's own sample bookkeeping allocates,
+    // so the assertion brackets a loop of pure inspections instead).
+    let mut none = Defense::none();
+    none.inspect(&space, &me, sample(1, 0));
+    let before = allocations();
+    let mut round = 0u64;
+    for _ in 0..100_000 {
+        round += 1;
+        black_box(none.inspect(
+            &space,
+            &me,
+            sample((round % REMOTES as u64) as usize, round),
+        ));
+    }
+    let allocs = allocations() - before;
+    assert_eq!(
+        allocs, 0,
+        "NoDefense fast path allocated {allocs} times over 100k samples — \
+         the defended update loop must add zero allocation per round"
+    );
+    group.bench_function("no_defense", |b| {
+        b.iter(|| {
+            round += 1;
+            none.inspect(
+                &space,
+                &me,
+                sample((round % REMOTES as u64) as usize, round),
+            )
+        })
+    });
+
+    // Steady-state cost of real detectors: also asserted allocation-free
+    // once warm-up has filled every history ring (a growing ring still
+    // allocates — the bound derives from the ring depths).
+    let warmup = ring_fill_samples(REMOTES);
+    let mut drift = Defense::new(Box::new(DriftCap::new(1e12)));
+    let mut mad = Defense::new(Box::new(ResidualOutlier::new(12, 1e12)));
+    for r in 0..warmup {
+        drift.inspect(&space, &me, sample((r % REMOTES as u64) as usize, r));
+        mad.inspect(&space, &me, sample((r % REMOTES as u64) as usize, r));
+    }
+    let before = allocations();
+    for r in warmup..warmup + 10_000 {
+        black_box(drift.inspect(&space, &me, sample((r % REMOTES as u64) as usize, r)));
+        black_box(mad.inspect(&space, &me, sample((r % REMOTES as u64) as usize, r)));
+    }
+    let allocs = allocations() - before;
+    assert_eq!(
+        allocs, 0,
+        "warmed-up drift-cap/MAD inspection allocated {allocs} times over 10k samples"
+    );
+    // Each steady-state bench continues from its OWN warm-up round, not
+    // the shared counter the no_defense bench has meanwhile advanced by
+    // ~10⁸ iterations — jumping the round would make the first timed
+    // iteration pay an enormous on_round catch-up loop.
+    let mut drift_round = warmup + 10_000;
+    group.bench_function("drift_cap_steady", |b| {
+        b.iter(|| {
+            drift_round += 1;
+            drift.inspect(
+                &space,
+                &me,
+                sample((drift_round % REMOTES as u64) as usize, drift_round),
+            )
+        })
+    });
+    let mut mad_round = warmup + 10_000;
+    group.bench_function("mad_outlier_steady", |b| {
+        b.iter(|| {
+            mad_round += 1;
+            mad.inspect(
+                &space,
+                &me,
+                sample((mad_round % REMOTES as u64) as usize, mad_round),
+            )
+        })
+    });
+    group.finish();
+}
+
 fn bench_matrix_ops(c: &mut Criterion) {
     let seeds = SeedStream::new(4);
     let matrix = KingLike::new(KingLikeConfig::with_nodes(400)).generate(&mut seeds.rng("topo"));
@@ -111,6 +216,6 @@ fn bench_matrix_ops(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_vivaldi_update, bench_simplex, bench_eval_plan, bench_matrix_ops
+    targets = bench_vivaldi_update, bench_simplex, bench_eval_plan, bench_defense_inspect, bench_matrix_ops
 }
 criterion_main!(benches);

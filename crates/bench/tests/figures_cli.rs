@@ -163,6 +163,64 @@ fn attack_sweep_ids_are_listed() {
 }
 
 #[test]
+fn defense_sweep_ids_are_listed() {
+    let out = run(&["--list"]);
+    let text = stdout(&out);
+    for id in [
+        "def-sweep-vivaldi",
+        "def-sweep-nps",
+        "def-frog-drift",
+        "def-roc",
+    ] {
+        assert!(text.contains(id), "--list missing {id}:\n{text}");
+    }
+}
+
+#[test]
+fn defense_figures_write_csvs_under_smoke() {
+    let dir = tempdir("def-figs");
+    let out = run(&[
+        "def-frog-drift",
+        "def-roc",
+        "--smoke",
+        "--seed",
+        "7",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "defense figures --smoke failed:\n{}",
+        stderr(&out)
+    );
+    for id in ["def-frog-drift", "def-roc"] {
+        let csv_path = dir.join(format!("{id}.csv"));
+        assert!(csv_path.exists(), "expected {}", csv_path.display());
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        let data_rows: Vec<&str> = csv
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .collect();
+        assert!(
+            data_rows.len() >= 2,
+            "{id}: header plus rows needed:\n{csv}"
+        );
+        for cell in data_rows[1].split(',') {
+            cell.parse::<f64>()
+                .unwrap_or_else(|_| panic!("{id}: non-numeric cell {cell:?}"));
+        }
+    }
+    // The drift study carries per-defense drift and error columns; the ROC
+    // carries the (fpr, tpr) pairs of both swept detectors.
+    let drift = std::fs::read_to_string(dir.join("def-frog-drift.csv")).unwrap();
+    assert!(drift.contains("drift_drift_cap"));
+    assert!(drift.contains("err_mad_outlier"));
+    let roc = std::fs::read_to_string(dir.join("def-roc.csv")).unwrap();
+    assert!(roc.contains("tpr_drift_cap"));
+    assert!(roc.contains("fpr_mad"));
+}
+
+#[test]
 fn same_seed_same_csv_bytes() {
     let a = tempdir("repro-a");
     let b = tempdir("repro-b");

@@ -3,13 +3,57 @@
 //! the files committed under `results/`.
 //!
 //! This is the CI teeth behind every "numerics-preserving" refactor claim:
-//! the Simplex kernel, the `EvalPlan` snapshot path, and the `--jobs`
-//! figure sweep are all allowed to change wall-clock time only — a single
-//! flipped output byte fails here. The run uses `--jobs 2` so the parallel
-//! sweep path itself is the thing being proven byte-stable.
+//! the Simplex kernel, the `EvalPlan` snapshot path, the `--jobs` figure
+//! sweep, and the defense slot threaded through both simulators are all
+//! allowed to change wall-clock time only — a single flipped output byte
+//! fails here. The run uses `--jobs 2` so the parallel sweep path itself
+//! is the thing being proven byte-stable.
+//!
+//! The divergence report distinguishes the pre-defense suite from the
+//! `def-*` sweeps: a diff in [`PRE_DEFENSE_IDS`] means the undefended
+//! (`NoDefense`-equivalent) code path itself changed numerically — the
+//! exact regression the defense subsystem promised never to cause.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
+
+/// Every figure id that existed before the defense subsystem landed. These
+/// CSVs must survive any defense-layer change byte-for-byte: with no
+/// defense deployed the simulators run the pre-existing code path (scale
+/// 1.0 updates, weight 1.0 fits), and these 31 files are the proof.
+const PRE_DEFENSE_IDS: [&str; 31] = [
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "fig22",
+    "fig23",
+    "fig24",
+    "fig25",
+    "fig26",
+    "ext-genesis",
+    "ext-faults",
+    "atk-sweep-vivaldi",
+    "atk-sweep-nps",
+    "atk-frog-drift",
+];
 
 /// The committed reference CSVs: `<workspace root>/results`.
 fn results_dir() -> PathBuf {
@@ -59,22 +103,44 @@ fn smoke_suite_reproduces_committed_csvs_byte_for_byte() {
          <ids> --smoke --seed 2006 --out results)"
     );
 
-    let mut diverged: Vec<String> = Vec::new();
+    for id in PRE_DEFENSE_IDS {
+        assert!(
+            committed.contains(&format!("{id}.csv")),
+            "pre-defense golden CSV missing from results/: {id}.csv"
+        );
+    }
+
+    let mut diverged_legacy: Vec<String> = Vec::new();
+    let mut diverged_def: Vec<String> = Vec::new();
     for name in &committed {
         let committed_bytes = std::fs::read(reference.join(name)).unwrap();
         let fresh_bytes = std::fs::read(out.join(name)).unwrap();
         if committed_bytes != fresh_bytes {
-            diverged.push(name.clone());
+            let id = name.trim_end_matches(".csv");
+            if PRE_DEFENSE_IDS.contains(&id) {
+                diverged_legacy.push(name.clone());
+            } else {
+                diverged_def.push(name.clone());
+            }
         }
     }
     assert!(
-        committed.len() >= 31,
-        "expected the full 31-figure suite under results/, found {} CSVs",
+        committed.len() >= 35,
+        "expected the full 35-figure suite under results/, found {} CSVs",
         committed.len()
     );
     assert!(
-        diverged.is_empty(),
-        "CSV bytes diverged from committed results/ for: {diverged:?}\n\
+        diverged_legacy.is_empty(),
+        "PRE-DEFENSE CSV bytes diverged from committed results/ for: \
+         {diverged_legacy:?}\n\
+         With no defense deployed the simulators must run the pre-existing \
+         numerics unchanged (scale 1.0 updates, weight 1.0 fits); this \
+         failure means the NoDefense/undefended path itself shifted. Do not \
+         re-record — find the flipped bit"
+    );
+    assert!(
+        diverged_def.is_empty(),
+        "def-* CSV bytes diverged from committed results/ for: {diverged_def:?}\n\
          A numerics-preserving change must not alter any figure output; if \
          the change is *intentionally* numeric, re-record the affected CSVs \
          (figures <ids> --smoke --seed 2006) and explain the delta in \

@@ -33,8 +33,9 @@ pub const STRATEGIES: [&str; 5] = [
 /// Malicious fractions swept by the attack-strength figures.
 const FRACTIONS: [f64; 3] = [0.10, 0.30, 0.50];
 
-/// Workspace-default instance of one generic strategy by label.
-fn strategy_by(label: &str) -> Box<dyn AttackStrategy> {
+/// Workspace-default instance of one generic strategy by label (shared
+/// with the defense sweeps in `experiments::defense_figs`).
+pub fn strategy_by(label: &str) -> Box<dyn AttackStrategy> {
     match label {
         "frog_boiling" => Box::new(FrogBoiling::default()),
         "oscillation" => Box::new(Oscillation::default()),
@@ -89,8 +90,9 @@ where
 }
 
 /// Tail-mean of one series per run, averaged across repetitions — the
-/// shared (error, drift) cell aggregation of both sweep figures.
-fn mean_tails<'a, R: 'a>(
+/// shared (error, drift) cell aggregation of the sweep figures (also used
+/// by `experiments::defense_figs`).
+pub(crate) fn mean_tails<'a, R: 'a>(
     runs: &'a [R],
     series: impl Fn(&'a R) -> &'a vcoord_metrics::TimeSeries,
 ) -> f64 {

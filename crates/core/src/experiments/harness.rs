@@ -7,7 +7,8 @@
 
 use crate::experiments::Scale;
 use vcoord_attackkit::AttackStrategy;
-use vcoord_metrics::{random_baseline_with, EvalPlan, FilterLedger, TimeSeries};
+use vcoord_defense::{DefenseStats, DefenseStrategy};
+use vcoord_metrics::{random_baseline_with, Confusion, EvalPlan, FilterLedger, TimeSeries};
 use vcoord_netsim::SeedStream;
 use vcoord_nps::{NpsConfig, NpsSim};
 use vcoord_space::{Coord, Space};
@@ -16,6 +17,53 @@ use vcoord_vivaldi::{VivaldiConfig, VivaldiSim};
 
 /// The random-coordinate interval of the paper's worst-case baseline.
 pub const RANDOM_RANGE: f64 = 50_000.0;
+
+/// Flag events a node must accumulate before the harness counts it as
+/// *detected* when grading verdicts into a [`Confusion`]: sample-level
+/// filters (MAD, EWMA) throw occasional single rejections at honest nodes
+/// under noise, so node-level detection requires persistence.
+pub const DETECTION_MIN_FLAGS: u64 = 3;
+
+/// Minimum share of a node's inspected samples that must be flagged (on
+/// top of [`DETECTION_MIN_FLAGS`]) — the count floor alone stops
+/// separating honest tail-noise from real detections as runs get longer.
+pub const DETECTION_MIN_RATE: f64 = 0.08;
+
+/// What a deployed defense did during the attack window, graded against
+/// attackkit's ground-truth malicious set after the run.
+#[derive(Debug, Clone)]
+pub struct DefenseOutcome {
+    /// The strategy's label.
+    pub label: String,
+    /// Samples accepted unchanged.
+    pub accepted: u64,
+    /// Samples rejected.
+    pub rejected: u64,
+    /// Samples dampened below full strength.
+    pub dampened: u64,
+    /// Node-level detection quality at [`DETECTION_MIN_FLAGS`].
+    pub confusion: Confusion,
+    /// Rejections per recording interval (the defense's activity trace).
+    pub reject_series: TimeSeries,
+}
+
+impl DefenseOutcome {
+    fn grade(
+        label: &str,
+        stats: &DefenseStats,
+        malicious: &[bool],
+        reject_series: TimeSeries,
+    ) -> DefenseOutcome {
+        DefenseOutcome {
+            label: label.to_string(),
+            accepted: stats.accepted,
+            rejected: stats.rejected,
+            dampened: stats.dampened,
+            confusion: stats.confusion_rated(malicious, DETECTION_MIN_FLAGS, DETECTION_MIN_RATE),
+            reject_series,
+        }
+    }
+}
 
 /// Outcome of one Vivaldi attack run.
 #[derive(Debug, Clone)]
@@ -40,6 +88,8 @@ pub struct VivaldiRun {
     pub random_baseline: f64,
     /// Number of attackers injected.
     pub attackers: usize,
+    /// What the deployed defense did, when one was deployed.
+    pub defense: Option<DefenseOutcome>,
 }
 
 /// Builds the adversary once the attacker set is known. Returns the boxed
@@ -47,6 +97,17 @@ pub struct VivaldiRun {
 /// should track separately (isolation targets, designated victims).
 pub type VivaldiFactory<'a> = &'a (dyn Fn(&mut VivaldiSim, &[usize], &SeedStream) -> (Box<dyn AttackStrategy>, Option<Vec<usize>>)
          + Sync);
+
+/// Builds the defense to deploy at injection time. Unlike the adversary
+/// factories this one never sees the attacker set — a defense that knew
+/// ground truth would be cheating — only the converged system (for
+/// structural configuration like trusted sets) and the seed stream.
+pub type VivaldiDefenseFactory<'a> =
+    &'a (dyn Fn(&VivaldiSim, &SeedStream) -> Box<dyn DefenseStrategy> + Sync);
+
+/// Defense factory for NPS runs (see [`VivaldiDefenseFactory`]).
+pub type NpsDefenseFactory<'a> =
+    &'a (dyn Fn(&NpsSim, &SeedStream) -> Box<dyn DefenseStrategy> + Sync);
 
 /// Thread budget for per-tick `EvalPlan` sweeps inside one repetition —
 /// see [`eval_thread_budget`](crate::experiments::eval_thread_budget).
@@ -85,6 +146,33 @@ pub fn run_vivaldi(
     rep: u64,
     factory: VivaldiFactory<'_>,
 ) -> VivaldiRun {
+    run_vivaldi_defended(
+        scale,
+        space,
+        nodes,
+        fraction,
+        master_seed,
+        rep,
+        factory,
+        None,
+    )
+}
+
+/// [`run_vivaldi`] with a defense deployed at injection time (on the
+/// converged system, the moment the attack goes live) — the attack×defense
+/// sweep driver. With `defense: None` this *is* `run_vivaldi`: the
+/// undefended path is untouched.
+#[allow(clippy::too_many_arguments)]
+pub fn run_vivaldi_defended(
+    scale: &Scale,
+    space: Space,
+    nodes: usize,
+    fraction: f64,
+    master_seed: u64,
+    rep: u64,
+    factory: VivaldiFactory<'_>,
+    defense: Option<VivaldiDefenseFactory<'_>>,
+) -> VivaldiRun {
     let seeds = SeedStream::new(master_seed).derive_indexed("vivaldi-rep", rep);
     let matrix = KingLike::new(KingLikeConfig::with_nodes(nodes)).generate(&mut seeds.rng("topo"));
     let config = VivaldiConfig::in_space(space);
@@ -113,11 +201,16 @@ pub fn run_vivaldi(
     }
     let clean_ref = clean_series.tail_mean(5).max(1e-6);
 
-    // Injection.
+    // Injection — and, in the same instant, defense deployment: the sweep
+    // measures how a converged, defended system absorbs a fresh attack.
     let attackers = sim.pick_attackers(fraction);
     let n_attackers = attackers.len();
     let (adversary, focus) = factory(&mut sim, &attackers, &seeds);
     sim.inject_adversary(&attackers, adversary);
+    if let Some(build) = defense {
+        let strategy = build(&sim, &seeds);
+        sim.deploy_defense(strategy);
+    }
 
     // Honest-population evaluation plan (the paper measures victims).
     let honest = sim.honest_nodes();
@@ -135,6 +228,8 @@ pub fn run_vivaldi(
 
     let mut attack_series = TimeSeries::new();
     let mut drift_series = TimeSeries::new();
+    let mut reject_series = TimeSeries::new();
+    let mut rejected_so_far = 0u64;
     let mut focus_series = focus_indices.as_ref().map(|_| TimeSeries::new());
     let mut final_errors: Vec<f64> = Vec::new();
     let mut prev_coords: Vec<Coord> = plan_honest
@@ -160,12 +255,20 @@ pub fn run_vivaldi(
                 scale.vivaldi_record_every,
             ),
         );
+        if let Some(stats) = sim.defense_stats() {
+            reject_series.push(sim.now_ticks(), (stats.rejected - rejected_so_far) as f64);
+            rejected_so_far = stats.rejected;
+        }
         if let (Some(fs), Some(fi)) = (focus_series.as_mut(), focus_indices.as_ref()) {
             let favg = fi.iter().map(|&k| errs[k]).sum::<f64>() / fi.len().max(1) as f64;
             fs.push(sim.now_ticks(), favg);
         }
         final_errors = errs;
     }
+
+    let defense_outcome = sim
+        .defense()
+        .map(|d| DefenseOutcome::grade(d.label(), d.stats(), sim.malicious(), reject_series));
 
     let random_baseline = random_baseline_with(
         &plan_honest,
@@ -185,6 +288,7 @@ pub fn run_vivaldi(
         drift_series,
         random_baseline,
         attackers: n_attackers,
+        defense: defense_outcome,
     }
 }
 
@@ -214,6 +318,8 @@ pub struct NpsRun {
     pub random_baseline: f64,
     /// Number of attackers injected.
     pub attackers: usize,
+    /// What the deployed defense did, when one was deployed.
+    pub defense: Option<DefenseOutcome>,
 }
 
 /// Adversary factory for NPS runs (see [`VivaldiFactory`]).
@@ -221,6 +327,7 @@ pub type NpsFactory<'a> = &'a (dyn Fn(&mut NpsSim, &[usize], &SeedStream) -> (Bo
          + Sync);
 
 /// Run one NPS injection experiment.
+#[allow(clippy::too_many_arguments)]
 pub fn run_nps(
     scale: &Scale,
     config: NpsConfig,
@@ -229,6 +336,31 @@ pub fn run_nps(
     master_seed: u64,
     rep: u64,
     factory: NpsFactory<'_>,
+) -> NpsRun {
+    run_nps_defended(
+        scale,
+        config,
+        nodes,
+        fraction,
+        master_seed,
+        rep,
+        factory,
+        None,
+    )
+}
+
+/// [`run_nps`] with a defense deployed at injection time (see
+/// [`run_vivaldi_defended`]). With `defense: None` this *is* `run_nps`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_nps_defended(
+    scale: &Scale,
+    config: NpsConfig,
+    nodes: usize,
+    fraction: f64,
+    master_seed: u64,
+    rep: u64,
+    factory: NpsFactory<'_>,
+    defense: Option<NpsDefenseFactory<'_>>,
 ) -> NpsRun {
     let seeds = SeedStream::new(master_seed).derive_indexed("nps-rep", rep);
     let matrix = KingLike::new(KingLikeConfig::with_nodes(nodes)).generate(&mut seeds.rng("topo"));
@@ -278,11 +410,15 @@ pub fn run_nps(
     let threshold_before = sim.threshold_ledger();
     let _ = counters_before;
 
-    // Injection.
+    // Injection — and, in the same instant, defense deployment.
     let attackers = sim.pick_attackers(fraction);
     let n_attackers = attackers.len();
     let (adversary, focus) = factory(&mut sim, &attackers, &seeds);
     sim.inject_adversary(&attackers, adversary);
+    if let Some(build) = defense {
+        let strategy = build(&sim, &seeds);
+        sim.deploy_defense(strategy);
+    }
 
     let honest = sim.eval_nodes();
     let plan_honest = EvalPlan::with_params(
@@ -304,6 +440,8 @@ pub fn run_nps(
 
     let mut attack_series = TimeSeries::new();
     let mut drift_series = TimeSeries::new();
+    let mut reject_series = TimeSeries::new();
+    let mut rejected_so_far = 0u64;
     let mut layer_acc: Vec<(u8, TimeSeries)> =
         (1..layers).map(|l| (l as u8, TimeSeries::new())).collect();
     let mut focus_series = focus_indices.as_ref().map(|_| TimeSeries::new());
@@ -331,6 +469,10 @@ pub fn run_nps(
                 scale.nps_record_every,
             ),
         );
+        if let Some(stats) = sim.defense_stats() {
+            reject_series.push(sim.now_rounds(), (stats.rejected - rejected_so_far) as f64);
+            rejected_so_far = stats.rejected;
+        }
         for (l, series) in layer_acc.iter_mut() {
             let vals: Vec<f64> = errs
                 .iter()
@@ -353,6 +495,10 @@ pub fn run_nps(
         }
         final_errors = errs;
     }
+
+    let defense_outcome = sim
+        .defense()
+        .map(|d| DefenseOutcome::grade(d.label(), d.stats(), sim.malicious(), reject_series));
 
     let ledger_after = sim.ledger();
     let threshold_after = sim.threshold_ledger();
@@ -387,6 +533,7 @@ pub fn run_nps(
         threshold_ledger,
         random_baseline,
         attackers: n_attackers,
+        defense: defense_outcome,
     }
 }
 
@@ -394,6 +541,35 @@ pub fn run_nps(
 mod tests {
     use super::*;
     use crate::attacks::vivaldi::VivaldiDisorder;
+    use vcoord_defense::NoDefense;
+
+    #[test]
+    fn no_defense_run_matches_undefended_run_exactly() {
+        let scale = Scale::smoke();
+        let factory: VivaldiFactory<'_> =
+            &|_sim, _attackers, _seeds| (Box::new(VivaldiDisorder::default()), None);
+        let bare = run_vivaldi(&scale, Space::Euclidean(2), scale.nodes, 0.2, 5, 0, factory);
+        let defended = run_vivaldi_defended(
+            &scale,
+            Space::Euclidean(2),
+            scale.nodes,
+            0.2,
+            5,
+            0,
+            factory,
+            Some(&|_sim, _seeds| Box::new(NoDefense)),
+        );
+        // Byte-identical trajectories: the NoDefense fast path perturbs
+        // nothing, so every recorded series matches exactly.
+        assert_eq!(bare.final_errors, defended.final_errors);
+        assert_eq!(bare.attack_series.points(), defended.attack_series.points());
+        assert_eq!(bare.drift_series.points(), defended.drift_series.points());
+        let outcome = defended.defense.expect("defense was deployed");
+        assert_eq!(outcome.label, "none");
+        assert_eq!(outcome.rejected, 0);
+        assert!(outcome.accepted > 0, "samples flowed through the fast path");
+        assert!(bare.defense.is_none());
+    }
 
     #[test]
     fn vivaldi_run_produces_complete_record() {

@@ -11,6 +11,7 @@
 //! recorded paper-vs-measured outcomes.
 
 pub mod attack_figs;
+pub mod defense_figs;
 pub mod extensions;
 pub mod harness;
 pub mod nps_figs;

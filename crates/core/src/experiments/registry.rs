@@ -1,6 +1,8 @@
 //! Figure registry: id → runner.
 
-use crate::experiments::{attack_figs, extensions, nps_figs, vivaldi_figs, FigureResult, Scale};
+use crate::experiments::{
+    attack_figs, defense_figs, extensions, nps_figs, vivaldi_figs, FigureResult, Scale,
+};
 
 type Runner = fn(&Scale, u64) -> FigureResult;
 
@@ -166,6 +168,29 @@ pub const FIGURES: &[(&str, Runner, &str)] = &[
         attack_figs::atk_frog_drift,
         "ATK: frog-boiling drift velocity by step size (Vivaldi)",
     ),
+    // defensekit sweeps (outlier filters, change-point detection, drift
+    // caps, triangle checks, trusted baselines — see
+    // experiments::defense_figs).
+    (
+        "def-sweep-vivaldi",
+        defense_figs::def_sweep_vivaldi,
+        "DEF: attack×defense matrix on Vivaldi (error + TPR/FPR)",
+    ),
+    (
+        "def-sweep-nps",
+        defense_figs::def_sweep_nps,
+        "DEF: attack×defense matrix on NPS (error + TPR/FPR)",
+    ),
+    (
+        "def-frog-drift",
+        defense_figs::def_frog_drift,
+        "DEF: frog-boiling vs defenses — drift and error over time (Vivaldi)",
+    ),
+    (
+        "def-roc",
+        defense_figs::def_roc,
+        "DEF: frog-boiling detection ROC — drift cap vs MAD filter (Vivaldi)",
+    ),
 ];
 
 /// All known figure ids, in paper order.
@@ -198,15 +223,23 @@ mod tests {
         let ids = figure_ids();
         assert_eq!(
             ids.len(),
-            31,
-            "26 paper figures + 2 extensions + 3 attackkit sweeps"
+            35,
+            "26 paper figures + 2 extensions + 3 attackkit sweeps + 4 defensekit sweeps"
         );
         for k in 1..=26 {
             assert!(ids.contains(&format!("fig{k}").as_str()), "missing fig{k}");
         }
         assert!(ids.contains(&"ext-genesis"));
         assert!(ids.contains(&"ext-faults"));
-        for id in ["atk-sweep-vivaldi", "atk-sweep-nps", "atk-frog-drift"] {
+        for id in [
+            "atk-sweep-vivaldi",
+            "atk-sweep-nps",
+            "atk-frog-drift",
+            "def-sweep-vivaldi",
+            "def-sweep-nps",
+            "def-frog-drift",
+            "def-roc",
+        ] {
             assert!(ids.contains(&id), "missing {id}");
         }
     }

@@ -16,6 +16,7 @@
 //! | [`netsim`] | `vcoord-netsim` | discrete-event engine, seed streams |
 //! | [`metrics`] | `vcoord-metrics` | relative error, CDFs, filter ledger |
 //! | [`attackkit`] | `vcoord-attackkit` | generic attack-scenario engine |
+//! | [`defense`] | `vcoord-defense` | generic defense/detection engine |
 //! | [`vivaldi`] | `vcoord-vivaldi` | the Vivaldi system under test |
 //! | [`nps`] | `vcoord-nps` | the NPS system under test |
 //!
@@ -58,6 +59,7 @@ pub use knowledge::Knowledge;
 
 // Substrate re-exports under stable names.
 pub use vcoord_attackkit as attackkit;
+pub use vcoord_defense as defense;
 pub use vcoord_metrics as metrics;
 pub use vcoord_netsim as netsim;
 pub use vcoord_nps as nps;
@@ -79,7 +81,11 @@ pub mod prelude {
         AttackStrategy, Collusion, CoordView, Deflation, FrogBoiling, Honest, Inflation, Lie,
         NetworkPartition, Oscillation, Probe, Protocol, RandomLie, Scenario,
     };
-    pub use vcoord_metrics::{relative_error, Cdf, EvalPlan, FilterLedger, TimeSeries};
+    pub use vcoord_defense::{
+        Defense, DefenseStrategy, DriftCap, EwmaChangePoint, NoDefense, ResidualOutlier,
+        TriangleCheck, TrustedBaseline, Verdict,
+    };
+    pub use vcoord_metrics::{relative_error, Cdf, Confusion, EvalPlan, FilterLedger, TimeSeries};
     pub use vcoord_netsim::{LinkModel, SeedStream};
     pub use vcoord_nps::{NpsConfig, NpsSim};
     pub use vcoord_space::{Coord, Space};

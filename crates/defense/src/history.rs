@@ -1,0 +1,456 @@
+//! The neighbor-history store the defense engine maintains on behalf of
+//! every strategy.
+//!
+//! Two indexes over the same sample stream:
+//!
+//! * [`RemoteHistory`] — per *reported-on* node, aggregated across all
+//!   observers. Malicious nodes are probed by many victims every round, so
+//!   this series fills fast even when any single observer samples a given
+//!   neighbor rarely (Vivaldi probes one random spring-set member per
+//!   tick). Aggregating verdict evidence across observers models the
+//!   cooperative-detection deployments the paper's "verified set"
+//!   discussion points at; a strictly node-local detector is the
+//!   `observer`-ring view below.
+//! * [`ObserverSample`] rings — per observer, its most recent samples
+//!   across *all* neighbors: the local residual population (for outlier
+//!   thresholds) and the recent coordinate/RTT pairs (for triangle checks).
+//!
+//! All rings recycle their slots — coordinate payloads are copied into
+//! existing `Vec` capacity — so after warm-up the store records without
+//! heap allocation.
+
+use std::collections::HashMap;
+use vcoord_space::{Coord, Space};
+
+/// Residual-window length of [`RemoteHistory`].
+pub const RESIDUAL_WINDOW: usize = 16;
+/// Reported-coordinate trail length of [`RemoteHistory`].
+pub const REPORTED_WINDOW: usize = 8;
+/// Per-observer recent-sample ring length.
+pub const OBSERVER_WINDOW: usize = 24;
+
+/// Copy `src` into `dst` reusing `dst`'s buffer capacity.
+fn copy_coord(dst: &mut Coord, src: &Coord) {
+    dst.vec.clear();
+    dst.vec.extend_from_slice(&src.vec);
+    dst.height = src.height;
+}
+
+/// Accumulated history of one node's reports, across all observers.
+#[derive(Debug, Clone, Default)]
+pub struct RemoteHistory {
+    /// Ring of signed residuals `rtt − predicted` (ms), unordered.
+    residuals: Vec<f64>,
+    /// Ring of relative residuals `|predicted − rtt| / rtt`, parallel to
+    /// `residuals`.
+    rel_residuals: Vec<f64>,
+    /// Ring of *pull vectors*, parallel to `residuals`: the per-sample
+    /// displacement this node's report exerts on its observer,
+    /// `(rtt − predicted) · u(observer − reported)`, stored as Euclidean
+    /// components plus a trailing height component. See
+    /// [`RemoteHistory::mean_pull_norm`].
+    pulls: Vec<Vec<f64>>,
+    cursor: usize,
+    /// Ring of `(round, reported coordinate)` — the report trail.
+    reported: Vec<(u64, Coord)>,
+    rep_cursor: usize,
+    samples: u64,
+    last_round: u64,
+}
+
+/// Write the pull vector of one sample into `slot` without allocating
+/// (beyond the slot's own one-time growth): the unit direction of
+/// `observer − reported` under the height-model norm, scaled by the signed
+/// residual. A zero displacement leaves a zero pull.
+fn write_pull(slot: &mut Vec<f64>, observer: &Coord, reported: &Coord, residual: f64) {
+    slot.clear();
+    let mut sq = 0.0;
+    for (a, b) in observer.vec.iter().zip(&reported.vec) {
+        let c = a - b;
+        sq += c * c;
+        slot.push(c);
+    }
+    // Height-model semantics: heights add under subtraction (the path
+    // descends one access link and climbs the other).
+    let height = observer.height + reported.height;
+    slot.push(height);
+    let norm = sq.sqrt() + height;
+    if norm > f64::EPSILON {
+        let s = residual / norm;
+        for c in slot.iter_mut() {
+            *c *= s;
+        }
+    } else {
+        for c in slot.iter_mut() {
+            *c = 0.0;
+        }
+    }
+}
+
+impl RemoteHistory {
+    /// An empty history.
+    pub fn new() -> RemoteHistory {
+        RemoteHistory::default()
+    }
+
+    /// Total samples ever recorded for this node.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Round of the most recent sample.
+    pub fn last_round(&self) -> u64 {
+        self.last_round
+    }
+
+    /// The retained window of signed residuals (ms), unordered.
+    pub fn residuals(&self) -> &[f64] {
+        &self.residuals
+    }
+
+    /// The retained window of relative residuals, unordered.
+    pub fn rel_residuals(&self) -> &[f64] {
+        &self.rel_residuals
+    }
+
+    /// Mean *signed* residual over the window (`None` when empty). Note
+    /// the caveat that motivates [`RemoteHistory::mean_pull_norm`]: an
+    /// honest node whose topology cannot be embedded (the classic
+    /// access-link/height effect) holds a *scalar* residual bias to every
+    /// neighbor, so this mean alone misfires on real topologies.
+    pub fn mean_residual(&self) -> Option<f64> {
+        if self.residuals.is_empty() {
+            return None;
+        }
+        Some(self.residuals.iter().sum::<f64>() / self.residuals.len() as f64)
+    }
+
+    /// Norm of the **vector** mean pull this node's reports exert on their
+    /// observers, ms per sample (`None` when the window is empty).
+    ///
+    /// This is the quantity that separates a colluder from an
+    /// unembeddable-but-honest node: the hub node with `rtt > predicted`
+    /// to *everyone* pulls its observers radially outward — directions
+    /// cancel and the vector mean vanishes (that cancellation is exactly
+    /// why it sits at spring equilibrium) — while a frog-boiling colluder
+    /// pulls every observer along the shared collusion axis, so the
+    /// vector mean keeps the full gap magnitude.
+    pub fn mean_pull_norm(&self) -> Option<f64> {
+        let first = self.pulls.first()?;
+        let dims = first.len();
+        let mut acc = [0.0f64; 16];
+        if dims > acc.len() {
+            // Beyond any space the workspace sweeps (≤ 12-D + height);
+            // fall back to the scalar mean rather than allocating.
+            return self.mean_residual().map(f64::abs);
+        }
+        for pull in &self.pulls {
+            for (a, c) in acc.iter_mut().zip(pull) {
+                *a += *c;
+            }
+        }
+        let n = self.pulls.len() as f64;
+        let sq: f64 = acc[..dims].iter().map(|a| (a / n) * (a / n)).sum();
+        Some(sq.sqrt())
+    }
+
+    /// Net displacement per round of the *reported* coordinate across the
+    /// retained trail: `dist(newest, oldest) / (round_newest − round_oldest)`.
+    /// `None` until the trail spans at least one round.
+    pub fn reported_velocity(&self, space: &Space) -> Option<f64> {
+        if self.reported.len() < 2 {
+            return None;
+        }
+        let (oldest_idx, newest_idx) = if self.reported.len() < REPORTED_WINDOW {
+            (0, self.reported.len() - 1)
+        } else {
+            // Full ring: the slot about to be overwritten is the oldest.
+            (
+                self.rep_cursor,
+                (self.rep_cursor + REPORTED_WINDOW - 1) % REPORTED_WINDOW,
+            )
+        };
+        let (r0, ref c0) = self.reported[oldest_idx];
+        let (r1, ref c1) = self.reported[newest_idx];
+        let span = r1.saturating_sub(r0);
+        if span == 0 {
+            return None;
+        }
+        Some(space.distance(c1, c0) / span as f64)
+    }
+
+    fn record(
+        &mut self,
+        round: u64,
+        observer: &Coord,
+        reported: &Coord,
+        residual: f64,
+        rel_residual: f64,
+    ) {
+        if self.residuals.len() < RESIDUAL_WINDOW {
+            self.residuals.push(residual);
+            self.rel_residuals.push(rel_residual);
+            let mut slot = Vec::new();
+            write_pull(&mut slot, observer, reported, residual);
+            self.pulls.push(slot);
+        } else {
+            self.residuals[self.cursor] = residual;
+            self.rel_residuals[self.cursor] = rel_residual;
+            write_pull(&mut self.pulls[self.cursor], observer, reported, residual);
+            self.cursor = (self.cursor + 1) % RESIDUAL_WINDOW;
+        }
+        if self.reported.len() < REPORTED_WINDOW {
+            self.reported.push((round, reported.clone()));
+        } else {
+            let slot = &mut self.reported[self.rep_cursor];
+            slot.0 = round;
+            copy_coord(&mut slot.1, reported);
+            self.rep_cursor = (self.rep_cursor + 1) % REPORTED_WINDOW;
+        }
+        self.samples += 1;
+        self.last_round = round;
+    }
+}
+
+/// One retained sample in an observer's recent ring.
+#[derive(Debug, Clone)]
+pub struct ObserverSample {
+    /// The neighbor that reported.
+    pub remote: usize,
+    /// The coordinate it reported.
+    pub coord: Coord,
+    /// The measured RTT, ms.
+    pub rtt: f64,
+    /// Signed residual `rtt − predicted` at inspection time.
+    pub residual: f64,
+    /// Relative residual at inspection time.
+    pub rel_residual: f64,
+    /// Round the sample arrived in.
+    pub round: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ObserverHistory {
+    ring: Vec<ObserverSample>,
+    cursor: usize,
+}
+
+impl ObserverHistory {
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &mut self,
+        remote: usize,
+        coord: &Coord,
+        rtt: f64,
+        residual: f64,
+        rel_residual: f64,
+        round: u64,
+    ) {
+        if self.ring.len() < OBSERVER_WINDOW {
+            self.ring.push(ObserverSample {
+                remote,
+                coord: coord.clone(),
+                rtt,
+                residual,
+                rel_residual,
+                round,
+            });
+        } else {
+            let slot = &mut self.ring[self.cursor];
+            slot.remote = remote;
+            copy_coord(&mut slot.coord, coord);
+            slot.rtt = rtt;
+            slot.residual = residual;
+            slot.rel_residual = rel_residual;
+            slot.round = round;
+            self.cursor = (self.cursor + 1) % OBSERVER_WINDOW;
+        }
+    }
+}
+
+/// The full history store: per-remote report series plus per-observer
+/// recent rings.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborHistory {
+    remotes: HashMap<usize, RemoteHistory>,
+    observers: HashMap<usize, ObserverHistory>,
+}
+
+impl NeighborHistory {
+    /// An empty store.
+    pub fn new() -> NeighborHistory {
+        NeighborHistory::default()
+    }
+
+    /// History of `remote`'s reports, if any sample was recorded.
+    pub fn remote(&self, remote: usize) -> Option<&RemoteHistory> {
+        self.remotes.get(&remote)
+    }
+
+    /// `observer`'s recent samples across all neighbors, unordered.
+    pub fn recent(&self, observer: usize) -> &[ObserverSample] {
+        self.observers
+            .get(&observer)
+            .map(|h| h.ring.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Ensure both indexes have entries (allocating only on first contact),
+    /// so the engine can hand out borrows before recording.
+    pub(crate) fn ensure(&mut self, observer: usize, remote: usize) {
+        self.remotes.entry(remote).or_default();
+        self.observers.entry(observer).or_default();
+    }
+
+    /// Record one inspected sample into the remote's report trail (every
+    /// inspected sample belongs here — detectors keep observing flagged
+    /// nodes).
+    pub(crate) fn record_remote(
+        &mut self,
+        observer_coord: &Coord,
+        remote: usize,
+        round: u64,
+        reported: &Coord,
+        residual: f64,
+        rel_residual: f64,
+    ) {
+        self.remotes.entry(remote).or_default().record(
+            round,
+            observer_coord,
+            reported,
+            residual,
+            rel_residual,
+        );
+    }
+
+    /// Record one sample into the observer's recent ring — the population
+    /// thresholds calibrate against, so the engine only routes
+    /// non-rejected samples here.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_observer(
+        &mut self,
+        observer: usize,
+        remote: usize,
+        round: u64,
+        reported: &Coord,
+        rtt: f64,
+        residual: f64,
+        rel_residual: f64,
+    ) {
+        self.observers.entry(observer).or_default().record(
+            remote,
+            reported,
+            rtt,
+            residual,
+            rel_residual,
+            round,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcoord_space::Space;
+
+    #[test]
+    fn remote_window_wraps_and_means() {
+        let mut h = RemoteHistory::new();
+        let reported = Coord::origin(2);
+        let observer = Coord::from_vec(vec![100.0, 0.0]);
+        for k in 0..(RESIDUAL_WINDOW + 4) {
+            h.record(k as u64, &observer, &reported, 10.0, 0.1);
+        }
+        assert_eq!(h.samples(), (RESIDUAL_WINDOW + 4) as u64);
+        assert_eq!(h.residuals().len(), RESIDUAL_WINDOW);
+        assert_eq!(h.mean_residual(), Some(10.0));
+        // One observer, fixed direction: the vector mean keeps the full
+        // magnitude.
+        assert!((h.mean_pull_norm().unwrap() - 10.0).abs() < 1e-9);
+        assert_eq!(h.last_round(), (RESIDUAL_WINDOW + 3) as u64);
+    }
+
+    #[test]
+    fn hub_bias_cancels_vectorially_but_coherent_drag_does_not() {
+        // The discriminator behind DriftCap: an honest unembeddable hub
+        // (positive residual to observers all around it) has a large
+        // scalar mean but a vanishing vector mean; a colluder pulling
+        // every observer the same way keeps both.
+        let reported = Coord::origin(2);
+        let mut hub = RemoteHistory::new();
+        for k in 0..8u64 {
+            let a = k as f64 / 8.0 * std::f64::consts::TAU;
+            let observer = Coord::from_vec(vec![100.0 * a.cos(), 100.0 * a.sin()]);
+            hub.record(k, &observer, &reported, 50.0, 0.5);
+        }
+        assert_eq!(hub.mean_residual(), Some(50.0), "scalar bias persists");
+        assert!(
+            hub.mean_pull_norm().unwrap() < 1e-9,
+            "radial pulls must cancel: {}",
+            hub.mean_pull_norm().unwrap()
+        );
+
+        let mut colluder = RemoteHistory::new();
+        for k in 0..8u64 {
+            // Observers scattered, but the reported coordinate sits far
+            // out along the collusion axis: every pull is ~axis-aligned.
+            let observer = Coord::from_vec(vec![10.0 * k as f64, 5.0]);
+            let far = Coord::from_vec(vec![10_000.0, 0.0]);
+            colluder.record(k, &observer, &far, -120.0, 1.2);
+        }
+        assert!(
+            colluder.mean_pull_norm().unwrap() > 110.0,
+            "coherent drag must survive the vector mean: {}",
+            colluder.mean_pull_norm().unwrap()
+        );
+    }
+
+    #[test]
+    fn reported_velocity_tracks_a_moving_trail() {
+        let space = Space::Euclidean(2);
+        let mut h = RemoteHistory::new();
+        let observer = Coord::origin(2);
+        // Reported coordinate advances 5 ms per round along x.
+        for r in 0..20u64 {
+            let c = Coord::from_vec(vec![5.0 * r as f64, 0.0]);
+            h.record(r, &observer, &c, 0.0, 0.0);
+        }
+        let v = h.reported_velocity(&space).unwrap();
+        assert!((v - 5.0).abs() < 1e-9, "velocity {v}");
+    }
+
+    #[test]
+    fn reported_velocity_none_without_span() {
+        let space = Space::Euclidean(2);
+        let mut h = RemoteHistory::new();
+        assert!(h.reported_velocity(&space).is_none());
+        let c = Coord::origin(2);
+        h.record(3, &c, &c, 0.0, 0.0);
+        h.record(3, &c, &c, 0.0, 0.0); // same round: zero span
+        assert!(h.reported_velocity(&space).is_none());
+    }
+
+    #[test]
+    fn observer_ring_wraps_and_reuses_slots() {
+        let mut store = NeighborHistory::new();
+        let c = Coord::from_vec(vec![1.0, 2.0]);
+        let me = Coord::origin(2);
+        for k in 0..(OBSERVER_WINDOW + 7) {
+            store.record_remote(&me, k % 5, k as u64, &c, -1.0, 0.02);
+            store.record_observer(0, k % 5, k as u64, &c, 50.0, -1.0, 0.02);
+        }
+        let recent = store.recent(0);
+        assert_eq!(recent.len(), OBSERVER_WINDOW);
+        assert!(recent.iter().all(|s| s.coord == c && s.rtt == 50.0));
+        assert!(store.recent(99).is_empty(), "unknown observer: empty slice");
+        assert!(store.remote(0).is_some());
+        assert_eq!(
+            store.remote(0).unwrap().samples() as usize
+                + store.remote(1).unwrap().samples() as usize
+                + store.remote(2).unwrap().samples() as usize
+                + store.remote(3).unwrap().samples() as usize
+                + store.remote(4).unwrap().samples() as usize,
+            OBSERVER_WINDOW + 7
+        );
+    }
+}

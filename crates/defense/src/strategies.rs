@@ -1,0 +1,715 @@
+//! Concrete defense strategies.
+//!
+//! Residual-based filters and their blind spot:
+//!
+//! * [`ResidualOutlier`] — MAD outlier rejection on the relative
+//!   RTT-vs-predicted residual, thresholded against the observer's own
+//!   recent residual population. Catches loud lies (disorder, inflation)
+//!   instantly; *misses consistent liars* — a frog-boiling colluder keeps
+//!   each individual residual inside the honest noise band.
+//! * [`EwmaChangePoint`] — EWMA change-point detection on each neighbor's
+//!   residual series. Catches *behavioral shifts* (a node that starts
+//!   lying, oscillation's swings); converges onto a *steady* lie and
+//!   learns it as the baseline — the same blind spot, reached differently.
+//!
+//! Structural checks that do not depend on residual magnitude:
+//!
+//! * [`DriftCap`] — caps the mean *signed* residual a neighbor may sustain:
+//!   honest neighbors are zero-mean (embedding noise cancels), while any
+//!   consistent directional liar — however small each lie — must keep a
+//!   persistent signed gap open, because that gap *is* the pull that drags
+//!   victims (a Vivaldi sample moves its victim by `Cc · w · (rtt −
+//!   predicted)`). This is the detector that finally catches frog-boiling.
+//! * [`TriangleCheck`] — geometric consistency of a reported coordinate
+//!   against the observer's other recent neighbors: claimed pairwise
+//!   separations must fit inside measured RTT sums (and outside RTT
+//!   differences), or the claimed geometry is physically impossible.
+//! * [`TrustedBaseline`] — the paper-style verified set: a small set of
+//!   trusted nodes (landmarks, surveyors) calibrates the honest residual
+//!   distribution, and everyone else is held to it.
+//!
+//! Plus the null strategy [`NoDefense`] (the engine's zero-cost fast path)
+//! and the diagnostic [`Dampener`] (a uniform [`Verdict::Dampen`], used by
+//! the `Dampen(1.0) ≡ Accept` bit-identity tests).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::strategy::{median_in_place, DefenseScratch, DefenseStrategy, UpdateView, Verdict};
+
+/// The null strategy: every sample accepted through the engine's fast
+/// path. Deploying it is byte-identical to deploying nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoDefense;
+
+impl DefenseStrategy for NoDefense {
+    fn inspect_update(&mut self, _view: &UpdateView<'_>, _s: &mut DefenseScratch) -> Verdict {
+        Verdict::Accept
+    }
+
+    fn is_passthrough(&self) -> bool {
+        true
+    }
+
+    fn label(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// Uniformly dampen every sample by a fixed factor — a diagnostic strategy
+/// for the `Dampen(1.0) ≡ Accept` identity and for studying graduated
+/// trust, not a detector.
+#[derive(Debug, Clone, Copy)]
+pub struct Dampener {
+    /// The factor handed to [`Verdict::Dampen`] for every sample.
+    pub factor: f64,
+}
+
+impl Dampener {
+    /// Dampen every update by `factor`.
+    pub fn new(factor: f64) -> Dampener {
+        Dampener { factor }
+    }
+}
+
+impl DefenseStrategy for Dampener {
+    fn inspect_update(&mut self, _view: &UpdateView<'_>, _s: &mut DefenseScratch) -> Verdict {
+        Verdict::Dampen(self.factor)
+    }
+
+    fn label(&self) -> &'static str {
+        "dampener"
+    }
+}
+
+/// MAD outlier rejection on the relative residual, against the observer's
+/// recent residual population (all neighbors).
+///
+/// A sample is rejected when its relative residual exceeds
+/// `median + k · 1.4826 · MAD` of the observer's recent window *and* an
+/// absolute floor (so a tightly-converged observer does not start flagging
+/// normal noise). Scale-free and self-calibrating — and structurally blind
+/// to consistent liars, whose residuals sit inside the honest band.
+#[derive(Debug, Clone)]
+pub struct ResidualOutlier {
+    /// Minimum recent samples before the adaptive threshold arms.
+    pub min_samples: usize,
+    /// MAD multiplier `k`.
+    pub k: f64,
+    /// Absolute floor on the rejection threshold (relative-residual units).
+    pub floor: f64,
+    /// Unconditional sanity bound, active from the first sample: a
+    /// relative residual above this is rejected even before the window
+    /// arms. Without it, a dozen pre-arming inflation lies (each pulling
+    /// its victim hundreds of ms) wreck the embedding before the adaptive
+    /// threshold exists.
+    pub hard_reject: f64,
+}
+
+impl ResidualOutlier {
+    /// Arm after `min_samples` observations, reject above `k` scaled MADs.
+    pub fn new(min_samples: usize, k: f64) -> ResidualOutlier {
+        ResidualOutlier {
+            min_samples,
+            k,
+            floor: 0.5,
+            hard_reject: 5.0,
+        }
+    }
+}
+
+impl Default for ResidualOutlier {
+    fn default() -> Self {
+        ResidualOutlier::new(12, 3.0)
+    }
+}
+
+impl DefenseStrategy for ResidualOutlier {
+    fn inspect_update(&mut self, view: &UpdateView<'_>, scratch: &mut DefenseScratch) -> Verdict {
+        if view.rel_residual() > self.hard_reject {
+            return Verdict::Reject;
+        }
+        if view.recent.len() < self.min_samples {
+            return Verdict::Accept;
+        }
+        scratch.sort.clear();
+        scratch
+            .sort
+            .extend(view.recent.iter().map(|s| s.rel_residual));
+        let Some(median) = median_in_place(&mut scratch.sort) else {
+            return Verdict::Accept;
+        };
+        scratch.aux.clear();
+        scratch
+            .aux
+            .extend(scratch.sort.iter().map(|r| (r - median).abs()));
+        let mad = median_in_place(&mut scratch.aux).unwrap_or(0.0);
+        // 1.4826 · MAD estimates σ for Gaussian noise; the tiny floor keeps
+        // a degenerate (all-identical) window from arming a zero threshold.
+        let threshold = (median + self.k * (1.4826 * mad).max(0.02)).max(self.floor);
+        if view.rel_residual() > threshold {
+            Verdict::Reject
+        } else {
+            Verdict::Accept
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "mad-outlier"
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Ewma {
+    mean: f64,
+    var: f64,
+    n: u64,
+}
+
+/// EWMA change-point detection on each neighbor's relative-residual
+/// series (aggregated across observers).
+///
+/// Each neighbor gets an exponentially-weighted mean/variance of its
+/// residuals; a sample deviating more than `k·σ` from the learned mean is
+/// rejected and *not* absorbed into the baseline. Flags behavioral
+/// change — but a steady lie present from the detector's first sight is
+/// learned as normal, which is exactly why residual-based filters miss
+/// consistent liars.
+#[derive(Debug, Clone)]
+pub struct EwmaChangePoint {
+    /// EWMA smoothing factor (weight of the newest sample).
+    pub alpha: f64,
+    /// Rejection threshold in learned standard deviations.
+    pub k: f64,
+    /// Minimum samples per neighbor before the detector arms.
+    pub min_samples: u64,
+    /// Floor on the learned σ (relative-residual units), so a frozen
+    /// series cannot arm a zero-width band.
+    pub sigma_floor: f64,
+    state: HashMap<usize, Ewma>,
+}
+
+impl EwmaChangePoint {
+    /// Smooth with `alpha`, reject beyond `k` learned standard deviations.
+    pub fn new(alpha: f64, k: f64) -> EwmaChangePoint {
+        EwmaChangePoint {
+            alpha,
+            k,
+            min_samples: 8,
+            sigma_floor: 0.1,
+            state: HashMap::new(),
+        }
+    }
+}
+
+impl Default for EwmaChangePoint {
+    fn default() -> Self {
+        EwmaChangePoint::new(0.2, 4.0)
+    }
+}
+
+impl DefenseStrategy for EwmaChangePoint {
+    fn inspect_update(&mut self, view: &UpdateView<'_>, _s: &mut DefenseScratch) -> Verdict {
+        let rel = view.rel_residual();
+        let e = self.state.entry(view.remote).or_default();
+        if e.n >= self.min_samples
+            && (rel - e.mean).abs() > self.k * e.var.sqrt().max(self.sigma_floor)
+        {
+            // Anomalies are rejected and excluded from the baseline, so a
+            // detected shift keeps being detected instead of being learned.
+            return Verdict::Reject;
+        }
+        let d = rel - e.mean;
+        e.mean += self.alpha * d;
+        e.var = (1.0 - self.alpha) * (e.var + self.alpha * d * d);
+        e.n += 1;
+        Verdict::Accept
+    }
+
+    fn label(&self) -> &'static str {
+        "ewma-cpd"
+    }
+}
+
+/// Cap on the drift velocity a neighbor may impose: the norm of the
+/// **vector** mean pull it sustains over its recent window.
+///
+/// `Cc · w · (rtt − predicted) · u(observer − reported)` is the
+/// displacement one Vivaldi sample inflicts, so a neighbor's mean pull
+/// vector, held open round after round, is precisely the drift velocity
+/// it feeds its victims (NPS: the persistent directional bias on the
+/// Simplex fit). The mean is taken *vectorially*
+/// ([`RemoteHistory::mean_pull_norm`](crate::RemoteHistory::mean_pull_norm)):
+/// an honest-but-unembeddable hub (positive scalar residual to everyone —
+/// the access-link/height effect) pulls its observers radially, the
+/// directions cancel, and the cap stays silent; frog-boiling must pull
+/// every victim along the shared collusion axis, so its mean survives at
+/// full gap magnitude, *no matter how small its per-round step* — the
+/// integrated lag, not the step size, is what trips this cap. Tripped
+/// neighbors are banned outright.
+#[derive(Debug, Clone)]
+pub struct DriftCap {
+    /// Largest sustained mean-pull norm tolerated, ms per sample.
+    pub max_drag_ms: f64,
+    /// Minimum samples in a neighbor's window before the cap arms.
+    pub min_samples: u64,
+    banned: HashSet<usize>,
+}
+
+impl DriftCap {
+    /// Ban neighbors sustaining more than `max_drag_ms` mean pull.
+    ///
+    /// The cap arms only once a neighbor's full residual window
+    /// ([`RESIDUAL_WINDOW`](crate::history::RESIDUAL_WINDOW) samples) has
+    /// accumulated: a node that is momentarily mispositioned (just
+    /// rebooted, unlucky neighbor draw) exerts a large but *transient*
+    /// drag that its own honest updates erase within a few rounds — only
+    /// a liar sustains the pull across a whole window.
+    pub fn new(max_drag_ms: f64) -> DriftCap {
+        DriftCap {
+            max_drag_ms,
+            min_samples: crate::history::RESIDUAL_WINDOW as u64,
+            banned: HashSet::new(),
+        }
+    }
+
+    /// Nodes banned so far.
+    pub fn banned(&self) -> &HashSet<usize> {
+        &self.banned
+    }
+}
+
+impl Default for DriftCap {
+    fn default() -> Self {
+        // Converged honest residuals are ±tens of ms zero-mean, so their
+        // window means settle near zero; an attacker must hold a gap of
+        // ~step / (share · Cc · w) ≈ hundreds of ms to drag the population.
+        // 80 ms is the ROC corner of the `def-roc` sweep: full detection of
+        // the default frog-boiling attack with near-zero false positives
+        // (honest laggards being dragged by the attack sit below it).
+        DriftCap::new(80.0)
+    }
+}
+
+impl DefenseStrategy for DriftCap {
+    fn inspect_update(&mut self, view: &UpdateView<'_>, _s: &mut DefenseScratch) -> Verdict {
+        if self.banned.contains(&view.remote) {
+            return Verdict::Reject;
+        }
+        let h = view.remote_history;
+        if h.samples() >= self.min_samples {
+            if let Some(drag) = h.mean_pull_norm() {
+                if drag > self.max_drag_ms {
+                    self.banned.insert(view.remote);
+                    return Verdict::Reject;
+                }
+            }
+        }
+        Verdict::Accept
+    }
+
+    fn label(&self) -> &'static str {
+        "drift-cap"
+    }
+}
+
+/// Triangle-inequality consistency of a reported coordinate against the
+/// observer's other recent neighbors.
+///
+/// For each recent neighbor `k` with reported coordinate `x_k` and measured
+/// RTT `r_k`, the current report `x_j` (measured RTT `r_j`) must satisfy
+/// both physical bounds up to `slack` and `margin_ms`:
+///
+/// * `d(x_j, x_k) ≤ slack · (r_j + r_k) + margin` — the claimed separation
+///   cannot exceed any real path through the observer;
+/// * `d(x_j, x_k) ≥ (|r_j − r_k| − margin) / slack` — nor undercut the RTT
+///   difference a real triangle forces.
+///
+/// Inflation blows the upper bound; deflation (claiming a central position
+/// while honest RTTs stay long) trips the lower one. A sample is rejected
+/// when a majority of comparisons are violations.
+#[derive(Debug, Clone)]
+pub struct TriangleCheck {
+    /// Multiplicative tolerance on both bounds.
+    pub slack: f64,
+    /// Additive tolerance, ms (absorbs jitter and embedding noise).
+    pub margin_ms: f64,
+    /// Minimum comparisons before a verdict is reached.
+    pub min_checks: usize,
+    /// Violation share above which the sample is rejected.
+    pub max_violation_share: f64,
+}
+
+impl TriangleCheck {
+    /// Check against recent neighbors with the given tolerances.
+    pub fn new(slack: f64, margin_ms: f64) -> TriangleCheck {
+        TriangleCheck {
+            slack,
+            margin_ms,
+            min_checks: 4,
+            max_violation_share: 0.5,
+        }
+    }
+}
+
+impl Default for TriangleCheck {
+    fn default() -> Self {
+        TriangleCheck::new(1.3, 30.0)
+    }
+}
+
+impl DefenseStrategy for TriangleCheck {
+    fn inspect_update(&mut self, view: &UpdateView<'_>, _s: &mut DefenseScratch) -> Verdict {
+        let mut checks = 0usize;
+        let mut violations = 0usize;
+        for s in view.recent {
+            if s.remote == view.remote {
+                continue;
+            }
+            let d = view.space.distance(view.reported_coord, &s.coord);
+            let upper = self.slack * (view.rtt + s.rtt) + self.margin_ms;
+            let lower = ((view.rtt - s.rtt).abs() - self.margin_ms).max(0.0) / self.slack;
+            if d > upper || d < lower {
+                violations += 1;
+            }
+            checks += 1;
+        }
+        if checks >= self.min_checks && violations as f64 > self.max_violation_share * checks as f64
+        {
+            Verdict::Reject
+        } else {
+            Verdict::Accept
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "triangle"
+    }
+}
+
+/// The paper-style verified set: residuals observed from a configured
+/// trusted population calibrate what "honest" looks like, and untrusted
+/// reports are rejected when they exceed a multiple of that baseline's
+/// upper quantile.
+///
+/// Trusted nodes (landmarks, surveyor infrastructure) are always accepted
+/// — trust is an *assumption* here, exactly as in the paper's NPS threat
+/// model ("landmarks are highly secure machines that never cheat"); a
+/// compromised trusted node poisons the baseline, which the harness can
+/// measure by including trusted ids in the attacker draw.
+#[derive(Debug, Clone)]
+pub struct TrustedBaseline {
+    /// Rejection threshold as a multiple of the trusted upper quantile.
+    pub slack: f64,
+    /// Upper quantile of the trusted residual window used as the baseline.
+    pub quantile: f64,
+    /// Minimum trusted observations before the filter arms.
+    pub min_trusted: usize,
+    trusted: HashSet<usize>,
+    window: Vec<f64>,
+    cursor: usize,
+    /// Quantile of the current window, recomputed only when a trusted
+    /// sample mutates it — the untrusted majority of inspections would
+    /// otherwise re-sort an unchanged window every time.
+    cached_baseline: Option<f64>,
+}
+
+/// Trusted residual-window length.
+const TRUSTED_WINDOW: usize = 64;
+
+impl TrustedBaseline {
+    /// Trust `ids`; hold everyone else to their observed residuals.
+    pub fn new<I: IntoIterator<Item = usize>>(ids: I) -> TrustedBaseline {
+        TrustedBaseline {
+            slack: 3.0,
+            quantile: 0.9,
+            min_trusted: 8,
+            trusted: ids.into_iter().collect(),
+            window: Vec::new(),
+            cursor: 0,
+            cached_baseline: None,
+        }
+    }
+
+    /// The configured trusted set.
+    pub fn trusted(&self) -> &HashSet<usize> {
+        &self.trusted
+    }
+}
+
+impl DefenseStrategy for TrustedBaseline {
+    fn inspect_update(&mut self, view: &UpdateView<'_>, scratch: &mut DefenseScratch) -> Verdict {
+        let rel = view.rel_residual();
+        if self.trusted.contains(&view.remote) {
+            if self.window.len() < TRUSTED_WINDOW {
+                self.window.push(rel);
+            } else {
+                self.window[self.cursor] = rel;
+                self.cursor = (self.cursor + 1) % TRUSTED_WINDOW;
+            }
+            self.cached_baseline = None; // window changed: recompute lazily
+            return Verdict::Accept;
+        }
+        if self.window.len() < self.min_trusted {
+            return Verdict::Accept;
+        }
+        let baseline = match self.cached_baseline {
+            Some(b) => b,
+            None => {
+                scratch.sort.clear();
+                scratch.sort.extend_from_slice(&self.window);
+                scratch
+                    .sort
+                    .sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                let idx = ((scratch.sort.len() - 1) as f64 * self.quantile).round() as usize;
+                let b = scratch.sort[idx].max(0.05);
+                self.cached_baseline = Some(b);
+                b
+            }
+        };
+        if rel > self.slack * baseline {
+            Verdict::Reject
+        } else {
+            Verdict::Accept
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "trusted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Defense, Update};
+    use vcoord_space::{Coord, Space};
+
+    /// Drive `defense` with `n` samples from `remote` whose residual is
+    /// fixed: the observer sits at the origin, the remote reports a
+    /// coordinate at distance `predicted` and the probe measures `rtt`.
+    fn feed(
+        defense: &mut Defense,
+        space: &Space,
+        observer: usize,
+        remote: usize,
+        predicted: f64,
+        rtt: f64,
+        rounds: std::ops::Range<u64>,
+    ) -> Vec<Verdict> {
+        let me = Coord::origin(2);
+        let them = Coord::from_vec(vec![predicted, 0.0]);
+        rounds
+            .map(|r| {
+                defense.inspect(
+                    space,
+                    &me,
+                    Update {
+                        observer,
+                        remote,
+                        reported_coord: &them,
+                        reported_error: 1.0,
+                        rtt,
+                        round: r,
+                        now_ms: r * 1000,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mad_outlier_rejects_loud_lie_and_spares_noise() {
+        let space = Space::Euclidean(2);
+        let mut d = Defense::new(Box::new(ResidualOutlier::default()));
+        // Build an honest residual population: predicted 100 vs rtt ~100±10
+        // from several neighbors.
+        for (k, rtt) in [95.0, 105.0, 98.0, 102.0, 110.0, 92.0].iter().enumerate() {
+            feed(&mut d, &space, 0, k + 1, 100.0, *rtt, 0..3);
+        }
+        assert_eq!(d.stats().rejected, 0, "honest noise must pass");
+        // A disorder-style lie: claims 5000 away, measured 100.
+        let v = feed(&mut d, &space, 0, 9, 5000.0, 100.0, 18..19);
+        assert_eq!(v, vec![Verdict::Reject]);
+        // A consistent-ish small lie stays under the band — the blind spot.
+        let v = feed(&mut d, &space, 0, 10, 120.0, 100.0, 19..20);
+        assert_eq!(v, vec![Verdict::Accept]);
+    }
+
+    #[test]
+    fn ewma_flags_change_point_but_learns_steady_lie() {
+        let space = Space::Euclidean(2);
+        let mut d = Defense::new(Box::new(EwmaChangePoint::default()));
+        // A neighbor with a stable small residual…
+        let v = feed(&mut d, &space, 0, 1, 100.0, 95.0, 0..12);
+        assert!(v.iter().all(|v| *v == Verdict::Accept));
+        // …suddenly shifts behaviour: flagged.
+        let v = feed(&mut d, &space, 0, 1, 400.0, 95.0, 12..13);
+        assert_eq!(v, vec![Verdict::Reject], "change point missed");
+        // A liar that was *always* lying steadily is learned as baseline.
+        let v = feed(&mut d, &space, 0, 2, 300.0, 100.0, 13..30);
+        assert!(
+            v.iter().all(|v| *v == Verdict::Accept),
+            "steady lies are the residual family's blind spot: {v:?}"
+        );
+    }
+
+    #[test]
+    fn drift_cap_bans_persistent_drag_and_spares_zero_mean_noise() {
+        let space = Space::Euclidean(2);
+        let mut d = Defense::new(Box::new(DriftCap::new(40.0)));
+        // Honest neighbor: alternating ±25 ms residuals (zero mean).
+        let me = Coord::origin(2);
+        for r in 0..20u64 {
+            let rtt = if r % 2 == 0 { 125.0 } else { 75.0 };
+            let them = Coord::from_vec(vec![100.0, 0.0]);
+            let v = d.inspect(
+                &space,
+                &me,
+                Update {
+                    observer: 0,
+                    remote: 1,
+                    reported_coord: &them,
+                    reported_error: 1.0,
+                    rtt,
+                    round: r,
+                    now_ms: r * 1000,
+                },
+            );
+            assert_eq!(v, Verdict::Accept, "zero-mean noise tripped the cap");
+        }
+        // Frog-style colluder: persistent −100 ms gap (predicted 200 vs
+        // measured 100) — small relative residual, but directional.
+        let v = feed(&mut d, &space, 0, 2, 200.0, 100.0, 20..40);
+        assert!(
+            v.contains(&Verdict::Reject),
+            "persistent drag must trip the cap"
+        );
+        // Once banned, always rejected.
+        assert_eq!(*v.last().unwrap(), Verdict::Reject);
+        let trailing = feed(&mut d, &space, 3, 2, 100.0, 100.0, 40..41);
+        assert_eq!(trailing, vec![Verdict::Reject], "bans persist");
+    }
+
+    #[test]
+    fn triangle_check_catches_inflation_and_deflation() {
+        let space = Space::Euclidean(2);
+        let mut d = Defense::new(Box::new(TriangleCheck::default()));
+        // Populate the observer's recent ring with consistent neighbors
+        // ~100 ms away in different directions.
+        let me = Coord::origin(2);
+        for (k, (x, y)) in [(100.0, 0.0), (0.0, 100.0), (-100.0, 0.0), (0.0, -100.0)]
+            .iter()
+            .enumerate()
+        {
+            for r in 0..2u64 {
+                let them = Coord::from_vec(vec![*x, *y]);
+                d.inspect(
+                    &space,
+                    &me,
+                    Update {
+                        observer: 0,
+                        remote: k + 1,
+                        reported_coord: &them,
+                        reported_error: 1.0,
+                        rtt: 100.0,
+                        round: r,
+                        now_ms: r,
+                    },
+                );
+            }
+        }
+        // Inflation: claims a position 50 000 ms out while measuring 100.
+        let inflated = Coord::from_vec(vec![50_000.0, 0.0]);
+        let v = d.inspect(
+            &space,
+            &me,
+            Update {
+                observer: 0,
+                remote: 9,
+                reported_coord: &inflated,
+                reported_error: 1.0,
+                rtt: 100.0,
+                round: 3,
+                now_ms: 3,
+            },
+        );
+        assert_eq!(v, Verdict::Reject, "inflation must violate the upper bound");
+        // Deflation: claims the observer's own position while the probe
+        // measured 700 ms — the RTT difference to the 100 ms neighbors
+        // forces a separation the claim undercuts.
+        let deflated = Coord::from_vec(vec![0.1, 0.0]);
+        let v = d.inspect(
+            &space,
+            &me,
+            Update {
+                observer: 0,
+                remote: 10,
+                reported_coord: &deflated,
+                reported_error: 1.0,
+                rtt: 700.0,
+                round: 3,
+                now_ms: 3,
+            },
+        );
+        assert_eq!(v, Verdict::Reject, "deflation must violate the lower bound");
+        // An honest new neighbor passes.
+        let honest = Coord::from_vec(vec![70.0, 70.0]);
+        let v = d.inspect(
+            &space,
+            &me,
+            Update {
+                observer: 0,
+                remote: 11,
+                reported_coord: &honest,
+                reported_error: 1.0,
+                rtt: 99.0,
+                round: 3,
+                now_ms: 3,
+            },
+        );
+        assert_eq!(v, Verdict::Accept);
+    }
+
+    #[test]
+    fn trusted_baseline_calibrates_from_trusted_and_rejects_outliers() {
+        let space = Space::Euclidean(2);
+        let mut d = Defense::new(Box::new(TrustedBaseline::new([1, 2])));
+        // Trusted nodes establish residuals ~5%.
+        feed(&mut d, &space, 0, 1, 100.0, 97.0, 0..6);
+        feed(&mut d, &space, 0, 2, 100.0, 104.0, 6..12);
+        // Untrusted node within the band: accepted.
+        let v = feed(&mut d, &space, 0, 7, 100.0, 95.0, 12..13);
+        assert_eq!(v, vec![Verdict::Accept]);
+        // Untrusted node far outside the trusted band: rejected.
+        let v = feed(&mut d, &space, 0, 8, 300.0, 100.0, 13..14);
+        assert_eq!(v, vec![Verdict::Reject]);
+        // Trusted nodes are never rejected, whatever they report.
+        let v = feed(&mut d, &space, 0, 1, 9000.0, 100.0, 14..15);
+        assert_eq!(v, vec![Verdict::Accept], "trust is an assumption");
+    }
+
+    #[test]
+    fn dampener_is_uniform() {
+        let space = Space::Euclidean(2);
+        let mut d = Defense::new(Box::new(Dampener::new(0.5)));
+        let v = feed(&mut d, &space, 0, 1, 100.0, 100.0, 0..3);
+        assert!(v.iter().all(|v| *v == Verdict::Dampen(0.5)));
+        assert_eq!(d.stats().dampened, 3);
+        assert_eq!(d.label(), "dampener");
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            NoDefense.label(),
+            Dampener::new(1.0).label(),
+            ResidualOutlier::default().label(),
+            EwmaChangePoint::default().label(),
+            DriftCap::default().label(),
+            TriangleCheck::default().label(),
+            TrustedBaseline::new([]).label(),
+        ];
+        let unique: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(unique.len(), labels.len(), "duplicate labels: {labels:?}");
+    }
+}

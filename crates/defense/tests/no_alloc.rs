@@ -1,0 +1,78 @@
+//! The `NoDefense` fast-path contract, enforced with the crate's counting
+//! allocator (`vcoord_defense::testing`): once deployed, the defended
+//! update loop must add **zero heap allocation** per inspected sample —
+//! the engine short-circuits before any history bookkeeping, and real
+//! strategies reuse the `DefenseScratch` buffers after warm-up.
+//!
+//! This file holds exactly one `#[test]`: the libtest harness runs tests on
+//! worker threads, and a sibling test allocating concurrently would
+//! corrupt the global counter.
+
+use vcoord_defense::testing::{allocations, ring_fill_samples, CountingAllocator};
+use vcoord_defense::{Defense, DriftCap, Update};
+use vcoord_space::{Coord, Space};
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Distinct remote ids the sample stream cycles over.
+const REMOTES: usize = 16;
+
+#[test]
+fn inspection_loops_are_allocation_free() {
+    let space = Space::Euclidean(2);
+    let me = Coord::origin(2);
+    let them = Coord::from_vec(vec![120.0, 50.0]);
+    let sample = |remote: usize, round: u64| Update {
+        observer: 0,
+        remote,
+        reported_coord: &them,
+        reported_error: 0.3,
+        rtt: 100.0,
+        round,
+        now_ms: round * 1000,
+    };
+
+    // --- NoDefense: zero allocation from the very first call. ---
+    let mut none = Defense::none();
+    none.inspect(&space, &me, sample(1, 0)); // pay one-time lazy init, if any
+    let before = allocations();
+    for round in 1..=10_000u64 {
+        none.inspect(
+            &space,
+            &me,
+            sample((round % REMOTES as u64) as usize, round),
+        );
+    }
+    let allocs = allocations() - before;
+    assert_eq!(
+        allocs, 0,
+        "NoDefense fast path allocated {allocs} times over 10k samples"
+    );
+
+    // --- A real strategy: allocation-free once warm-up has FILLED every
+    // history ring (a growing ring still allocates). ---
+    let warmup = ring_fill_samples(REMOTES);
+    let mut armed = Defense::new(Box::new(DriftCap::new(1e12)));
+    for round in 0..warmup {
+        armed.inspect(
+            &space,
+            &me,
+            sample((round % REMOTES as u64) as usize, round),
+        );
+    }
+    let before = allocations();
+    for round in warmup..warmup + 10_000 {
+        armed.inspect(
+            &space,
+            &me,
+            sample((round % REMOTES as u64) as usize, round),
+        );
+    }
+    let allocs = allocations() - before;
+    assert_eq!(
+        allocs, 0,
+        "warmed-up DriftCap inspection allocated {allocs} times over 10k samples"
+    );
+    assert_eq!(armed.stats().rejected, 0, "cap high enough to never ban");
+}

@@ -11,6 +11,8 @@
 //!   error-vs-time figures.
 //! * [`FilterLedger`] — accounting of NPS security-filter events (malicious
 //!   vs honest references filtered), for figures 20 and 22.
+//! * [`Confusion`] — node-level detection quality (TP/FP/TN/FN with
+//!   TPR/FPR), for the defense sweeps and ROC figures.
 //! * [`random_baseline`] — the worst-case *random coordinate system* where
 //!   every component is drawn from `[-50000, 50000]`.
 //! * [`stats`] — small summary-statistics helpers.
@@ -19,6 +21,7 @@
 //!   chunked evaluation, figure `--jobs` sweep).
 
 pub mod cdf;
+pub mod detection;
 pub mod error;
 pub mod ledger;
 pub mod parallel;
@@ -26,6 +29,7 @@ pub mod series;
 pub mod stats;
 
 pub use cdf::Cdf;
+pub use detection::Confusion;
 pub use error::{random_baseline, random_baseline_with, relative_error, CoordSnapshot, EvalPlan};
 pub use ledger::FilterLedger;
 pub use parallel::worker_threads;

@@ -1,0 +1,61 @@
+//! The NPS defense seam.
+//!
+//! Mirrors the Vivaldi seam (`vcoord_vivaldi::defense`): defense behaviour
+//! is deployed through the generic engine of [`vcoord_defense`], and
+//! screening happens where NPS consumes reports — the reference probes of
+//! a positioning round. NPS-specific reading of the generic contract:
+//!
+//! * the inspected sample is a **reference probe**: the reference point's
+//!   reported coordinates plus the measured RTT, judged against the
+//!   repositioning node's current coordinate *before* the Simplex fit;
+//!   `reported_error` is `1.0` — the NPS protocol carries no error field;
+//! * [`Verdict::Reject`] drops the reference sample from the round (it
+//!   neither enters the fit nor the security filter) **and** routes the
+//!   reference through NPS's rolling ban/replacement channel, exactly like
+//!   a probe-threshold hit: the membership server supplies a substitute,
+//!   so a strategy that permanently bans a neighbor (the drift cap)
+//!   shrinks the attacker's reach instead of starving the victim's
+//!   reference set;
+//!   [`Verdict::Dampen`] weights the sample's term in the fit objective
+//!   (see [`RefSample::weight`](crate::position::RefSample)), while the
+//!   security filter still judges the reference at full strength;
+//! * `round` is the repositioning period index — the same clock the
+//!   adversary seam uses;
+//! * the defense inspects reference probes of *ordinary* repositioning
+//!   nodes only: landmarks are pinned and never reposition, so there is
+//!   nothing to screen for them.
+
+pub use vcoord_defense::{
+    Dampener, Defense, DefenseScratch, DefenseStats, DefenseStrategy, DriftCap, EwmaChangePoint,
+    NeighborHistory, NoDefense, ResidualOutlier, TriangleCheck, TrustedBaseline, Update,
+    UpdateView, Verdict,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcoord_space::{Coord, Space};
+
+    #[test]
+    fn no_defense_accepts_through_the_seam() {
+        let space = Space::Euclidean(8);
+        let me = Coord::origin(8);
+        let them = Coord::from_vec(vec![10.0; 8]);
+        let mut d = Defense::none();
+        let v = d.inspect(
+            &space,
+            &me,
+            Update {
+                observer: 3,
+                remote: 1,
+                reported_coord: &them,
+                reported_error: 1.0,
+                rtt: 40.0,
+                round: 2,
+                now_ms: 120_000,
+            },
+        );
+        assert_eq!(v, Verdict::Accept);
+        assert!(d.is_passthrough());
+    }
+}

@@ -26,9 +26,15 @@
 //! simulator enforces the delay-only threat model and accounts every filter
 //! decision in a [`vcoord_metrics::FilterLedger`] (true vs false positives
 //! — figures 20 and 22).
+//!
+//! Defense behaviour beyond NPS's built-in mechanisms is deployed through
+//! the mirror-image [`vcoord_defense::DefenseStrategy`] seam (see
+//! [`defense`]): every reference probe of an ordinary node's positioning
+//! round passes the deployed [`defense::Defense`] before the Simplex fit.
 
 pub mod adversary;
 pub mod config;
+pub mod defense;
 pub mod layers;
 pub mod membership;
 pub mod position;
@@ -36,6 +42,7 @@ pub mod sim;
 
 pub use adversary::{AttackStrategy, Collusion, CoordView, Honest, Lie, Probe, Protocol, Scenario};
 pub use config::NpsConfig;
+pub use defense::{Defense, DefenseStrategy, Verdict};
 pub use position::{
     position_node, position_node_scratch, position_node_with, FitObjective, PositionOutcome,
     PositionScratch, RefSample, SecurityPolicy,

@@ -33,6 +33,25 @@ pub struct RefSample {
     pub coord: Coord,
     /// Measured distance `D_Ri` (ms).
     pub rtt: f64,
+    /// Defense dampening weight on this sample's term in the fit
+    /// objective: `1.0` (the default, bit-identical to an unweighted fit)
+    /// for accepted samples, `< 1.0` for `Verdict::Dampen`ed ones. The
+    /// security filter's fitting errors `E_Ri` are *not* weighted — a
+    /// dampened reference is still judged (and eliminable) at full
+    /// strength.
+    pub weight: f64,
+}
+
+impl RefSample {
+    /// A full-strength sample (weight 1.0).
+    pub fn new(id: usize, coord: Coord, rtt: f64) -> RefSample {
+        RefSample {
+            id,
+            coord,
+            rtt,
+            weight: 1.0,
+        }
+    }
 }
 
 /// The NPS malicious-reference detection policy (§3.1).
@@ -173,10 +192,13 @@ fn fit_samples(
             .map(|&k| {
                 let s = &samples[k];
                 let diff = space.distance(probe, &s.coord) - s.rtt;
-                match objective_kind {
+                let term = match objective_kind {
                     FitObjective::SquaredAbsolute => diff * diff,
                     FitObjective::SquaredRelative => (diff / s.rtt) * (diff / s.rtt),
-                }
+                };
+                // Defense dampening: a trailing ×1.0 for full-strength
+                // samples, so the unweighted fit is preserved bit for bit.
+                term * s.weight
             })
             .sum()
     };
@@ -369,11 +391,7 @@ mod tests {
         pts.iter()
             .zip(rtts)
             .enumerate()
-            .map(|(i, (p, &rtt))| RefSample {
-                id: i + 100,
-                coord: Coord::from_vec(p.to_vec()),
-                rtt,
-            })
+            .map(|(i, (p, &rtt))| RefSample::new(i + 100, Coord::from_vec(p.to_vec()), rtt))
             .collect()
     }
 
@@ -554,6 +572,75 @@ mod tests {
         let displacement =
             ((out.coord.vec[0] - 50.0).powi(2) + (out.coord.vec[1] - 50.0).powi(2)).sqrt();
         assert!(displacement > 10.0, "lie must drag the fit: {displacement}");
+    }
+
+    #[test]
+    fn unit_weights_are_bit_identical_to_unweighted_fit() {
+        // The NPS side of the Dampen(1.0) ≡ Accept identity: explicit 1.0
+        // weights must not flip a single bit of the fitted position.
+        let d = 50.0 * std::f64::consts::SQRT_2;
+        let samples = square_samples(&[d, d, d, d, 50.0]);
+        let a = position_node(
+            &space(),
+            &samples,
+            &Coord::from_vec(vec![10.0, 10.0]),
+            SecurityPolicy::paper(),
+            &SimplexOptions::default(),
+        )
+        .unwrap();
+        // Same samples, weights written explicitly.
+        let reweighted: Vec<RefSample> = samples
+            .iter()
+            .map(|s| RefSample {
+                weight: 1.0,
+                ..s.clone()
+            })
+            .collect();
+        let b = position_node(
+            &space(),
+            &reweighted,
+            &Coord::from_vec(vec![10.0, 10.0]),
+            SecurityPolicy::paper(),
+            &SimplexOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        assert_eq!(a.coord.height.to_bits(), b.coord.height.to_bits());
+        for (x, y) in a.coord.vec.iter().zip(&b.coord.vec) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn dampened_sample_loses_influence_on_the_fit() {
+        // Four consistent refs put the node at (50,50); a fifth lies hard.
+        // Dampening the liar's weight toward zero must pull the fit back
+        // toward the honest solution.
+        let d = 50.0 * std::f64::consts::SQRT_2;
+        let mut samples = square_samples(&[d, d, d, d, 5000.0]);
+        let fit = |samples: &[RefSample]| {
+            position_node_with(
+                &space(),
+                samples,
+                &Coord::from_vec(vec![10.0, 10.0]),
+                None,
+                SecurityPolicy::off(),
+                &SimplexOptions::default(),
+                FitObjective::SquaredAbsolute,
+            )
+            .unwrap()
+            .coord
+        };
+        let dragged = fit(&samples);
+        samples[4].weight = 0.01;
+        let recovered = fit(&samples);
+        let err = |c: &Coord| ((c.vec[0] - 50.0).powi(2) + (c.vec[1] - 50.0).powi(2)).sqrt();
+        assert!(
+            err(&recovered) < err(&dragged) * 0.2,
+            "dampening must defang the liar: dragged {:.1}, recovered {:.1}",
+            err(&dragged),
+            err(&recovered)
+        );
     }
 
     #[test]

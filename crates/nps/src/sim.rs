@@ -17,6 +17,7 @@
 
 use crate::adversary::{AttackStrategy, CoordView, Lie, Probe, Protocol, Scenario};
 use crate::config::NpsConfig;
+use crate::defense::{Defense, DefenseStats, DefenseStrategy, Update as DefenseUpdate, Verdict};
 use crate::layers::{assign_layers, select_landmarks};
 use crate::membership::Membership;
 use crate::position::{position_node_scratch, PositionScratch, RefSample, SecurityPolicy};
@@ -63,6 +64,7 @@ struct NpsWorld {
     banned: Vec<Vec<usize>>,
     malicious: Vec<bool>,
     scenario: Option<Scenario>,
+    defense: Option<Defense>,
     ledger: FilterLedger,
     threshold_ledger: FilterLedger,
     counters: NpsCounters,
@@ -156,7 +158,45 @@ impl NpsWorld {
             self.ban_ref(node, r);
             return None;
         }
-        Some(RefSample { id: r, coord, rtt })
+
+        // Screen the surviving sample through the deployed defense (if
+        // any) before it can enter the fit. No deployment and a
+        // `NoDefense` deployment both leave `weight = 1.0`, bit-identical
+        // to the unweighted objective.
+        let mut weight = 1.0;
+        if let Some(defense) = self.defense.as_mut() {
+            let verdict = defense.inspect(
+                &self.config.space,
+                &self.coords[node],
+                DefenseUpdate {
+                    observer: node,
+                    remote: r,
+                    reported_coord: &coord,
+                    reported_error: 1.0,
+                    rtt,
+                    round: now_ms / self.config.reposition_ms.max(1),
+                    now_ms,
+                },
+            );
+            if verdict == Verdict::Reject {
+                // Dropped from the round — and, like a probe-threshold
+                // hit, routed through the rolling ban/replacement channel:
+                // a deployed node that distrusts a reference asks the
+                // membership server for another. Without the replacement a
+                // permanently-banning strategy (the drift cap) would
+                // silently starve the node's reference set until it can no
+                // longer position at all.
+                self.ban_ref(node, r);
+                return None;
+            }
+            weight = verdict.factor();
+        }
+        Some(RefSample {
+            id: r,
+            coord,
+            rtt,
+            weight,
+        })
     }
 
     /// Ban reference `bad` for `node` and request a replacement from the
@@ -310,11 +350,7 @@ impl NpsSim {
                     landmark_ids
                         .iter()
                         .filter(|&&o| o != l)
-                        .map(|&o| RefSample {
-                            id: o,
-                            coord: coords[o].clone(),
-                            rtt: matrix.rtt(l, o),
-                        }),
+                        .map(|&o| RefSample::new(o, coords[o].clone(), matrix.rtt(l, o))),
                 );
                 if let Some(out) = position_node_scratch(
                     &config.space,
@@ -366,6 +402,7 @@ impl NpsSim {
             banned: vec![Vec::new(); n],
             malicious: vec![false; n],
             scenario: None,
+            defense: None,
             ledger: FilterLedger::new(),
             threshold_ledger: FilterLedger::new(),
             counters: NpsCounters::default(),
@@ -522,6 +559,31 @@ impl NpsSim {
     pub fn scenario(&self) -> Option<&Scenario> {
         self.world.scenario.as_ref()
     }
+
+    /// Deploy `strategy` as the system's defense: every reference probe of
+    /// an ordinary node's positioning round is screened through the
+    /// resulting [`Defense`] before the Simplex fit. Deployable at any
+    /// time; replaces any previous deployment, history and accounting
+    /// included.
+    pub fn deploy_defense(&mut self, strategy: Box<dyn DefenseStrategy>) {
+        let defense = Defense::new(strategy);
+        log::trace!(
+            "nps: deployed defense '{}' at t={}ms",
+            defense.label(),
+            self.engine.now()
+        );
+        self.world.defense = Some(defense);
+    }
+
+    /// The deployed defense, if any.
+    pub fn defense(&self) -> Option<&Defense> {
+        self.world.defense.as_ref()
+    }
+
+    /// Verdict accounting of the deployed defense, if any.
+    pub fn defense_stats(&self) -> Option<&DefenseStats> {
+        self.world.defense.as_ref().map(|d| d.stats())
+    }
 }
 
 #[cfg(test)]
@@ -612,6 +674,83 @@ mod tests {
             after < before * 2.0 + 0.3,
             "honest adversary degraded NPS: {before} -> {after}"
         );
+    }
+
+    #[test]
+    fn no_defense_deployment_is_bit_identical_to_none() {
+        let run = |deploy: bool| {
+            let mut sim = small_sim(60, 21);
+            sim.run_ms(300_000);
+            if deploy {
+                sim.deploy_defense(Box::new(crate::defense::NoDefense));
+            }
+            sim.run_ms(300_000);
+            sim.coords().to_vec()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn dampen_identity_deployment_is_bit_identical_to_none() {
+        // Dampen(1.0) rides the weighted-objective path, which must be
+        // bit-identical to the unweighted fit.
+        let run = |deploy: bool| {
+            let mut sim = small_sim(60, 22);
+            sim.run_ms(300_000);
+            if deploy {
+                sim.deploy_defense(Box::new(crate::defense::Dampener::new(1.0)));
+            }
+            sim.run_ms(300_000);
+            sim.coords().to_vec()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn rejecting_defense_starves_positioning() {
+        // Rejecting every reference sample leaves rounds under-constrained:
+        // ordinary nodes stop repositioning entirely.
+        struct RejectAll;
+        impl crate::defense::DefenseStrategy for RejectAll {
+            fn inspect_update(
+                &mut self,
+                _v: &crate::defense::UpdateView<'_>,
+                _s: &mut crate::defense::DefenseScratch,
+            ) -> Verdict {
+                Verdict::Reject
+            }
+            fn label(&self) -> &'static str {
+                "reject-all"
+            }
+        }
+        // Fewer refs than the eligible pool, so the membership server has
+        // genuine replacements to hand out (at `refs == pool` the channel
+        // is structurally exhausted and nodes just run short-handed).
+        let seeds = SeedStream::new(23);
+        let matrix = KingLike::new(KingLikeConfig::with_nodes(60)).generate(&mut seeds.rng("topo"));
+        let config = NpsConfig {
+            landmarks: 12,
+            refs_per_node: 6,
+            space: Space::Euclidean(4),
+            ..NpsConfig::default()
+        };
+        let mut sim = NpsSim::new(matrix, config, &seeds);
+        sim.run_ms(300_000);
+        let before = sim.counters().positionings;
+        let replaced_before = sim.counters().refs_replaced;
+        sim.deploy_defense(Box::new(RejectAll));
+        sim.run_ms(200_000);
+        assert_eq!(
+            sim.counters().positionings,
+            before,
+            "no round can position without accepted references"
+        );
+        assert!(sim.counters().skipped_rounds > 0);
+        assert!(sim.defense_stats().unwrap().rejected > 0);
+        // Each rejection routes through the ban/replacement channel, so
+        // the membership server keeps supplying (equally doomed, here)
+        // substitutes instead of the reference set silently emptying.
+        assert!(sim.counters().refs_replaced > replaced_before);
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! The defense seam: how honest nodes screen incoming samples.
+//!
+//! Defense behaviour is injected through the generic engine of
+//! [`vcoord_defense`] — the simulator holds a [`Defense`] next to its
+//! attackkit `Scenario` slot and routes every sample an honest node is
+//! about to apply through [`Defense::inspect`]. This module pins down the
+//! Vivaldi-specific reading of the generic contract:
+//!
+//! * the inspected sample is a **spring sample**: the reported coordinate
+//!   and error estimate of the probed peer plus the measured RTT, judged
+//!   at delivery time against the victim's *current* coordinate;
+//! * [`Verdict::Reject`] drops the sample before the update rule runs
+//!   (coordinate and error estimate both untouched);
+//!   [`Verdict::Dampen`] scales the adaptive timestep `δ = Cc · w` only —
+//!   see [`vivaldi_update_scaled`](crate::node::vivaldi_update_scaled) for
+//!   the `Dampen(1.0) ≡ Accept` bit-identity;
+//! * `round` is the probe tick, the same clock the adversary seam uses —
+//!   attack `on_round` and defense `on_round` advance in lockstep;
+//! * an undefended simulation (no [`Defense`] deployed) and a
+//!   [`NoDefense`] deployment are byte-identical by construction: both
+//!   leave every sample on the pre-existing code path with scale 1.0.
+
+pub use vcoord_defense::{
+    Dampener, Defense, DefenseScratch, DefenseStats, DefenseStrategy, DriftCap, EwmaChangePoint,
+    NeighborHistory, NoDefense, ResidualOutlier, TriangleCheck, TrustedBaseline, Update,
+    UpdateView, Verdict,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vcoord_space::{Coord, Space};
+
+    #[test]
+    fn no_defense_accepts_through_the_seam() {
+        let space = Space::Euclidean(2);
+        let me = Coord::origin(2);
+        let them = Coord::from_vec(vec![30.0, 40.0]);
+        let mut d = Defense::none();
+        let v = d.inspect(
+            &space,
+            &me,
+            Update {
+                observer: 1,
+                remote: 0,
+                reported_coord: &them,
+                reported_error: 0.5,
+                rtt: 10.0,
+                round: 0,
+                now_ms: 0,
+            },
+        );
+        assert_eq!(v, Verdict::Accept);
+        assert_eq!(d.label(), "none");
+    }
+}

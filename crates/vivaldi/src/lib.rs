@@ -18,10 +18,16 @@
 //! supplies the reported coordinates, the reported error estimate, and an
 //! extra probe delay. The simulator enforces the paper's threat model —
 //! attackers can *delay* probes but never shorten them.
+//!
+//! Defense behaviour is deployed through the mirror-image
+//! [`vcoord_defense::DefenseStrategy`] seam (see [`defense`]): every sample
+//! an honest node is about to apply passes the deployed
+//! [`defense::Defense`] first, whose verdict drops, dampens, or admits it.
 
 pub mod adversary;
 pub mod config;
 pub mod convergence;
+pub mod defense;
 pub mod neighbors;
 pub mod node;
 pub mod sim;
@@ -29,4 +35,5 @@ pub mod sim;
 pub use adversary::{AttackStrategy, Collusion, CoordView, Honest, Lie, Probe, Protocol, Scenario};
 pub use config::VivaldiConfig;
 pub use convergence::ConvergenceTracker;
+pub use defense::{Defense, DefenseStrategy, Verdict};
 pub use sim::VivaldiSim;

@@ -44,6 +44,42 @@ pub fn vivaldi_update<R: Rng + ?Sized>(
     rtt: f64,
     rng: &mut R,
 ) -> Option<UpdateOutcome> {
+    vivaldi_update_scaled(
+        space,
+        cc,
+        error_clamp,
+        coord,
+        error,
+        remote_coord,
+        remote_error,
+        rtt,
+        1.0,
+        rng,
+    )
+}
+
+/// [`vivaldi_update`] with a defense dampening factor on the timestep.
+///
+/// `scale` multiplies the adaptive timestep `δ = Cc · w` — the coordinate
+/// movement only; the error-estimate update is untouched, so a dampened
+/// node still learns how good its samples are. `scale = 1.0` is
+/// **bit-identical** to [`vivaldi_update`] (the factor enters as a trailing
+/// `× scale` on the existing expression, and `x × 1.0` preserves every bit
+/// of a finite `x`), which is what lets `Verdict::Dampen(1.0)` stand in
+/// for `Verdict::Accept` without perturbing golden figures.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's update rule inputs
+pub fn vivaldi_update_scaled<R: Rng + ?Sized>(
+    space: &Space,
+    cc: f64,
+    error_clamp: (f64, f64),
+    coord: &mut Coord,
+    error: &mut f64,
+    remote_coord: &Coord,
+    remote_error: f64,
+    rtt: f64,
+    scale: f64,
+    rng: &mut R,
+) -> Option<UpdateOutcome> {
     if !(rtt.is_finite() && rtt > 0.0 && remote_coord.is_finite()) {
         log::debug!("vivaldi: rejecting invalid sample (rtt={rtt})");
         return None;
@@ -62,7 +98,7 @@ pub fn vivaldi_update<R: Rng + ?Sized>(
         *error / denom
     };
 
-    let delta = cc * weight;
+    let delta = cc * weight * scale;
     let dir = space.direction(coord, remote_coord, rng);
     let step = delta * (rtt - dist);
     space.apply(coord, &dir, step);
@@ -294,6 +330,66 @@ mod tests {
         .unwrap();
         assert!(e <= CLAMP.1);
         assert!(e >= CLAMP.0);
+    }
+
+    #[test]
+    fn scale_one_is_bit_identical_to_unscaled() {
+        // The Dampen(1.0) ≡ Accept identity at the update-rule level: every
+        // output bit of coordinate and error must match.
+        let space = Space::EuclideanHeight(3);
+        let mut rng_a = rng();
+        let mut rng_b = rng();
+        let mut ca = Coord {
+            vec: vec![10.0, -3.0, 7.5],
+            height: 2.0,
+        };
+        let mut cb = ca.clone();
+        let (mut ea, mut eb) = (0.37, 0.37);
+        let remote = Coord {
+            vec: vec![1.0, 2.0, 3.0],
+            height: 0.5,
+        };
+        for k in 0..50 {
+            let rtt = 10.0 + k as f64;
+            let a = vivaldi_update(
+                &space, 0.25, CLAMP, &mut ca, &mut ea, &remote, 0.4, rtt, &mut rng_a,
+            )
+            .unwrap();
+            let b = vivaldi_update_scaled(
+                &space, 0.25, CLAMP, &mut cb, &mut eb, &remote, 0.4, rtt, 1.0, &mut rng_b,
+            )
+            .unwrap();
+            assert_eq!(a, b);
+            assert_eq!(ea.to_bits(), eb.to_bits());
+            assert_eq!(ca.height.to_bits(), cb.height.to_bits());
+            for (x, y) in ca.vec.iter().zip(&cb.vec) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn scale_zero_freezes_movement_but_still_learns_error() {
+        let space = Space::Euclidean(2);
+        let mut c = Coord::from_vec(vec![100.0, 0.0]);
+        let mut e = 1.0;
+        let remote = Coord::from_vec(vec![0.0, 0.0]);
+        let out = vivaldi_update_scaled(
+            &space,
+            0.25,
+            CLAMP,
+            &mut c,
+            &mut e,
+            &remote,
+            0.5,
+            10.0,
+            0.0,
+            &mut rng(),
+        )
+        .unwrap();
+        assert_eq!(out.displacement, 0.0);
+        assert_eq!(c.vec, vec![100.0, 0.0], "fully dampened: no movement");
+        assert_ne!(e, 1.0, "error estimate still updates");
     }
 
     #[test]

@@ -13,8 +13,9 @@
 
 use crate::adversary::{AttackStrategy, CoordView, Lie, Probe, Protocol, Scenario};
 use crate::config::VivaldiConfig;
+use crate::defense::{Defense, DefenseStats, DefenseStrategy, Update as DefenseUpdate, Verdict};
 use crate::neighbors::select_neighbors;
-use crate::node::vivaldi_update;
+use crate::node::vivaldi_update_scaled;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
@@ -56,6 +57,7 @@ struct VivaldiWorld {
     neighbors: Vec<Vec<usize>>,
     malicious: Vec<bool>,
     scenario: Option<Scenario>,
+    defense: Option<Defense>,
     probe_rng: ChaCha12Rng,
     update_rng: ChaCha12Rng,
     adv_rng: ChaCha12Rng,
@@ -145,11 +147,37 @@ impl World for VivaldiWorld {
         );
     }
 
-    fn on_message(&mut self, _sched: &mut Scheduler<Sample>, _from: NodeId, to: NodeId, s: Sample) {
+    fn on_message(&mut self, sched: &mut Scheduler<Sample>, from: NodeId, to: NodeId, s: Sample) {
         if self.malicious[to] {
             return; // infected after the probe left: ignore the sample
         }
-        let applied = vivaldi_update(
+        // Screen the sample through the deployed defense (if any) before
+        // the update rule sees it. No deployment and a `NoDefense`
+        // deployment both leave `scale = 1.0`, which is bit-identical to
+        // the undefended path.
+        let scale = match self.defense.as_mut() {
+            None => 1.0,
+            Some(defense) => {
+                let verdict = defense.inspect(
+                    &self.config.space,
+                    &self.coords[to],
+                    DefenseUpdate {
+                        observer: to,
+                        remote: from,
+                        reported_coord: &s.coord,
+                        reported_error: s.error,
+                        rtt: s.rtt,
+                        round: sched.now() / self.config.tick_ms.max(1),
+                        now_ms: sched.now(),
+                    },
+                );
+                if verdict == Verdict::Reject {
+                    return; // dropped: coordinate and error untouched
+                }
+                verdict.factor()
+            }
+        };
+        let applied = vivaldi_update_scaled(
             &self.config.space,
             self.config.cc,
             self.config.error_clamp,
@@ -158,6 +186,7 @@ impl World for VivaldiWorld {
             &s.coord,
             s.error,
             s.rtt,
+            scale,
             &mut self.update_rng,
         );
         if applied.is_some() {
@@ -201,6 +230,7 @@ impl VivaldiSim {
             neighbors,
             malicious: vec![false; n],
             scenario: None,
+            defense: None,
             probe_rng: seeds.rng("vivaldi/probe"),
             update_rng: seeds.rng("vivaldi/update"),
             adv_rng: seeds.rng("vivaldi/adversary"),
@@ -330,6 +360,32 @@ impl VivaldiSim {
     pub fn scenario(&self) -> Option<&Scenario> {
         self.world.scenario.as_ref()
     }
+
+    /// Deploy `strategy` as the system's defense: every sample an honest
+    /// node is about to apply is screened through the resulting
+    /// [`Defense`] first. Deployable at any time (the harness arms it at
+    /// attack-injection time, on the converged system); replaces any
+    /// previous deployment, history and accounting included.
+    pub fn deploy_defense(&mut self, strategy: Box<dyn DefenseStrategy>) {
+        let defense = Defense::new(strategy);
+        log::trace!(
+            "vivaldi: deployed defense '{}' at t={}ms",
+            defense.label(),
+            self.engine.now()
+        );
+        self.world.defense = Some(defense);
+    }
+
+    /// The deployed defense, if any (verdict accounting and neighbor
+    /// history are observable for diagnostics and the harness).
+    pub fn defense(&self) -> Option<&Defense> {
+        self.world.defense.as_ref()
+    }
+
+    /// Verdict accounting of the deployed defense, if any.
+    pub fn defense_stats(&self) -> Option<&DefenseStats> {
+        self.world.defense.as_ref().map(|d| d.stats())
+    }
 }
 
 #[cfg(test)]
@@ -411,6 +467,74 @@ mod tests {
         for (k, &a) in attackers.iter().enumerate() {
             assert_eq!(sim.coords()[a], frozen[k], "malicious node moved");
         }
+    }
+
+    #[test]
+    fn no_defense_deployment_is_bit_identical_to_none() {
+        // Deploying the NoDefense strategy must not flip a single
+        // coordinate bit relative to an undefended run — this is the
+        // sim-level contract behind the golden-figure guarantee.
+        let run = |deploy: bool| {
+            let mut sim = small_sim(30, 11);
+            sim.run_ticks(40);
+            if deploy {
+                sim.deploy_defense(Box::new(crate::defense::NoDefense));
+            }
+            let attackers = sim.pick_attackers(0.3);
+            sim.inject_adversary(&attackers, Box::new(Honest));
+            sim.run_ticks(40);
+            (sim.coords().to_vec(), sim.errors().to_vec())
+        };
+        let (ca, ea) = run(false);
+        let (cb, eb) = run(true);
+        assert_eq!(ca, cb);
+        for (a, b) in ea.iter().zip(&eb) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn dampen_identity_deployment_is_bit_identical_to_none() {
+        // A strategy answering Dampen(1.0) for everything rides the scaled
+        // update path — which must still be bit-identical to Accept.
+        let run = |deploy: bool| {
+            let mut sim = small_sim(30, 12);
+            sim.run_ticks(30);
+            if deploy {
+                sim.deploy_defense(Box::new(crate::defense::Dampener::new(1.0)));
+            }
+            sim.run_ticks(40);
+            sim.coords().to_vec()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn rejecting_defense_freezes_victims() {
+        // A defense that rejects everything stops all coordinate movement:
+        // no sample ever reaches the update rule.
+        struct RejectAll;
+        impl crate::defense::DefenseStrategy for RejectAll {
+            fn inspect_update(
+                &mut self,
+                _v: &crate::defense::UpdateView<'_>,
+                _s: &mut crate::defense::DefenseScratch,
+            ) -> Verdict {
+                Verdict::Reject
+            }
+            fn label(&self) -> &'static str {
+                "reject-all"
+            }
+        }
+        let mut sim = small_sim(20, 13);
+        sim.run_ticks(30);
+        sim.deploy_defense(Box::new(RejectAll));
+        let frozen = sim.coords().to_vec();
+        sim.run_ticks(20);
+        assert_eq!(sim.coords(), &frozen[..]);
+        let stats = sim.defense_stats().unwrap();
+        assert!(stats.rejected > 0);
+        assert_eq!(stats.accepted, 0);
     }
 
     #[test]
