@@ -20,7 +20,12 @@
 //! * [`strategies`] — the concrete generic strategies: gradual
 //!   ([`FrogBoiling`], [`Oscillation`]), coordinated
 //!   ([`NetworkPartition`]), and the classic single-shape lies
-//!   ([`Inflation`], [`Deflation`], [`RandomLie`]).
+//!   ([`Inflation`], [`Deflation`], [`RandomLie`]);
+//! * [`adaptive`] — the arms-race layer: the [`DefenseModel`] oracle (the
+//!   attacker's belief about the deployed defense) and the defense-aware
+//!   strategies [`EvadingFrogBoil`], [`ThresholdProbe`] (driven by the
+//!   [`AttackStrategy::feedback`] verdict-observation channel) and
+//!   [`SleeperCollusion`].
 //!
 //! The paper-specific strategies (disorder, repulsion, colluding isolation,
 //! NPS anti-detection) implement the same trait from the `vcoord` facade
@@ -58,11 +63,13 @@
 //! assert!(lie.delay_ms >= 0.0, "delay-only threat model");
 //! ```
 
+pub mod adaptive;
 pub mod collusion;
 pub mod scenario;
 pub mod strategies;
 pub mod strategy;
 
+pub use adaptive::{DefenseModel, EvadingFrogBoil, SleeperCollusion, SleeperPhase, ThresholdProbe};
 pub use collusion::{Collusion, Group};
 pub use scenario::Scenario;
 pub use strategies::{Deflation, FrogBoiling, Inflation, NetworkPartition, Oscillation, RandomLie};

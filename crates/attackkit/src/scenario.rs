@@ -68,6 +68,16 @@ impl Scenario {
         self.strategy
             .respond(&probe, &mut self.collusion, view, rng)
     }
+
+    /// Forward one defense-verdict observation to the strategy (the
+    /// arms-race feedback seam — see [`AttackStrategy::feedback`]). The
+    /// simulators call this for every sample of a malicious node that a
+    /// deployed defense judged; with no defense deployed it is never
+    /// called.
+    pub fn feedback(&mut self, attacker: usize, victim: usize, flagged: bool) {
+        self.strategy
+            .feedback(attacker, victim, flagged, &mut self.collusion);
+    }
 }
 
 #[cfg(test)]

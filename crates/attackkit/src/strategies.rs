@@ -40,8 +40,14 @@ use vcoord_space::{Coord, Displacement};
 /// toward 1 (the paper's disorder value); ignored by NPS.
 const LIE_ERROR: f64 = 0.01;
 
-/// Drift the true coordinate of `node` by `offset` along `axis`.
-fn drifted(view: &CoordView<'_>, node: usize, axis: &Displacement, offset: f64) -> Coord {
+/// Drift the true coordinate of `node` by `offset` along `axis` (shared
+/// with the adaptive strategies in [`crate::adaptive`]).
+pub(crate) fn drifted(
+    view: &CoordView<'_>,
+    node: usize,
+    axis: &Displacement,
+    offset: f64,
+) -> Coord {
     let mut coord = view.coords[node].clone();
     view.space.apply(&mut coord, axis, offset);
     coord

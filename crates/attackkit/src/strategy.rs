@@ -165,6 +165,28 @@ pub trait AttackStrategy {
         rng: &mut ChaCha12Rng,
     ) -> Option<Lie>;
 
+    /// The arms-race feedback channel: called when the fate of one of this
+    /// strategy's responses at the deployed defense becomes observable to
+    /// the attacker — `flagged` is whether the defense rejected (or
+    /// strictly dampened) the sample `victim` received from `attacker`.
+    ///
+    /// The observation is realistic, not an oracle leak: a malicious node
+    /// can tell whether its report took hold (the victim's next reported
+    /// coordinate moved toward the lie, the NPS victim dropped it from its
+    /// reference set and a replacement was drawn, probes stop arriving).
+    /// Non-adaptive strategies ignore it; [`crate::ThresholdProbe`] is the
+    /// canonical consumer, binary-searching the rejection boundary from
+    /// exactly this bit. Never invoked when no defense is deployed — the
+    /// undefended code path is byte-identical with or without this hook.
+    fn feedback(
+        &mut self,
+        _attacker: usize,
+        _victim: usize,
+        _flagged: bool,
+        _collusion: &mut Collusion,
+    ) {
+    }
+
     /// A short label for logs and CSV headers.
     fn label(&self) -> &'static str {
         "adversary"

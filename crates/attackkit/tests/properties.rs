@@ -1,13 +1,17 @@
 //! Property-based tests over the attackkit invariants the ISSUE pins down:
 //! frog-boiling's per-round reported displacement stays below the
-//! configured step bound, and the partition attack splits colluders into
-//! exactly two coherent drift groups.
+//! configured step bound, the partition attack splits colluders into
+//! exactly two coherent drift groups, and the arms-race layer's contracts
+//! hold — the evading frog's estimated per-remote mean pull stays strictly
+//! under the modeled cap, and the threshold probe's binary search
+//! converges to within 10 % of an arbitrary rejection boundary.
 
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use vcoord_attackkit::{
-    AttackStrategy, Collusion, CoordView, FrogBoiling, NetworkPartition, Probe, Protocol,
+    AttackStrategy, Collusion, CoordView, DefenseModel, EvadingFrogBoil, FrogBoiling,
+    NetworkPartition, Probe, Protocol, ThresholdProbe,
 };
 use vcoord_space::{Coord, Space};
 
@@ -159,5 +163,68 @@ proptest! {
                 .sum();
             prop_assert!((proj - expected).abs() < 1e-6, "drift off-axis: {}", proj);
         }
+    }
+
+    // ---- Evading frog: estimated mean pull strictly under the cap ------
+
+    #[test]
+    fn evading_frog_estimated_pull_stays_strictly_under_the_modeled_cap(
+        step in 1.0f64..20.0,
+        cap in 20.0f64..120.0,
+        dim in 2usize..5,
+        seed in 0u64..500,
+        rounds in 5usize..40,
+    ) {
+        let space = Space::Euclidean(dim);
+        let (coords, malicious) = population(&space, 16, 5);
+        let attackers: Vec<usize> = (0..5).collect();
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut coll = Collusion::new();
+        let mut adv = EvadingFrogBoil::new(step, DefenseModel::drift_cap(cap));
+        adv.inject(&attackers, &mut coll, &view_at(&space, &coords, &malicious, 0), &mut rng);
+        // Static victims are the worst case for the throttle: nobody ever
+        // catches up, so the offset saturates right at the budget. The
+        // invariant must hold at every round along the way.
+        for r in 1..=rounds as u64 {
+            adv.on_round(&mut coll, &view_at(&space, &coords, &malicious, r), &mut rng);
+            let worst = adv.worst_estimated_pull(&coll, &view_at(&space, &coords, &malicious, r));
+            prop_assert!(
+                worst < cap,
+                "round {r}: estimated pull {worst:.2} reached the modeled cap {cap} \
+                 (step {step:.1}, dim {dim}, seed {seed})"
+            );
+        }
+    }
+
+    // ---- Threshold probe: estimate within 10% of the true boundary -----
+
+    #[test]
+    fn threshold_probe_estimate_converges_to_the_true_boundary(
+        boundary in 0.15f64..3.5,
+        rtt in 20.0f64..300.0,
+        seed in 0u64..500,
+    ) {
+        let space = Space::Euclidean(2);
+        let (coords, malicious) = population(&space, 12, 2);
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut coll = Collusion::new();
+        let mut adv = ThresholdProbe::new(0.0, 4.0);
+        let probe = Probe { attacker: 0, victim: 7, rtt };
+        // Synthetic defense oracle: flag any relative residual above the
+        // boundary. 30 informative rounds shrink the bracket to 4/2^30.
+        for round in 0..30u64 {
+            let lie = adv
+                .respond(&probe, &mut coll, &view_at(&space, &coords, &malicious, round), &mut rng)
+                .expect("the probe always lies");
+            let predicted = space.distance(&coords[7], &lie.coord);
+            let rel = (predicted - rtt).abs() / rtt;
+            adv.feedback(0, 7, rel > boundary, &mut coll);
+            adv.on_round(&mut coll, &view_at(&space, &coords, &malicious, round + 1), &mut rng);
+        }
+        let est = adv.estimate();
+        prop_assert!(
+            (est - boundary).abs() / boundary < 0.10,
+            "estimate {est:.3} outside 10% of boundary {boundary:.3} (rtt {rtt:.0})"
+        );
     }
 }

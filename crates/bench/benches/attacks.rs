@@ -5,8 +5,9 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use vcoord::attackkit::{
-    AttackStrategy, CoordView, Deflation, FrogBoiling, Inflation, NetworkPartition, Oscillation,
-    Probe, Protocol, RandomLie, Scenario,
+    AttackStrategy, CoordView, DefenseModel, Deflation, EvadingFrogBoil, FrogBoiling, Inflation,
+    NetworkPartition, Oscillation, Probe, Protocol, RandomLie, Scenario, SleeperCollusion,
+    ThresholdProbe,
 };
 use vcoord::attacks::geometry::{anti_detection_lie, repulsion_lie};
 use vcoord::space::{Coord, Space};
@@ -88,6 +89,15 @@ fn bench_attackkit_strategies(c: &mut Criterion) {
         ("inflation", Box::new(Inflation::default())),
         ("deflation", Box::new(Deflation::default())),
         ("random_lie", Box::new(RandomLie::default())),
+        // The arms-race layer: the evading frog's per-round cost includes
+        // its O(victims × colluders) pull estimate — the price of modeling
+        // the defense inside the innermost loop.
+        (
+            "evading_frog",
+            Box::new(EvadingFrogBoil::new(5.0, DefenseModel::default())),
+        ),
+        ("threshold_probe", Box::new(ThresholdProbe::default())),
+        ("sleeper", Box::new(SleeperCollusion::default())),
     ];
 
     let mut group = c.benchmark_group("attackkit_respond");

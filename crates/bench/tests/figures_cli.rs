@@ -221,6 +221,65 @@ fn defense_figures_write_csvs_under_smoke() {
 }
 
 #[test]
+fn arms_sweep_ids_are_listed() {
+    let out = run(&["--list"]);
+    let text = stdout(&out);
+    for id in [
+        "arms-sweep-vivaldi",
+        "arms-sweep-nps",
+        "arms-evasion-roc",
+        "arms-decay-tradeoff",
+    ] {
+        assert!(text.contains(id), "--list missing {id}:\n{text}");
+    }
+}
+
+#[test]
+fn arms_figures_write_csvs_under_smoke() {
+    let dir = tempdir("arms-figs");
+    let out = run(&[
+        "arms-evasion-roc",
+        "arms-decay-tradeoff",
+        "--smoke",
+        "--seed",
+        "7",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "arms figures --smoke failed:\n{}",
+        stderr(&out)
+    );
+    for id in ["arms-evasion-roc", "arms-decay-tradeoff"] {
+        let csv_path = dir.join(format!("{id}.csv"));
+        assert!(csv_path.exists(), "expected {}", csv_path.display());
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        let data_rows: Vec<&str> = csv
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .collect();
+        assert!(
+            data_rows.len() >= 2,
+            "{id}: header plus rows needed:\n{csv}"
+        );
+        for cell in data_rows[1].split(',') {
+            cell.parse::<f64>()
+                .unwrap_or_else(|_| panic!("{id}: non-numeric cell {cell:?}"));
+        }
+    }
+    // The evasion ROC carries both attackers' detection rates and drifts;
+    // the decay trade-off carries the forgiveness accounting.
+    let roc = std::fs::read_to_string(dir.join("arms-evasion-roc.csv")).unwrap();
+    assert!(roc.contains("tpr_evading"));
+    assert!(roc.contains("drift_frog"));
+    let decay = std::fs::read_to_string(dir.join("arms-decay-tradeoff.csv")).unwrap();
+    assert!(decay.contains("half_life_rounds"));
+    assert!(decay.contains("reinstated"));
+    assert!(decay.contains("banned_honest_final"));
+}
+
+#[test]
 fn same_seed_same_csv_bytes() {
     let a = tempdir("repro-a");
     let b = tempdir("repro-b");

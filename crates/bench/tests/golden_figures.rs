@@ -9,10 +9,14 @@
 //! fails here. The run uses `--jobs 2` so the parallel sweep path itself
 //! is the thing being proven byte-stable.
 //!
-//! The divergence report distinguishes the pre-defense suite from the
-//! `def-*` sweeps: a diff in [`PRE_DEFENSE_IDS`] means the undefended
-//! (`NoDefense`-equivalent) code path itself changed numerically — the
-//! exact regression the defense subsystem promised never to cause.
+//! The divergence report is partitioned by provenance: a diff in
+//! [`PRE_DEFENSE_IDS`] means the undefended (`NoDefense`-equivalent) code
+//! path itself changed numerically — the exact regression the defense
+//! subsystem promised never to cause; a diff in the `def-*` suite means
+//! the PR-4 defended paths moved (the arms-race layer promised *not* to
+//! perturb them: no-decay drift caps are bitwise-identical to the
+//! pre-decay implementation); and a diff in [`ARMS_IDS`] is drift in the
+//! newest figures only.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -53,6 +57,16 @@ const PRE_DEFENSE_IDS: [&str; 31] = [
     "atk-sweep-vivaldi",
     "atk-sweep-nps",
     "atk-frog-drift",
+];
+
+/// The arms-race figures (PR 5). Everything in neither this list nor
+/// [`PRE_DEFENSE_IDS`] is a PR-4 `def-*` sweep — the middle legacy bucket
+/// the arms-race layer must also leave byte-identical.
+const ARMS_IDS: [&str; 4] = [
+    "arms-sweep-vivaldi",
+    "arms-sweep-nps",
+    "arms-evasion-roc",
+    "arms-decay-tradeoff",
 ];
 
 /// The committed reference CSVs: `<workspace root>/results`.
@@ -109,9 +123,16 @@ fn smoke_suite_reproduces_committed_csvs_byte_for_byte() {
             "pre-defense golden CSV missing from results/: {id}.csv"
         );
     }
+    for id in ARMS_IDS {
+        assert!(
+            committed.contains(&format!("{id}.csv")),
+            "arms-race golden CSV missing from results/: {id}.csv"
+        );
+    }
 
     let mut diverged_legacy: Vec<String> = Vec::new();
     let mut diverged_def: Vec<String> = Vec::new();
+    let mut diverged_arms: Vec<String> = Vec::new();
     for name in &committed {
         let committed_bytes = std::fs::read(reference.join(name)).unwrap();
         let fresh_bytes = std::fs::read(out.join(name)).unwrap();
@@ -119,14 +140,16 @@ fn smoke_suite_reproduces_committed_csvs_byte_for_byte() {
             let id = name.trim_end_matches(".csv");
             if PRE_DEFENSE_IDS.contains(&id) {
                 diverged_legacy.push(name.clone());
+            } else if ARMS_IDS.contains(&id) {
+                diverged_arms.push(name.clone());
             } else {
                 diverged_def.push(name.clone());
             }
         }
     }
     assert!(
-        committed.len() >= 35,
-        "expected the full 35-figure suite under results/, found {} CSVs",
+        committed.len() >= 39,
+        "expected the full 39-figure suite under results/, found {} CSVs",
         committed.len()
     );
     assert!(
@@ -141,6 +164,14 @@ fn smoke_suite_reproduces_committed_csvs_byte_for_byte() {
     assert!(
         diverged_def.is_empty(),
         "def-* CSV bytes diverged from committed results/ for: {diverged_def:?}\n\
+         The PR-4 defended paths must survive the arms-race layer untouched: \
+         a no-decay drift cap is bitwise-identical to the pre-decay \
+         implementation, and the feedback/reputation seams are inert for \
+         non-adaptive strategies. Do not re-record — find the flipped bit"
+    );
+    assert!(
+        diverged_arms.is_empty(),
+        "arms-* CSV bytes diverged from committed results/ for: {diverged_arms:?}\n\
          A numerics-preserving change must not alter any figure output; if \
          the change is *intentionally* numeric, re-record the affected CSVs \
          (figures <ids> --smoke --seed 2006) and explain the delta in \

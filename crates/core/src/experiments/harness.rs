@@ -41,6 +41,16 @@ pub struct DefenseOutcome {
     pub rejected: u64,
     /// Samples dampened below full strength.
     pub dampened: u64,
+    /// Node-level ban events routed through the reputation channel.
+    pub bans: u64,
+    /// Node-level reinstatements (non-zero only for decaying defenses).
+    pub reinstated: u64,
+    /// Honest nodes still banned when the run ended — the steady-state
+    /// defamation cost a permanently-banning defense accumulates and a
+    /// decaying one sheds.
+    pub banned_honest_final: u64,
+    /// Malicious nodes still banned when the run ended.
+    pub banned_malicious_final: u64,
     /// Node-level detection quality at [`DETECTION_MIN_FLAGS`].
     pub confusion: Confusion,
     /// Rejections per recording interval (the defense's activity trace).
@@ -52,13 +62,22 @@ impl DefenseOutcome {
         label: &str,
         stats: &DefenseStats,
         malicious: &[bool],
+        banned_now: &[usize],
         reject_series: TimeSeries,
     ) -> DefenseOutcome {
+        let banned_malicious_final = banned_now
+            .iter()
+            .filter(|&&n| malicious.get(n).copied().unwrap_or(false))
+            .count() as u64;
         DefenseOutcome {
             label: label.to_string(),
             accepted: stats.accepted,
             rejected: stats.rejected,
             dampened: stats.dampened,
+            bans: stats.bans,
+            reinstated: stats.reinstated,
+            banned_honest_final: banned_now.len() as u64 - banned_malicious_final,
+            banned_malicious_final,
             confusion: stats.confusion_rated(malicious, DETECTION_MIN_FLAGS, DETECTION_MIN_RATE),
             reject_series,
         }
@@ -266,9 +285,22 @@ pub fn run_vivaldi_defended(
         final_errors = errs;
     }
 
-    let defense_outcome = sim
-        .defense()
-        .map(|d| DefenseOutcome::grade(d.label(), d.stats(), sim.malicious(), reject_series));
+    let banned_now: Vec<usize> = sim
+        .quarantined()
+        .iter()
+        .enumerate()
+        .filter(|(_, &q)| q)
+        .map(|(i, _)| i)
+        .collect();
+    let defense_outcome = sim.defense().map(|d| {
+        DefenseOutcome::grade(
+            d.label(),
+            d.stats(),
+            sim.malicious(),
+            &banned_now,
+            reject_series,
+        )
+    });
 
     let random_baseline = random_baseline_with(
         &plan_honest,
@@ -496,9 +528,16 @@ pub fn run_nps_defended(
         final_errors = errs;
     }
 
-    let defense_outcome = sim
-        .defense()
-        .map(|d| DefenseOutcome::grade(d.label(), d.stats(), sim.malicious(), reject_series));
+    let banned_now = sim.currently_banned();
+    let defense_outcome = sim.defense().map(|d| {
+        DefenseOutcome::grade(
+            d.label(),
+            d.stats(),
+            sim.malicious(),
+            &banned_now,
+            reject_series,
+        )
+    });
 
     let ledger_after = sim.ledger();
     let threshold_after = sim.threshold_ledger();

@@ -10,6 +10,7 @@
 //! See `DESIGN.md` for the figure-by-figure index and `EXPERIMENTS.md` for
 //! recorded paper-vs-measured outcomes.
 
+pub mod arms_figs;
 pub mod attack_figs;
 pub mod defense_figs;
 pub mod extensions;

@@ -1,7 +1,7 @@
 //! Figure registry: id → runner.
 
 use crate::experiments::{
-    attack_figs, defense_figs, extensions, nps_figs, vivaldi_figs, FigureResult, Scale,
+    arms_figs, attack_figs, defense_figs, extensions, nps_figs, vivaldi_figs, FigureResult, Scale,
 };
 
 type Runner = fn(&Scale, u64) -> FigureResult;
@@ -191,6 +191,28 @@ pub const FIGURES: &[(&str, Runner, &str)] = &[
         defense_figs::def_roc,
         "DEF: frog-boiling detection ROC — drift cap vs MAD filter (Vivaldi)",
     ),
+    // arms-race sweeps (defense-aware adaptive attackers, reputation decay
+    // — see experiments::arms_figs).
+    (
+        "arms-sweep-vivaldi",
+        arms_figs::arms_sweep_vivaldi,
+        "ARMS: adaptive attack×defense matrix on Vivaldi (error + TPR/FPR + reinstatements)",
+    ),
+    (
+        "arms-sweep-nps",
+        arms_figs::arms_sweep_nps,
+        "ARMS: adaptive attack×defense matrix on NPS (error + TPR/FPR + reinstatements)",
+    ),
+    (
+        "arms-evasion-roc",
+        arms_figs::arms_evasion_roc,
+        "ARMS: classic vs defense-modeling frog-boiling over deployed drift caps (Vivaldi)",
+    ),
+    (
+        "arms-decay-tradeoff",
+        arms_figs::arms_decay_tradeoff,
+        "ARMS: sleeper collusion vs drift-cap reputation decay half-lives (Vivaldi)",
+    ),
 ];
 
 /// All known figure ids, in paper order.
@@ -223,8 +245,9 @@ mod tests {
         let ids = figure_ids();
         assert_eq!(
             ids.len(),
-            35,
-            "26 paper figures + 2 extensions + 3 attackkit sweeps + 4 defensekit sweeps"
+            39,
+            "26 paper figures + 2 extensions + 3 attackkit sweeps + 4 defensekit \
+             sweeps + 4 arms-race sweeps"
         );
         for k in 1..=26 {
             assert!(ids.contains(&format!("fig{k}").as_str()), "missing fig{k}");
@@ -239,6 +262,10 @@ mod tests {
             "def-sweep-nps",
             "def-frog-drift",
             "def-roc",
+            "arms-sweep-vivaldi",
+            "arms-sweep-nps",
+            "arms-evasion-roc",
+            "arms-decay-tradeoff",
         ] {
             assert!(ids.contains(&id), "missing {id}");
         }

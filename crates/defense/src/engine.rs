@@ -50,6 +50,10 @@ pub struct DefenseStats {
     pub rejected: u64,
     /// Samples dampened below full strength.
     pub dampened: u64,
+    /// Node-level ban events drained through the reputation channel.
+    pub bans: u64,
+    /// Node-level reinstatements drained through the reputation channel.
+    pub reinstated: u64,
     /// Flag events (rejections + strict dampenings) per remote node.
     flags: HashMap<usize, u64>,
     /// Inspections per remote node.
@@ -166,6 +170,23 @@ impl Defense {
     /// The accumulated neighbor history (for diagnostics and tests).
     pub fn history(&self) -> &NeighborHistory {
         &self.history
+    }
+
+    /// Drain the strategy's reputation events (bans and reinstatements)
+    /// since the last drain, appending node ids to the given buffers and
+    /// folding the counts into [`DefenseStats`]. The simulators poll this
+    /// after inspections and route the events into their structural ban
+    /// machinery; strategies that emit nothing (everything except a
+    /// decay-configured [`DriftCap`](crate::DriftCap) today) make this a
+    /// no-op, so legacy deployments are untouched.
+    pub fn drain_reputation(&mut self, banned: &mut Vec<usize>, reinstated: &mut Vec<usize>) {
+        if self.passthrough {
+            return;
+        }
+        let (b0, r0) = (banned.len(), reinstated.len());
+        self.strategy.drain_reputation(banned, reinstated);
+        self.stats.bans += (banned.len() - b0) as u64;
+        self.stats.reinstated += (reinstated.len() - r0) as u64;
     }
 
     /// Judge one sample, advancing per-round strategy state first.

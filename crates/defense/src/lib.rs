@@ -72,6 +72,7 @@ pub mod testing;
 pub use engine::{Defense, DefenseStats, Update};
 pub use history::{NeighborHistory, ObserverSample, RemoteHistory};
 pub use strategies::{
-    Dampener, DriftCap, EwmaChangePoint, NoDefense, ResidualOutlier, TriangleCheck, TrustedBaseline,
+    Dampener, DriftCap, DriftDecay, EwmaChangePoint, NoDefense, ResidualOutlier, TriangleCheck,
+    TrustedBaseline,
 };
 pub use strategy::{DefenseScratch, DefenseStrategy, UpdateView, Verdict};

@@ -36,6 +36,47 @@ use std::collections::{HashMap, HashSet};
 
 use crate::strategy::{median_in_place, DefenseScratch, DefenseStrategy, UpdateView, Verdict};
 
+/// Reputation-decay configuration for [`DriftCap`]: a half-life on flag
+/// weights and the forgiveness threshold under which a banned node is
+/// reinstated.
+///
+/// Each cap trip adds `1.0` to the offender's flag weight; the weight then
+/// halves every [`DriftDecay::half_life_rounds`]. A banned node is
+/// reinstated — its samples judged normally again, a `Reinstate` event
+/// emitted through [`DefenseStrategy::drain_reputation`] — once **both**
+/// hold:
+///
+/// * its decayed flag weight fell below [`DriftDecay::reinstate_below`]
+///   (first offense: exactly one half-life after the ban), and
+/// * its current evidence window has *healed*: the vector mean pull over
+///   the full window is back under the cap. A node that kept attacking
+///   while banned keeps its window hot (the engine records every inspected
+///   sample, rejected or not) and is never reinstated, no matter how far
+///   its weight decayed — forgiveness requires demonstrated honesty, not
+///   just elapsed time.
+///
+/// Repeat offenders escalate: a re-ban adds another `1.0` on top of the
+/// not-yet-decayed remainder, so the weight takes proportionally longer to
+/// fall below the threshold each time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftDecay {
+    /// Rounds for a flag weight to halve.
+    pub half_life_rounds: f64,
+    /// Reinstate once the decayed weight falls below this (and the window
+    /// healed). `0.5` means one half-life per unit of flag weight.
+    pub reinstate_below: f64,
+}
+
+impl DriftDecay {
+    /// Halve flag weights every `half_life_rounds`, reinstating below 0.5.
+    pub fn new(half_life_rounds: f64) -> DriftDecay {
+        DriftDecay {
+            half_life_rounds: half_life_rounds.max(1e-9),
+            reinstate_below: 0.5,
+        }
+    }
+}
+
 /// The null strategy: every sample accepted through the engine's fast
 /// path. Deploying it is byte-identical to deploying nothing.
 #[derive(Debug, Default, Clone, Copy)]
@@ -252,7 +293,17 @@ pub struct DriftCap {
     pub max_drag_ms: f64,
     /// Minimum samples in a neighbor's window before the cap arms.
     pub min_samples: u64,
+    /// Reputation decay / un-banning. `None` (the default) keeps today's
+    /// permanent bans: the no-decay path is bitwise-identical to the
+    /// pre-decay `DriftCap` (proven by the golden-figure suite and the
+    /// infinite-half-life equivalence property test).
+    pub decay: Option<DriftDecay>,
     banned: HashSet<usize>,
+    /// Per-node decayed flag weight and the round it was last decayed to.
+    /// Only consulted when `decay` is configured.
+    weights: HashMap<usize, (f64, u64)>,
+    ban_events: Vec<usize>,
+    reinstate_events: Vec<usize>,
 }
 
 impl DriftCap {
@@ -268,13 +319,48 @@ impl DriftCap {
         DriftCap {
             max_drag_ms,
             min_samples: crate::history::RESIDUAL_WINDOW as u64,
+            decay: None,
             banned: HashSet::new(),
+            weights: HashMap::new(),
+            ban_events: Vec::new(),
+            reinstate_events: Vec::new(),
         }
     }
 
-    /// Nodes banned so far.
+    /// [`DriftCap::new`] with reputation decay: bans are forgiven once the
+    /// flag weight decays under the threshold *and* the node's evidence
+    /// window has healed (see [`DriftDecay`]).
+    pub fn with_decay(max_drag_ms: f64, decay: DriftDecay) -> DriftCap {
+        DriftCap {
+            decay: Some(decay),
+            ..DriftCap::new(max_drag_ms)
+        }
+    }
+
+    /// Nodes banned right now (reinstated nodes leave this set).
     pub fn banned(&self) -> &HashSet<usize> {
         &self.banned
+    }
+
+    /// Decayed flag weight of `node` as of the last round it was touched.
+    pub fn flag_weight(&self, node: usize) -> f64 {
+        self.weights.get(&node).map(|&(w, _)| w).unwrap_or(0.0)
+    }
+
+    /// Decay `node`'s flag weight to `round` and return it.
+    fn decayed_weight(&mut self, node: usize, round: u64) -> f64 {
+        let Some(decay) = self.decay else {
+            return self.flag_weight(node);
+        };
+        let entry = self.weights.entry(node).or_insert((0.0, round));
+        let elapsed = round.saturating_sub(entry.1) as f64;
+        if elapsed > 0.0 {
+            // Incremental exponential decay composes exactly:
+            // 0.5^(a+b) = 0.5^a · 0.5^b.
+            entry.0 *= 0.5f64.powf(elapsed / decay.half_life_rounds);
+            entry.1 = round;
+        }
+        entry.0
     }
 }
 
@@ -292,19 +378,46 @@ impl Default for DriftCap {
 
 impl DefenseStrategy for DriftCap {
     fn inspect_update(&mut self, view: &UpdateView<'_>, _s: &mut DefenseScratch) -> Verdict {
-        if self.banned.contains(&view.remote) {
-            return Verdict::Reject;
-        }
         let h = view.remote_history;
+        if self.banned.contains(&view.remote) {
+            let Some(decay) = self.decay else {
+                return Verdict::Reject; // permanent bans (the legacy path)
+            };
+            let weight = self.decayed_weight(view.remote, view.round);
+            // The engine keeps recording every inspected sample, so the
+            // window under the ban reflects the node's *current* conduct:
+            // healed means a full window of honest-looking reports.
+            let healed = h.samples() >= self.min_samples
+                && h.mean_pull_norm()
+                    .is_some_and(|drag| drag <= self.max_drag_ms);
+            if weight < decay.reinstate_below && healed {
+                self.banned.remove(&view.remote);
+                self.reinstate_events.push(view.remote);
+                // Fall through to normal judging: the healed window
+                // accepts, and any relapse re-bans with escalated weight.
+            } else {
+                return Verdict::Reject;
+            }
+        }
         if h.samples() >= self.min_samples {
             if let Some(drag) = h.mean_pull_norm() {
                 if drag > self.max_drag_ms {
                     self.banned.insert(view.remote);
+                    self.ban_events.push(view.remote);
+                    if self.decay.is_some() {
+                        let w = self.decayed_weight(view.remote, view.round);
+                        self.weights.insert(view.remote, (w + 1.0, view.round));
+                    }
                     return Verdict::Reject;
                 }
             }
         }
         Verdict::Accept
+    }
+
+    fn drain_reputation(&mut self, banned: &mut Vec<usize>, reinstated: &mut Vec<usize>) {
+        banned.append(&mut self.ban_events);
+        reinstated.append(&mut self.reinstate_events);
     }
 
     fn label(&self) -> &'static str {
@@ -588,6 +701,125 @@ mod tests {
         assert_eq!(*v.last().unwrap(), Verdict::Reject);
         let trailing = feed(&mut d, &space, 3, 2, 100.0, 100.0, 40..41);
         assert_eq!(trailing, vec![Verdict::Reject], "bans persist");
+    }
+
+    #[test]
+    fn drift_cap_decay_readmits_reformed_node_within_half_life() {
+        let space = Space::Euclidean(2);
+        let half_life = 30.0;
+        let mut d = Defense::new(Box::new(DriftCap::with_decay(
+            40.0,
+            DriftDecay::new(half_life),
+        )));
+        // Persistent −100 ms drag: banned once the 16-sample window fills.
+        let verdicts = feed(&mut d, &space, 0, 2, 200.0, 100.0, 0..20);
+        let ban_round = verdicts
+            .iter()
+            .position(|v| *v == Verdict::Reject)
+            .expect("the drag must trip the cap") as u64;
+        // Reform: honest residuals from the ban onward. The window heals
+        // within RESIDUAL_WINDOW samples; the flag weight needs one
+        // half-life; the first Accept marks the reinstatement.
+        let verdicts = feed(&mut d, &space, 0, 2, 100.0, 100.0, 20..90);
+        let first_accept = verdicts
+            .iter()
+            .position(|v| *v == Verdict::Accept)
+            .expect("a reformed node must be reinstated") as u64
+            + 20;
+        assert!(
+            first_accept <= ban_round + half_life as u64 + 2,
+            "reinstatement at round {first_accept}, ban at {ban_round}: \
+             must land within the configured half-life (+1 round of slack)"
+        );
+        // The reinstate event flowed through the reputation channel.
+        let (mut bans, mut reinstated) = (Vec::new(), Vec::new());
+        d.drain_reputation(&mut bans, &mut reinstated);
+        assert_eq!(bans, vec![2]);
+        assert_eq!(reinstated, vec![2]);
+        assert_eq!(d.stats().bans, 1);
+        assert_eq!(d.stats().reinstated, 1);
+    }
+
+    #[test]
+    fn drift_cap_decay_never_readmits_a_still_attacking_node() {
+        let space = Space::Euclidean(2);
+        let mut d = Defense::new(Box::new(DriftCap::with_decay(40.0, DriftDecay::new(10.0))));
+        // The attacker never reforms: the drag persists for many times the
+        // half-life. Its window stays hot (every inspected sample is
+        // recorded, rejected or not), so decayed weight alone never buys
+        // it back in.
+        let verdicts = feed(&mut d, &space, 0, 2, 200.0, 100.0, 0..200);
+        let after_ban: Vec<_> = verdicts
+            .iter()
+            .skip_while(|v| **v == Verdict::Accept)
+            .collect();
+        assert!(!after_ban.is_empty(), "the cap must trip");
+        assert!(
+            after_ban.iter().all(|v| **v == Verdict::Reject),
+            "a still-attacking node must stay banned through any number of \
+             half-lives"
+        );
+        let (mut bans, mut reinstated) = (Vec::new(), Vec::new());
+        d.drain_reputation(&mut bans, &mut reinstated);
+        assert_eq!(bans, vec![2]);
+        assert!(reinstated.is_empty());
+    }
+
+    #[test]
+    fn drift_cap_decay_escalates_repeat_offenders() {
+        let space = Space::Euclidean(2);
+        let half_life = 20.0;
+        let mut d = Defense::new(Box::new(DriftCap::with_decay(
+            40.0,
+            DriftDecay::new(half_life),
+        )));
+        // First offense → ban; reform → reinstate; relapse → re-ban. The
+        // re-ban stacks +1.0 onto the not-yet-decayed remainder, so the
+        // second ban-to-forgiveness span strictly exceeds the first.
+        let _ = half_life;
+        let v1 = feed(&mut d, &space, 0, 2, 200.0, 100.0, 0..20);
+        let ban_1 = v1.iter().position(|v| *v == Verdict::Reject).unwrap() as u64;
+        let v2 = feed(&mut d, &space, 0, 2, 100.0, 100.0, 20..70);
+        let reinstate_1 = v2
+            .iter()
+            .position(|v| *v == Verdict::Accept)
+            .expect("first reform must be forgiven") as u64
+            + 20;
+        let v3 = feed(&mut d, &space, 0, 2, 200.0, 100.0, 70..100);
+        let ban_2 = v3.iter().position(|v| *v == Verdict::Reject).unwrap() as u64 + 70;
+        let v4 = feed(&mut d, &space, 0, 2, 100.0, 100.0, 100..250);
+        let reinstate_2 = v4
+            .iter()
+            .position(|v| *v == Verdict::Accept)
+            .expect("second reform is eventually forgiven") as u64
+            + 100;
+        assert!(
+            reinstate_2 - ban_2 > reinstate_1 - ban_1,
+            "escalation: second forgiveness span ({} rounds) must exceed \
+             the first ({} rounds)",
+            reinstate_2 - ban_2,
+            reinstate_1 - ban_1,
+        );
+        let (mut bans, mut reinstated) = (Vec::new(), Vec::new());
+        d.drain_reputation(&mut bans, &mut reinstated);
+        assert_eq!(bans, vec![2, 2], "two ban events");
+        assert_eq!(reinstated, vec![2, 2], "two reinstatements");
+    }
+
+    #[test]
+    fn drift_cap_without_decay_emits_ban_events_but_never_reinstates() {
+        let space = Space::Euclidean(2);
+        let mut d = Defense::new(Box::new(DriftCap::new(40.0)));
+        feed(&mut d, &space, 0, 2, 200.0, 100.0, 0..20);
+        let verdicts = feed(&mut d, &space, 0, 2, 100.0, 100.0, 20..200);
+        assert!(
+            verdicts.iter().all(|v| *v == Verdict::Reject),
+            "permanent bans never forgive, however reformed the node"
+        );
+        let (mut bans, mut reinstated) = (Vec::new(), Vec::new());
+        d.drain_reputation(&mut bans, &mut reinstated);
+        assert_eq!(bans, vec![2]);
+        assert!(reinstated.is_empty());
     }
 
     #[test]

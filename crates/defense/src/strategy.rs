@@ -169,6 +169,21 @@ pub trait DefenseStrategy {
     /// Judge one sample.
     fn inspect_update(&mut self, view: &UpdateView<'_>, scratch: &mut DefenseScratch) -> Verdict;
 
+    /// Drain the reputation events this strategy emitted since the last
+    /// call, *appending* node ids to `banned` / `reinstated`.
+    ///
+    /// This is the `Verdict`-adjacent side channel of banning strategies:
+    /// a [`Verdict::Reject`] says what to do with *one sample*, while a
+    /// ban/reinstate event says what happened to the *node* — the
+    /// simulators route bans into their structural machinery (NPS's
+    /// ban/replacement channel, Vivaldi's quarantine bookkeeping) and a
+    /// `Reinstate` event undoes it (NPS scrubs the node from every rolling
+    /// ban list so the membership server can hand it out again; Vivaldi
+    /// clears the quarantine flag and the neighbor relationship resumes).
+    /// The default implementation emits nothing, so non-banning strategies
+    /// and the pre-decay deployments are untouched.
+    fn drain_reputation(&mut self, _banned: &mut Vec<usize>, _reinstated: &mut Vec<usize>) {}
+
     /// `true` for the null strategy only: the engine short-circuits
     /// inspection entirely (no history, no predicted-distance computation,
     /// no allocation) when this returns `true`.

@@ -66,6 +66,16 @@ impl Confusion {
         (f > 0).then(|| self.true_positives as f64 / f as f64)
     }
 
+    /// Youden's J statistic `TPR − FPR`: the single-number summary of a
+    /// ROC point (1 = perfect separation, 0 = chance, negative = worse
+    /// than chance). The arms-race sweeps reduce each attack×defense cell
+    /// to it — an evading attacker's goal is exactly to drive a detector's
+    /// J toward zero at matched attack budget. `None` when either rate is
+    /// undefined (no malicious or no honest nodes classified).
+    pub fn youden_j(&self) -> Option<f64> {
+        Some(self.tpr()? - self.fpr()?)
+    }
+
     /// Merge another matrix into this one (for aggregating repetitions).
     pub fn merge(&mut self, other: &Confusion) {
         self.true_positives += other.true_positives;
@@ -103,6 +113,8 @@ mod tests {
         assert!((c.tpr().unwrap() - 2.0 / 3.0).abs() < 1e-12);
         assert!((c.fpr().unwrap() - 1.0 / 5.0).abs() < 1e-12);
         assert!((c.precision().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.youden_j().unwrap() - (2.0 / 3.0 - 1.0 / 5.0)).abs() < 1e-12);
+        assert_eq!(Confusion::new().youden_j(), None);
     }
 
     #[test]

@@ -26,9 +26,9 @@
 //!   nothing to screen for them.
 
 pub use vcoord_defense::{
-    Dampener, Defense, DefenseScratch, DefenseStats, DefenseStrategy, DriftCap, EwmaChangePoint,
-    NeighborHistory, NoDefense, ResidualOutlier, TriangleCheck, TrustedBaseline, Update,
-    UpdateView, Verdict,
+    Dampener, Defense, DefenseScratch, DefenseStats, DefenseStrategy, DriftCap, DriftDecay,
+    EwmaChangePoint, NeighborHistory, NoDefense, ResidualOutlier, TriangleCheck, TrustedBaseline,
+    Update, UpdateView, Verdict,
 };
 
 #[cfg(test)]

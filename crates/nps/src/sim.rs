@@ -77,6 +77,10 @@ struct NpsWorld {
     /// Recycled copy of the repositioning node's reference set (decouples
     /// the probe loop from `self.refs` borrows without a per-round clone).
     refs_buf: Vec<usize>,
+    /// Reusable reputation-event drain buffers (the defense's ban /
+    /// reinstate side channel).
+    rep_banned: Vec<usize>,
+    rep_reinstated: Vec<usize>,
 }
 
 impl NpsWorld {
@@ -178,6 +182,14 @@ impl NpsWorld {
                     now_ms,
                 },
             );
+            // Arms-race feedback: a malicious reference observes whether
+            // its report survived (an NPS victim that distrusts a
+            // reference visibly drops it and draws a replacement).
+            if self.malicious[r] {
+                if let Some(scenario) = self.scenario.as_mut() {
+                    scenario.feedback(r, node, verdict.is_flag());
+                }
+            }
             if verdict == Verdict::Reject {
                 // Dropped from the round — and, like a probe-threshold
                 // hit, routed through the rolling ban/replacement channel:
@@ -224,6 +236,27 @@ impl NpsWorld {
         }
     }
 
+    /// Drain the deployed defense's reputation events. A `Reinstate` event
+    /// is routed through the ban/replacement channel in reverse: the
+    /// forgiven node is scrubbed from **every** observer's rolling ban
+    /// list, so the membership server can hand it out as a replacement
+    /// again (the structural undo of the bans its `Reject` verdicts
+    /// caused). Ban events need no extra routing — each `Reject` already
+    /// went through [`NpsWorld::ban_ref`] at inspection time.
+    fn drain_reputation_events(&mut self) {
+        let Some(defense) = self.defense.as_mut() else {
+            return;
+        };
+        self.rep_banned.clear();
+        self.rep_reinstated.clear();
+        defense.drain_reputation(&mut self.rep_banned, &mut self.rep_reinstated);
+        for &id in &self.rep_reinstated {
+            for list in self.banned.iter_mut() {
+                list.retain(|&x| x != id);
+            }
+        }
+    }
+
     fn reposition(&mut self, node: usize, now_ms: u64) {
         // Recycle the refs/samples gathering buffers across rounds: after
         // warm-up the probe loop runs without fresh allocations (the lie
@@ -236,6 +269,7 @@ impl NpsWorld {
         samples.clear();
         samples.extend(refs.iter().filter_map(|&r| self.probe_ref(node, r, now_ms)));
         self.refs_buf = refs;
+        self.drain_reputation_events();
 
         let mut scratch = std::mem::take(&mut self.pos_scratch);
         let incumbent = if self.positioned[node] {
@@ -411,6 +445,8 @@ impl NpsSim {
             pos_scratch: lm_scratch,
             samples_buf: lm_samples,
             refs_buf: Vec::new(),
+            rep_banned: Vec::new(),
+            rep_reinstated: Vec::new(),
             matrix,
             config,
         };
@@ -487,6 +523,23 @@ impl NpsSim {
     /// Event counters.
     pub fn counters(&self) -> NpsCounters {
         self.world.counters
+    }
+
+    /// Nodes currently excluded through the ban/replacement channel: ids
+    /// present in at least one observer's rolling ban list (probe-threshold
+    /// hits, security-filter eliminations, and defense `Reject` verdicts
+    /// all land here; a defense `Reinstate` event scrubs them out again).
+    /// Sorted and deduplicated.
+    pub fn currently_banned(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self
+            .world
+            .banned
+            .iter()
+            .flat_map(|l| l.iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
     }
 
     /// Honest, positioned, non-landmark nodes — the evaluation population.
@@ -751,6 +804,74 @@ mod tests {
         // the membership server keeps supplying (equally doomed, here)
         // substitutes instead of the reference set silently emptying.
         assert!(sim.counters().refs_replaced > replaced_before);
+    }
+
+    #[test]
+    fn reinstate_events_scrub_the_rolling_ban_lists() {
+        // Drive the reputation channel end to end without waiting for a
+        // real decay cycle: a strategy that bans a node once and
+        // immediately reinstates it on the next inspection must leave no
+        // trace of the ban in any observer's rolling ban list.
+        struct BanOnce {
+            target: usize,
+            state: u8, // 0 = not yet banned, 1 = banned, 2 = done
+            bans: Vec<usize>,
+            reinstates: Vec<usize>,
+        }
+        impl crate::defense::DefenseStrategy for BanOnce {
+            fn inspect_update(
+                &mut self,
+                v: &crate::defense::UpdateView<'_>,
+                _s: &mut crate::defense::DefenseScratch,
+            ) -> Verdict {
+                if v.remote != self.target {
+                    return Verdict::Accept;
+                }
+                match self.state {
+                    0 => {
+                        self.state = 1;
+                        self.bans.push(v.remote);
+                        Verdict::Reject
+                    }
+                    1 => {
+                        self.state = 2;
+                        self.reinstates.push(v.remote);
+                        Verdict::Accept
+                    }
+                    _ => Verdict::Accept,
+                }
+            }
+            fn drain_reputation(&mut self, banned: &mut Vec<usize>, reinstated: &mut Vec<usize>) {
+                banned.append(&mut self.bans);
+                reinstated.append(&mut self.reinstates);
+            }
+            fn label(&self) -> &'static str {
+                "ban-once"
+            }
+        }
+
+        let mut sim = small_sim(60, 24);
+        sim.run_ms(300_000);
+        // Pick a reference node some ordinary node actually uses.
+        let target = (0..60)
+            .find(|&i| sim.world.layer[i] == 1 && sim.world.refs.iter().any(|r| r.contains(&i)))
+            .expect("layer-1 reference in use");
+        sim.deploy_defense(Box::new(BanOnce {
+            target,
+            state: 0,
+            bans: Vec::new(),
+            reinstates: Vec::new(),
+        }));
+        sim.run_ms(600_000);
+        let stats = sim.defense_stats().unwrap();
+        assert_eq!(stats.bans, 1);
+        assert_eq!(stats.reinstated, 1);
+        // The Reject routed the target through ban/replacement; the
+        // reinstate event scrubbed it from every rolling ban list again.
+        assert!(
+            sim.world.banned.iter().all(|l| !l.contains(&target)),
+            "reinstatement must scrub the rolling ban lists"
+        );
     }
 
     #[test]

@@ -21,9 +21,9 @@
 //!   leave every sample on the pre-existing code path with scale 1.0.
 
 pub use vcoord_defense::{
-    Dampener, Defense, DefenseScratch, DefenseStats, DefenseStrategy, DriftCap, EwmaChangePoint,
-    NeighborHistory, NoDefense, ResidualOutlier, TriangleCheck, TrustedBaseline, Update,
-    UpdateView, Verdict,
+    Dampener, Defense, DefenseScratch, DefenseStats, DefenseStrategy, DriftCap, DriftDecay,
+    EwmaChangePoint, NeighborHistory, NoDefense, ResidualOutlier, TriangleCheck, TrustedBaseline,
+    Update, UpdateView, Verdict,
 };
 
 #[cfg(test)]

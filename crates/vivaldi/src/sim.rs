@@ -58,6 +58,18 @@ struct VivaldiWorld {
     malicious: Vec<bool>,
     scenario: Option<Scenario>,
     defense: Option<Defense>,
+    /// Nodes currently banned by the deployed defense (set on a ban event
+    /// from the reputation channel, cleared on a reinstate event). Vivaldi
+    /// deliberately keeps *probing* quarantined neighbors — the defense
+    /// rejects their samples, but the evidence stream is what lets a
+    /// decaying ban observe reform and forgive; cutting the probes (as
+    /// NPS's membership-mediated banning does) would make forgiveness
+    /// blind. The flags are the neighbor-set view of the ban state for the
+    /// harness and diagnostics.
+    quarantined: Vec<bool>,
+    /// Reusable reputation-event drain buffers.
+    rep_banned: Vec<usize>,
+    rep_reinstated: Vec<usize>,
     probe_rng: ChaCha12Rng,
     update_rng: ChaCha12Rng,
     adv_rng: ChaCha12Rng,
@@ -171,6 +183,24 @@ impl World for VivaldiWorld {
                         now_ms: sched.now(),
                     },
                 );
+                // Route the reputation side channel into the quarantine
+                // flags (no-op for strategies that emit no events).
+                self.rep_banned.clear();
+                self.rep_reinstated.clear();
+                defense.drain_reputation(&mut self.rep_banned, &mut self.rep_reinstated);
+                for &b in &self.rep_banned {
+                    self.quarantined[b] = true;
+                }
+                for &r in &self.rep_reinstated {
+                    self.quarantined[r] = false;
+                }
+                // Arms-race feedback: a malicious node can observe whether
+                // its report took hold, so the scenario learns the verdict.
+                if self.malicious[from] {
+                    if let Some(scenario) = self.scenario.as_mut() {
+                        scenario.feedback(from, to, verdict.is_flag());
+                    }
+                }
                 if verdict == Verdict::Reject {
                     return; // dropped: coordinate and error untouched
                 }
@@ -231,6 +261,9 @@ impl VivaldiSim {
             malicious: vec![false; n],
             scenario: None,
             defense: None,
+            quarantined: vec![false; n],
+            rep_banned: Vec::new(),
+            rep_reinstated: Vec::new(),
             probe_rng: seeds.rng("vivaldi/probe"),
             update_rng: seeds.rng("vivaldi/update"),
             adv_rng: seeds.rng("vivaldi/adversary"),
@@ -374,6 +407,16 @@ impl VivaldiSim {
             self.engine.now()
         );
         self.world.defense = Some(defense);
+        self.world.quarantined.fill(false);
+    }
+
+    /// Which nodes the deployed defense currently holds banned, as routed
+    /// through the reputation channel (ban events set a flag, reinstate
+    /// events clear it). All `false` when no banning strategy is deployed.
+    /// Quarantined neighbors keep being probed — see the field docs on the
+    /// world struct for why the evidence stream stays open.
+    pub fn quarantined(&self) -> &[bool] {
+        &self.world.quarantined
     }
 
     /// The deployed defense, if any (verdict accounting and neighbor
@@ -535,6 +578,111 @@ mod tests {
         let stats = sim.defense_stats().unwrap();
         assert!(stats.rejected > 0);
         assert_eq!(stats.accepted, 0);
+    }
+
+    #[test]
+    fn decay_drift_cap_quarantines_then_reinstates_a_reformed_attacker() {
+        use crate::adversary::{AttackStrategy, CoordView, Lie, Probe};
+        use crate::defense::{DriftCap, DriftDecay};
+        use rand_chacha::ChaCha12Rng;
+        use vcoord_attackkit::Collusion;
+
+        // Attack hard for `attack_rounds` rounds after injection, then
+        // behave honestly forever — the minimal reform story.
+        struct BurstThenReform {
+            attack_rounds: u64,
+            injected_at: Option<u64>,
+        }
+        impl AttackStrategy for BurstThenReform {
+            fn inject(
+                &mut self,
+                _attackers: &[usize],
+                _collusion: &mut Collusion,
+                view: &CoordView<'_>,
+                _rng: &mut ChaCha12Rng,
+            ) {
+                self.injected_at = Some(view.round);
+            }
+            fn respond(
+                &mut self,
+                probe: &Probe,
+                _collusion: &mut Collusion,
+                view: &CoordView<'_>,
+                _rng: &mut ChaCha12Rng,
+            ) -> Option<Lie> {
+                let start = self.injected_at.unwrap_or(0);
+                if view.round.saturating_sub(start) >= self.attack_rounds {
+                    return None; // reformed
+                }
+                // A crude sustained drag: claim to sit 250 ms past the
+                // truth along x.
+                let mut coord = view.coords[probe.attacker].clone();
+                coord.vec[0] += 250.0;
+                Some(Lie {
+                    coord,
+                    error: 0.01,
+                    delay_ms: 0.0,
+                })
+            }
+            fn label(&self) -> &'static str {
+                "burst-then-reform"
+            }
+        }
+
+        let mut sim = small_sim(30, 17);
+        sim.run_ticks(150);
+        let attackers = sim.pick_attackers(0.2);
+        sim.inject_adversary(
+            &attackers,
+            Box::new(BurstThenReform {
+                attack_rounds: 60,
+                injected_at: None,
+            }),
+        );
+        sim.deploy_defense(Box::new(DriftCap::with_decay(40.0, DriftDecay::new(30.0))));
+
+        // During the burst: the cap bans, the quarantine flags rise.
+        sim.run_ticks(60);
+        let quarantined_attackers = attackers.iter().filter(|&&a| sim.quarantined()[a]).count();
+        assert!(
+            quarantined_attackers > 0,
+            "the burst must quarantine attackers"
+        );
+        assert!(sim.defense_stats().unwrap().bans > 0);
+        let reinstated_during_burst = sim.defense_stats().unwrap().reinstated;
+
+        // After reform: the windows heal, the weights decay, and the
+        // reputation channel clears the quarantine flags again.
+        sim.run_ticks(150);
+        let stats = sim.defense_stats().unwrap();
+        assert!(
+            stats.reinstated > reinstated_during_burst,
+            "reformed attackers must be reinstated (bans {}, reinstated {})",
+            stats.bans,
+            stats.reinstated,
+        );
+        let still_quarantined = attackers.iter().filter(|&&a| sim.quarantined()[a]).count();
+        assert!(
+            still_quarantined < quarantined_attackers,
+            "reinstatement must clear quarantine flags"
+        );
+    }
+
+    #[test]
+    fn permanent_drift_cap_never_reinstates() {
+        use crate::defense::DriftCap;
+        use vcoord_attackkit::FrogBoiling;
+
+        let mut sim = small_sim(30, 18);
+        sim.run_ticks(150);
+        let attackers = sim.pick_attackers(0.2);
+        sim.inject_adversary(&attackers, Box::new(FrogBoiling::new(8.0)));
+        sim.deploy_defense(Box::new(DriftCap::new(40.0)));
+        sim.run_ticks(200);
+        let stats = sim.defense_stats().unwrap();
+        assert!(stats.bans > 0, "the frog must get banned");
+        assert_eq!(stats.reinstated, 0, "permanent bans never forgive");
+        assert!(attackers.iter().any(|&a| sim.quarantined()[a]));
     }
 
     #[test]

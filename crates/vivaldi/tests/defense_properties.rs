@@ -11,10 +11,16 @@
 //!   `× 1.0` on the accept path).
 
 use proptest::prelude::*;
-use vcoord_attackkit::FrogBoiling;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use vcoord_attackkit::{DefenseModel, EvadingFrogBoil, FrogBoiling};
 use vcoord_netsim::SeedStream;
+use vcoord_space::{Coord, Space};
 use vcoord_topo::{KingLike, KingLikeConfig};
-use vcoord_vivaldi::defense::{Dampener, DriftCap, NoDefense};
+use vcoord_vivaldi::defense::{
+    Dampener, Defense, DriftCap, DriftDecay, NoDefense, Update, Verdict,
+};
 use vcoord_vivaldi::{VivaldiConfig, VivaldiSim};
 
 /// Ticks a converged system runs before the attack/defense window (the
@@ -77,6 +83,152 @@ proptest! {
         );
         let confusion = stats.confusion(honest.malicious(), 1);
         prop_assert_eq!(confusion.fpr(), Some(0.0));
+    }
+
+    // ---- Decay: forgiveness requires reform, at the same seed ----------
+
+    #[test]
+    fn decay_forgives_reform_but_never_a_persistent_attacker(
+        half_life in 18.0f64..60.0,
+        drag in 60.0f64..250.0,
+        seed in 0u64..1000,
+    ) {
+        // Synthetic single-neighbor feeds with seeded RTT jitter: the same
+        // seed drives a reforming and a persistent offender, so the pair
+        // of outcomes is compared on identical noise.
+        let space = Space::Euclidean(2);
+        let feed = |d: &mut Defense, rng: &mut ChaCha12Rng, predicted: f64, rounds: std::ops::Range<u64>| -> Vec<(u64, Verdict)> {
+            let me = Coord::origin(2);
+            let them = Coord::from_vec(vec![predicted, 0.0]);
+            rounds
+                .map(|r| {
+                    let rtt = 100.0 + rng.gen_range(-10.0..10.0);
+                    let v = d.inspect(&space, &me, Update {
+                        observer: 0,
+                        remote: 2,
+                        reported_coord: &them,
+                        reported_error: 1.0,
+                        rtt,
+                        round: r,
+                        now_ms: r * 1000,
+                    });
+                    (r, v)
+                })
+                .collect()
+        };
+        let cap = 40.0;
+        let attack_predicted = 100.0 + drag; // sustained ≈ −drag ms residual
+        let honest_predicted = 100.0;
+
+        // Reforming offender: attack, get banned, then behave honestly.
+        let mut d = Defense::new(Box::new(DriftCap::with_decay(cap, DriftDecay::new(half_life))));
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let v1 = feed(&mut d, &mut rng, attack_predicted, 0..30);
+        let ban_round = v1.iter().find(|(_, v)| *v == Verdict::Reject)
+            .map(|(r, _)| *r)
+            .expect("a sustained over-cap drag must be banned");
+        let horizon = 30 + (half_life as u64 + 40) * 2;
+        let v2 = feed(&mut d, &mut rng, honest_predicted, 30..horizon);
+        let reinstate = v2.iter().find(|(_, v)| *v == Verdict::Accept).map(|(r, _)| *r);
+        // Forgiveness needs BOTH gates: the weight decays below 0.5 one
+        // half-life after the ban, and the evidence window must refill
+        // with honest samples after the reform (16 rounds at one
+        // inspection per round) — whichever lands later, plus slack.
+        let deadline = (ban_round + half_life as u64).max(30 + 16) + 3;
+        prop_assert!(
+            matches!(reinstate, Some(r) if r <= deadline),
+            "reformed node not reinstated by round {deadline} (ban {ban_round}, \
+             half-life {half_life:.0}, reinstate {reinstate:?})"
+        );
+
+        // Persistent offender at the SAME seed: never reinstated.
+        let mut d = Defense::new(Box::new(DriftCap::with_decay(cap, DriftDecay::new(half_life))));
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let v1 = feed(&mut d, &mut rng, attack_predicted, 0..30);
+        prop_assert!(v1.iter().any(|(_, v)| *v == Verdict::Reject));
+        let v2 = feed(&mut d, &mut rng, attack_predicted, 30..horizon);
+        prop_assert!(
+            v2.iter().all(|(_, v)| *v == Verdict::Reject),
+            "a still-attacking node must never be un-banned (half-life {half_life:.0})"
+        );
+    }
+
+    // ---- No-decay ≡ never-firing decay, bitwise, on whole sims ---------
+
+    #[test]
+    fn no_decay_equals_never_firing_decay_bitwise(seed in 0u64..1000) {
+        // The permanent-ban regression guard: a decay that can never fire
+        // within the horizon (astronomical half-life) must leave the
+        // decaying implementation bitwise-identical to the legacy
+        // permanent-ban path on a full attacked simulation — the no-decay
+        // code path is the same numerics, not a parallel reimplementation.
+        let n = 40;
+        let run = |decay: Option<DriftDecay>| {
+            let mut sim = converged_sim(n, seed);
+            let attackers = sim.pick_attackers(0.3);
+            sim.inject_adversary(&attackers, Box::new(FrogBoiling::new(6.0)));
+            sim.deploy_defense(match decay {
+                None => Box::new(DriftCap::new(60.0)),
+                Some(d) => Box::new(DriftCap::with_decay(60.0, d)),
+            });
+            sim.run_ticks(100);
+            (sim.coords().to_vec(), sim.errors().to_vec(),
+             sim.defense_stats().map(|s| (s.accepted, s.rejected)).unwrap())
+        };
+        let (c_none, e_none, s_none) = run(None);
+        let (c_inf, e_inf, s_inf) = run(Some(DriftDecay::new(1e18)));
+        prop_assert_eq!(s_none, s_inf, "verdict streams must match");
+        for (a, b) in c_none.iter().zip(&c_inf) {
+            prop_assert_eq!(a.height.to_bits(), b.height.to_bits());
+            for (x, y) in a.vec.iter().zip(&b.vec) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        for (a, b) in e_none.iter().zip(&e_inf) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    // ---- Evasion: the defense-aware frog beats the classic one ---------
+
+    #[test]
+    fn evading_frog_undercuts_classic_frog_detection_at_the_same_seed(
+        seed in 0u64..1000,
+    ) {
+        // At the deployed = modeled cap, the defense-aware frog's
+        // detection rate must fall strictly below the classic frog's at
+        // the same seed and matched 5 ms/round budget (the arms-race
+        // headline, as a per-seed invariant rather than one golden run).
+        let n = 60;
+        let cap = 80.0;
+        let run = |evading: bool| {
+            let mut sim = converged_sim(n, seed);
+            let attackers = sim.pick_attackers(0.3);
+            if evading {
+                sim.inject_adversary(
+                    &attackers,
+                    Box::new(EvadingFrogBoil::new(5.0, DefenseModel::drift_cap(cap))),
+                );
+            } else {
+                sim.inject_adversary(&attackers, Box::new(FrogBoiling::new(5.0)));
+            }
+            sim.deploy_defense(Box::new(DriftCap::new(cap)));
+            sim.run_ticks(DEFENDED_TICKS);
+            let stats = sim.defense_stats().expect("defense deployed");
+            stats.confusion(sim.malicious(), 1).tpr().expect("attackers present")
+        };
+        let classic = run(false);
+        let evading = run(true);
+        prop_assert!(
+            evading < classic,
+            "evasion must undercut classic detection: evading tpr {evading:.2} \
+             vs classic {classic:.2} (seed {seed})"
+        );
+        prop_assert!(
+            evading < 0.3,
+            "the evader must stay essentially undetected at the modeled cap: \
+             tpr {evading:.2} (seed {seed})"
+        );
     }
 
     // ---- Dampen(1.0) ≡ Accept, bitwise, through a full simulation ------

@@ -1,15 +1,28 @@
 //! Offline vendored stand-in for `proptest`.
 //!
-//! Implements the subset used by `tests/properties.rs`: the [`Strategy`]
-//! trait with `prop_map`, range / tuple / `prop::collection::vec` /
-//! `prop::num::f64::ANY` strategies, [`ProptestConfig::with_cases`], and the
+//! Implements the subset used by the workspace's property tests: the
+//! [`Strategy`] trait with `prop_map`, range / tuple / `prop::collection::vec`
+//! / `prop::num::f64::ANY` strategies, [`ProptestConfig::with_cases`], and the
 //! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros. Cases are
 //! generated from a deterministic ChaCha12 stream (override the seed with
-//! `PROPTEST_SEED`); there is **no shrinking** — a failing case panics with
-//! the generated inputs in the message instead.
+//! `PROPTEST_SEED`; scale every suite's case count with
+//! `VCOORD_PROPTEST_CASES`, see [`__resolve_cases`]).
+//!
+//! Failing cases are **shrunk** before being reported: numeric range
+//! strategies bisect toward the low bound (plus a final `v − 1` walk for
+//! integers, so boundaries land exactly), collection strategies shrink to
+//! shorter prefixes, and tuple strategies shrink one component at a time.
+//! The shrink loop is bounded ([`SHRINK_BUDGET`] candidate evaluations) and
+//! driven by re-running the test body, so the reported counterexample is the
+//! simplest failing input the search reached — not the first one found.
+//! Mapped strategies ([`Strategy::prop_map`]) do not shrink: the stub keeps
+//! no value tree, so a mapped output cannot be traced back to its input.
 
 use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha12Rng;
+
+/// Upper bound on candidate evaluations in one shrink search.
+pub const SHRINK_BUDGET: usize = 256;
 
 /// A generator of test-case values.
 pub trait Strategy {
@@ -17,7 +30,15 @@ pub trait Strategy {
 
     fn generate(&self, rng: &mut dyn RngCore) -> Self::Value;
 
-    /// Transform generated values.
+    /// Candidate simplifications of a failing `value`, simplest first.
+    /// Empty means the value is fully shrunk. Every candidate must be a
+    /// value this strategy could itself have generated.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Transform generated values. Mapped strategies do not shrink (no
+    /// value tree to trace an output back through).
     fn prop_map<U: std::fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
@@ -39,12 +60,54 @@ impl<S: Strategy, U: std::fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, 
     }
 }
 
-macro_rules! numeric_range_strategy {
+/// Integer shrink candidates: the low bound, the bisection midpoint, and
+/// the immediate predecessor (which lets the search settle on a boundary
+/// exactly instead of within a factor of two).
+macro_rules! shrink_int_candidates {
+    ($lo:expr, $v:expr) => {{
+        let (lo, v) = ($lo, $v);
+        let mut out = Vec::new();
+        if v != lo {
+            out.push(lo);
+            let mid = lo + (v - lo) / 2;
+            if mid != lo && mid != v {
+                out.push(mid);
+            }
+            let prev = v - 1;
+            if prev != lo && Some(&prev) != out.last() {
+                out.push(prev);
+            }
+        }
+        out
+    }};
+}
+
+/// Float shrink candidates: the low bound and the bisection midpoint.
+macro_rules! shrink_float_candidates {
+    ($lo:expr, $v:expr) => {{
+        let (lo, v) = ($lo, $v);
+        let mut out = Vec::new();
+        // `v > lo` also rejects NaN (no candidates for a non-finite value).
+        if v > lo {
+            out.push(lo);
+            let mid = lo + (v - lo) / 2.0;
+            if mid != lo && mid != v {
+                out.push(mid);
+            }
+        }
+        out
+    }};
+}
+
+macro_rules! int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for core::ops::Range<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut dyn RngCore) -> $t {
                 rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int_candidates!(self.start, *value)
             }
         }
         impl Strategy for core::ops::RangeInclusive<$t> {
@@ -52,17 +115,58 @@ macro_rules! numeric_range_strategy {
             fn generate(&self, rng: &mut dyn RngCore) -> $t {
                 rng.gen_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int_candidates!(*self.start(), *value)
+            }
         }
     )*}
 }
-numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut dyn RngCore) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_float_candidates!(self.start, *value)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut dyn RngCore) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_float_candidates!(*self.start(), *value)
+            }
+        }
+    )*}
+}
+float_range_strategy!(f32, f64);
 
 macro_rules! tuple_strategy {
     ($(($($s:ident . $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone,)+
+        {
             type Value = ($($s::Value,)+);
             fn generate(&self, rng: &mut dyn RngCore) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*}
@@ -72,6 +176,8 @@ tuple_strategy! {
     (A.0, B.1)
     (A.0, B.1, C.2)
     (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
 }
 
 /// Strategy sub-modules mirroring `proptest::prop`.
@@ -83,10 +189,15 @@ pub mod prop {
         /// Accepted by [`vec()`] as a length specification.
         pub trait IntoSizeRange {
             fn pick_len(&self, rng: &mut dyn RngCore) -> usize;
+            /// Smallest admissible length (prefix shrinks stop here).
+            fn min_len(&self) -> usize;
         }
 
         impl IntoSizeRange for usize {
             fn pick_len(&self, _rng: &mut dyn RngCore) -> usize {
+                *self
+            }
+            fn min_len(&self) -> usize {
                 *self
             }
         }
@@ -95,11 +206,17 @@ pub mod prop {
             fn pick_len(&self, rng: &mut dyn RngCore) -> usize {
                 rng.gen_range(self.clone())
             }
+            fn min_len(&self) -> usize {
+                self.start
+            }
         }
 
         impl IntoSizeRange for core::ops::RangeInclusive<usize> {
             fn pick_len(&self, rng: &mut dyn RngCore) -> usize {
                 rng.gen_range(self.clone())
+            }
+            fn min_len(&self) -> usize {
+                *self.start()
             }
         }
 
@@ -114,11 +231,34 @@ pub mod prop {
             len: L,
         }
 
-        impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L>
+        where
+            S::Value: Clone,
+        {
             type Value = Vec<S::Value>;
             fn generate(&self, rng: &mut dyn RngCore) -> Self::Value {
                 let n = self.len.pick_len(rng);
                 (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+            /// Prefix shrinks only: the shortest admissible prefix, the
+            /// half-way prefix, and one element dropped — element values
+            /// are left alone (the workspace's collection properties are
+            /// about lengths and aggregates, not element extremes).
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let min = self.len.min_len();
+                let n = value.len();
+                if n <= min {
+                    return Vec::new();
+                }
+                let mut out = vec![value[..min].to_vec()];
+                let mid = min + (n - min) / 2;
+                if mid != min && mid != n {
+                    out.push(value[..mid].to_vec());
+                }
+                if n - 1 != min && n - 1 != mid {
+                    out.push(value[..n - 1].to_vec());
+                }
+                out
             }
         }
     }
@@ -129,6 +269,8 @@ pub mod prop {
             use rand::RngCore;
 
             /// Any `f64` bit pattern: finite values, infinities and NaNs.
+            /// Does not shrink — there is no meaningful "simpler" ordering
+            /// over arbitrary bit patterns.
             #[derive(Clone, Copy, Debug)]
             pub struct Any;
 
@@ -179,6 +321,84 @@ pub fn __test_rng(test_name: &str) -> ChaCha12Rng {
     ChaCha12Rng::seed_from_u64(h)
 }
 
+/// Macro plumbing — the effective case count for one `proptest!` block.
+///
+/// `VCOORD_PROPTEST_CASES` scales every suite *proportionally*: its value
+/// is the case count a default-config (256-case) suite should run, and a
+/// block configured `with_cases(n)` runs `⌈n · target / 256⌉` cases. CI's
+/// elevated-effort job sets it high without turning the deliberately-small
+/// whole-simulation suites into hour-long runs.
+#[doc(hidden)]
+pub fn __resolve_cases(base: u32) -> u32 {
+    match std::env::var("VCOORD_PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        Some(target) => (((base as u64) * target).div_ceil(256)).clamp(1, u32::MAX as u64) as u32,
+        None => base,
+    }
+}
+
+/// Macro plumbing — the bounded shrink search.
+///
+/// Starting from a failing `initial` value, repeatedly asks `strategy` for
+/// simplification candidates and greedily steps to the first candidate that
+/// still fails `check` (returns `Err` with its panic payload), until no
+/// candidate fails or [`SHRINK_BUDGET`] evaluations are spent. Returns the
+/// simplest failing value reached, the number of candidate evaluations, and
+/// the payload of its failure (`None` when no shrink step succeeded, i.e.
+/// the initial failure is already minimal or un-shrinkable).
+#[doc(hidden)]
+#[allow(clippy::type_complexity)]
+pub fn __shrink<S: Strategy>(
+    strategy: &S,
+    initial: S::Value,
+    mut check: impl FnMut(&S::Value) -> Result<(), Box<dyn std::any::Any + Send>>,
+) -> (S::Value, usize, Option<Box<dyn std::any::Any + Send>>) {
+    let mut current = initial;
+    let mut payload = None;
+    let mut steps = 0usize;
+    'search: loop {
+        let mut progressed = false;
+        for cand in strategy.shrink(&current) {
+            if steps >= SHRINK_BUDGET {
+                break 'search;
+            }
+            steps += 1;
+            if let Err(p) = check(&cand) {
+                payload = Some(p);
+                current = cand;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    (current, steps, payload)
+}
+
+/// Macro plumbing — serializes shrink searches process-wide.
+///
+/// The shrink loop swaps the *global* panic hook for a silent one
+/// (candidate evaluations panic on purpose, and hundreds of backtrace
+/// dumps would bury the report). Hook state is process-global, so two
+/// concurrently-failing property tests swapping it unguarded could each
+/// save the other's silent hook as "previous" and leave the process mute.
+/// Holding this lock across the whole save → search → restore window makes
+/// the swap atomic; the one residual global effect — an unrelated,
+/// non-proptest panic inside someone else's shrink window prints no hook
+/// output — is inherent to `std::panic::set_hook` and bounded by the
+/// [`SHRINK_BUDGET`].
+#[doc(hidden)]
+pub fn __shrink_guard() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    // A poisoned lock just means another shrink search panicked while
+    // reporting; the hook state it protects is still coherent.
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// One-stop imports mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::prop;
@@ -219,6 +439,12 @@ macro_rules! prop_assert_ne {
 /// The main test-definition macro. Supports an optional leading
 /// `#![proptest_config(expr)]` and any number of
 /// `#[test] fn name(arg in strategy, ...) { body }` items.
+///
+/// On failure the generated inputs are shrunk (see [`__shrink`]) with the
+/// default panic hook silenced for the duration of the search — candidate
+/// evaluations panic on purpose, and hundreds of backtrace dumps would bury
+/// the report — then the minimal counterexample is printed and the panic
+/// payload of its failure re-raised.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -232,23 +458,70 @@ macro_rules! proptest {
     ) => {
         $(#[$meta])*
         fn $name() {
+            // Keeps `.prop_map(...)`-style strategy expressions working at
+            // call sites that did not import the trait themselves.
+            #[allow(unused_imports)]
             use $crate::Strategy as _;
             let config: $crate::ProptestConfig = $cfg;
+            let cases = $crate::__resolve_cases(config.cases);
             let mut rng = $crate::__test_rng(concat!(module_path!(), "::", stringify!($name)));
-            for case in 0..config.cases {
-                $(let $arg = ($strat).generate(&mut rng);)+
+            // One tuple strategy over all arguments: generation draws in
+            // the same per-argument order as before (stream-compatible),
+            // and the tuple's component-wise shrink drives the search.
+            let __strategy = ($($strat,)+);
+            for case in 0..cases {
+                let ($($arg,)+) = $crate::Strategy::generate(&__strategy, &mut rng);
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     $(let $arg = $arg.clone();)+
                     $body
                 }));
                 if let Err(payload) = result {
+                    // Shrink: re-run the body on simplification candidates,
+                    // hook silenced (candidate panics are expected). Same
+                    // greedy bounded search as [`__shrink`], inlined so the
+                    // candidate tuple type stays concrete for the compiler.
+                    let mut __current = ($($arg,)+);
+                    let mut __payload = payload;
+                    let mut __steps = 0usize;
+                    let __guard = $crate::__shrink_guard();
+                    let __prev_hook = std::panic::take_hook();
+                    std::panic::set_hook(Box::new(|_| {}));
+                    '__shrink: loop {
+                        let mut __progressed = false;
+                        for __cand in $crate::Strategy::shrink(&__strategy, &__current) {
+                            if __steps >= $crate::SHRINK_BUDGET {
+                                break '__shrink;
+                            }
+                            __steps += 1;
+                            let __result = {
+                                let ($($arg,)+) = ::std::clone::Clone::clone(&__cand);
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                                    $(let $arg = $arg.clone();)+
+                                    $body
+                                }))
+                            };
+                            if let Err(__p) = __result {
+                                __payload = __p;
+                                __current = __cand;
+                                __progressed = true;
+                                break;
+                            }
+                        }
+                        if !__progressed {
+                            break;
+                        }
+                    }
+                    std::panic::set_hook(__prev_hook);
+                    drop(__guard);
                     eprintln!(
-                        "proptest case {}/{} failed for inputs:",
+                        "proptest case {}/{} failed; minimal counterexample after {} shrink step(s):",
                         case + 1,
-                        config.cases
+                        cases,
+                        __steps,
                     );
+                    let ($($arg,)+) = __current;
                     $(eprintln!("  {} = {:?}", stringify!($arg), $arg);)+
-                    std::panic::resume_unwind(payload);
+                    std::panic::resume_unwind(__payload);
                 }
             }
         }
@@ -306,5 +579,119 @@ mod tests {
             .map(|_| (0u64..1000).generate(&mut crate::__test_rng("t")))
             .collect();
         assert_eq!(a, b);
+    }
+
+    // ---- shrinking ------------------------------------------------------
+
+    #[test]
+    fn int_shrink_candidates_bisect_toward_low_bound() {
+        use crate::Strategy as _;
+        let s = 0u64..1000;
+        assert_eq!(s.shrink(&0), vec![], "the bound itself is minimal");
+        assert_eq!(s.shrink(&1), vec![0], "no distinct mid/prev at 1");
+        assert_eq!(s.shrink(&700), vec![0, 350, 699]);
+        let inc = 10i64..=20;
+        assert_eq!(inc.shrink(&20), vec![10, 15, 19]);
+    }
+
+    #[test]
+    fn float_shrink_candidates_bisect() {
+        use crate::Strategy as _;
+        let s = -2.0f64..2.0;
+        assert_eq!(s.shrink(&-2.0), vec![]);
+        assert_eq!(s.shrink(&2.0), vec![-2.0, 0.0]);
+    }
+
+    #[test]
+    fn vec_shrink_is_prefixes_down_to_min_len() {
+        use crate::Strategy as _;
+        let s = prop::collection::vec(0u64..100, 2..6);
+        let v = vec![9, 8, 7, 6, 5];
+        let shrunk = s.shrink(&v);
+        assert_eq!(shrunk, vec![vec![9, 8], vec![9, 8, 7], vec![9, 8, 7, 6]]);
+        assert_eq!(s.shrink(&vec![9, 8]), Vec::<Vec<u64>>::new());
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component_at_a_time() {
+        use crate::Strategy as _;
+        let s = (0u64..100, 0u64..100);
+        let shrunk = s.shrink(&(4, 6));
+        assert!(shrunk.contains(&(0, 6)));
+        assert!(shrunk.contains(&(2, 6)));
+        assert!(shrunk.contains(&(4, 0)));
+        assert!(shrunk.contains(&(4, 3)));
+        assert!(shrunk.iter().all(|&(a, b)| a == 4 || b == 6));
+    }
+
+    #[test]
+    fn shrink_search_finds_the_exact_boundary() {
+        // The property "v < 37" fails for any v >= 37; starting from a
+        // large failing value the search must land on exactly 37 — the
+        // minimal counterexample — thanks to the v-1 candidate.
+        let strategy = 0u64..1000;
+        let (minimal, steps, payload) = crate::__shrink(&strategy, 700, |v| {
+            if *v >= 37 {
+                Err(Box::new(format!("failed at {v}")))
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(minimal, 37, "expected the exact boundary");
+        assert!(steps > 0 && steps <= crate::SHRINK_BUDGET);
+        let msg = payload.unwrap().downcast::<String>().unwrap();
+        assert_eq!(*msg, "failed at 37");
+    }
+
+    #[test]
+    fn shrink_search_respects_budget_and_unshrinkable_values() {
+        // A strategy with no shrink candidates terminates immediately and
+        // keeps the original value and payload slot empty.
+        let strategy = prop::num::f64::ANY;
+        let (minimal, steps, payload) =
+            crate::__shrink(&strategy, 1.5, |_| Err(Box::new("always fails")));
+        assert_eq!(minimal, 1.5);
+        assert_eq!(steps, 0);
+        assert!(payload.is_none());
+    }
+
+    // A deliberately-failing property compiled WITHOUT #[test]: the
+    // end-to-end proof that the macro reports a shrunk counterexample. The
+    // real test below invokes it under catch_unwind and asserts the panic
+    // payload names the minimal failing input (37), not whatever oversized
+    // value the generator happened to produce first.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        fn deliberately_failing_property(x in 0u64..1000) {
+            prop_assert!(x < 37, "x = {}", x);
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_shrunk_counterexample() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the seed failure
+        let result = std::panic::catch_unwind(deliberately_failing_property);
+        std::panic::set_hook(prev);
+        let payload = result.expect_err("property must fail");
+        let msg = payload
+            .downcast::<String>()
+            .expect("prop_assert! message payload");
+        assert_eq!(
+            *msg, "x = 37",
+            "the reported counterexample must be the shrunk minimum"
+        );
+    }
+
+    #[test]
+    fn env_knob_scales_cases_proportionally() {
+        // Pure function check (the env var itself is CI-owned; mutating
+        // process env in a parallel test harness is a race).
+        assert_eq!(crate::__resolve_cases(256), 256);
+        // Scaling math via the internal formula at a hypothetical target is
+        // covered by construction: ⌈6·1024/256⌉ = 24, ⌈256·1024/256⌉ = 1024.
+        assert_eq!((6u64 * 1024).div_ceil(256), 24);
+        assert_eq!((256u64 * 1024).div_ceil(256), 1024);
     }
 }
