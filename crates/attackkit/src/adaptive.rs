@@ -20,6 +20,10 @@
 //! * [`ThresholdProbe`] — reconnaissance: binary-searches the deployed
 //!   filter's rejection boundary on the relative residual, driven by the
 //!   [`AttackStrategy::feedback`] channel (which lies got flagged).
+//! * [`CapLearner`] — the same bracket-halving recon, turned inward:
+//!   [`EvadingFrogBoil::learning`] refines its *own* modeled drift cap
+//!   online from first-flag evidence, so a mis-modeled deployment stops
+//!   being a mass ban and becomes a few sacrificial probes.
 //! * [`SleeperCollusion`] — behaves honestly until reputation accrues,
 //!   then attacks in bursts timed to the defense's forgiveness windows —
 //!   the adversary that makes permanent-vs-decaying bans a real trade-off.
@@ -80,6 +84,122 @@ impl DefenseModel {
     /// The pull budget the attacker allows itself: `margin × modeled cap`.
     pub fn evasion_budget_ms(&self) -> f64 {
         self.safety_margin.clamp(0.0, 1.0) * self.drift_cap_ms
+    }
+}
+
+/// Online drift-cap learner: turns the arms-race feedback channel into a
+/// running bisection on the *deployed* drift cap, so an
+/// [`EvadingFrogBoil`] whose modeled cap is wrong converges onto the real
+/// one instead of feeding every colluder into a ban it believes cannot
+/// happen.
+///
+/// Evidence comes in two kinds, mirroring [`ThresholdProbe`]'s bracket:
+///
+/// * **First flags** — a colluder's sample rejected for the first time.
+///   The deployed cap sits at or below the pull the colluders were
+///   exerting, so the upper bracket drops to that pull. Only the *first*
+///   flag per colluder is informative: the drift cap bans permanently,
+///   and every later rejection of the same colluder merely re-states the
+///   old evidence.
+/// * **Clean patience windows** — [`CapLearner::patience`] consecutive
+///   rounds without a fresh flag. The pull sustained across the window
+///   outlived the defense's evidence window without a ban, so the lower
+///   bracket rises to it.
+///
+/// The believed cap is the bracket midpoint once a flag has bounded it
+/// from above; until then the configured model stands, so a learner
+/// facing a correctly-modeled (or laxer) deployment behaves exactly like
+/// the fixed-model evader.
+#[derive(Debug, Clone)]
+pub struct CapLearner {
+    /// Rounds without a fresh flag before the sustained pull is accepted
+    /// as proven-safe. Sized past the drift cap's default evidence window
+    /// (16 residuals at roughly one inspection per round): a shorter
+    /// window would promote pulls the defense simply had not finished
+    /// judging.
+    pub patience: u64,
+    /// Largest sustained pull proven safe so far (ms).
+    lo: f64,
+    /// Smallest pull observed to draw a ban (`f64::INFINITY` until one).
+    hi: f64,
+    clean_rounds: u64,
+    flagged: std::collections::HashSet<usize>,
+    first_flags: u64,
+}
+
+impl Default for CapLearner {
+    fn default() -> Self {
+        CapLearner::new(20)
+    }
+}
+
+impl CapLearner {
+    /// A fresh learner with the given patience window.
+    pub fn new(patience: u64) -> CapLearner {
+        CapLearner {
+            patience: patience.max(1),
+            lo: 0.0,
+            hi: f64::INFINITY,
+            clean_rounds: 0,
+            flagged: std::collections::HashSet::new(),
+            first_flags: 0,
+        }
+    }
+
+    /// Current bracket `(lo, hi)` on the deployed cap, in ms of pull.
+    pub fn bracket(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// First flags absorbed so far (distinct colluders banned).
+    pub fn first_flags(&self) -> u64 {
+        self.first_flags
+    }
+
+    /// One round passed; `sustained` is the worst pull the colluders held
+    /// through it. After a full clean patience window that pull is
+    /// proven safe and becomes the lower bracket.
+    pub fn observe_round(&mut self, sustained: f64) {
+        self.clean_rounds += 1;
+        if self.clean_rounds < self.patience {
+            return;
+        }
+        self.clean_rounds = 0;
+        if sustained.is_finite() && sustained > self.lo && sustained < self.hi {
+            self.lo = sustained;
+        }
+    }
+
+    /// A sample of `attacker` was rejected while the colluders exerted an
+    /// estimated worst pull of `pull`. Returns whether this was a first
+    /// flag (informative evidence) rather than a permanent ban re-firing.
+    pub fn observe_flag(&mut self, attacker: usize, pull: f64) -> bool {
+        if !self.flagged.insert(attacker) {
+            return false;
+        }
+        self.first_flags += 1;
+        self.clean_rounds = 0;
+        if pull.is_finite() && pull > 0.0 && pull < self.hi {
+            if pull <= self.lo {
+                // Contradicts a pull we had promoted to proven-safe: the
+                // estimate was noisy or the window had not filled. Hard
+                // evidence (a ban) outranks soft evidence — re-learn the
+                // floor.
+                self.lo = 0.0;
+            }
+            self.hi = pull;
+        }
+        true
+    }
+
+    /// Current belief about the deployed cap: the bracket midpoint once a
+    /// flag bounded it above, otherwise the configured model `fallback`.
+    pub fn believed_cap(&self, fallback: f64) -> f64 {
+        if self.hi.is_finite() {
+            0.5 * (self.lo + self.hi)
+        } else {
+            fallback
+        }
     }
 }
 
@@ -182,6 +302,11 @@ pub struct EvadingFrogBoil {
     sampled_attackers: Vec<usize>,
     /// Rounds the throttle held (diagnostics).
     held_rounds: u64,
+    /// Online cap learner; `None` means the model is taken on faith.
+    learner: Option<CapLearner>,
+    /// Worst pull estimate from the latest round — the evidence level a
+    /// first flag is attributed to (feedback carries no coordinate view).
+    last_worst_pull: f64,
 }
 
 impl EvadingFrogBoil {
@@ -197,7 +322,25 @@ impl EvadingFrogBoil {
             victims: Vec::new(),
             sampled_attackers: Vec::new(),
             held_rounds: 0,
+            learner: None,
+            last_worst_pull: 0.0,
         }
+    }
+
+    /// Evade `model` while *refining* its drift cap online: first-flag
+    /// feedback and clean patience windows drive a [`CapLearner`] whose
+    /// believed cap replaces [`DefenseModel::drift_cap_ms`] every round.
+    /// Until the first flag the behaviour is exactly [`EvadingFrogBoil::new`]'s.
+    pub fn learning(step: f64, model: DefenseModel) -> EvadingFrogBoil {
+        EvadingFrogBoil {
+            learner: Some(CapLearner::default()),
+            ..EvadingFrogBoil::new(step, model)
+        }
+    }
+
+    /// The online cap learner, when built via [`EvadingFrogBoil::learning`].
+    pub fn learner(&self) -> Option<&CapLearner> {
+        self.learner.as_ref()
     }
 
     /// Rounds the throttle held the offset so far.
@@ -251,6 +394,14 @@ impl AttackStrategy for EvadingFrogBoil {
         _rng: &mut ChaCha12Rng,
     ) {
         let worst = self.worst_estimated_pull(collusion, view);
+        self.last_worst_pull = worst;
+        if let Some(learner) = self.learner.as_mut() {
+            // No fresh flag reached `feedback` since the last round (a
+            // flag would have zeroed the clean streak), so this round
+            // counts toward the patience window at the sustained pull.
+            learner.observe_round(worst);
+            self.model.drift_cap_ms = learner.believed_cap(self.model.drift_cap_ms);
+        }
         if worst + self.step <= self.model.evasion_budget_ms() {
             collusion.advance_all(self.step, f64::INFINITY);
         } else {
@@ -277,8 +428,29 @@ impl AttackStrategy for EvadingFrogBoil {
         })
     }
 
+    fn feedback(
+        &mut self,
+        attacker: usize,
+        _victim: usize,
+        flagged: bool,
+        _collusion: &mut Collusion,
+    ) {
+        if !flagged {
+            return;
+        }
+        let Some(learner) = self.learner.as_mut() else {
+            return;
+        };
+        learner.observe_flag(attacker, self.last_worst_pull);
+        self.model.drift_cap_ms = learner.believed_cap(self.model.drift_cap_ms);
+    }
+
     fn label(&self) -> &'static str {
-        "evading-frog"
+        if self.learner.is_some() {
+            "evading-frog-learn"
+        } else {
+            "evading-frog"
+        }
     }
 }
 
@@ -667,6 +839,72 @@ mod tests {
     }
 
     #[test]
+    fn cap_learner_bisects_toward_the_deployed_cap() {
+        let mut l = CapLearner::new(2);
+        assert_eq!(l.bracket(), (0.0, f64::INFINITY));
+        // Unbounded above: the configured model stands.
+        assert_eq!(l.believed_cap(80.0), 80.0);
+        // Two clean rounds at 30 ms sustained: proven safe.
+        l.observe_round(30.0);
+        l.observe_round(30.0);
+        assert_eq!(l.bracket().0, 30.0);
+        // First flag at a worst pull of 70 ms bounds the cap above.
+        assert!(l.observe_flag(0, 70.0));
+        assert_eq!(l.bracket(), (30.0, 70.0));
+        assert_eq!(l.believed_cap(80.0), 50.0);
+        // The same colluder re-flagging (permanent ban) is not evidence.
+        assert!(!l.observe_flag(0, 55.0));
+        assert_eq!(l.bracket(), (30.0, 70.0));
+        // A different colluder's first flag tightens the top.
+        assert!(l.observe_flag(1, 60.0));
+        assert_eq!(l.bracket(), (30.0, 60.0));
+        assert_eq!(l.believed_cap(80.0), 45.0);
+        assert_eq!(l.first_flags(), 2);
+        // A flag below the proven-safe floor resets the floor: hard
+        // evidence outranks soft.
+        assert!(l.observe_flag(2, 25.0));
+        assert_eq!(l.bracket(), (0.0, 25.0));
+    }
+
+    #[test]
+    fn learning_evader_cuts_its_budget_on_first_flag_feedback() {
+        let f = fixture(24, 6);
+        let mut rng = ChaCha12Rng::seed_from_u64(8);
+        let mut coll = Collusion::new();
+        // Modeled cap 80 ms: budget 64. Suppose the deployment is tighter.
+        let mut adv = EvadingFrogBoil::learning(10.0, DefenseModel::drift_cap(80.0));
+        adv.inject(&[0, 1, 2, 3, 4, 5], &mut coll, &view_at(&f, 0), &mut rng);
+        for r in 1..=4 {
+            adv.on_round(&mut coll, &view_at(&f, r), &mut rng);
+        }
+        let offset_before = coll.groups()[0].offset;
+        assert!(offset_before >= 40.0, "the mis-modeled evader advances");
+        // A colluder gets banned: the bracket closes over the pull level
+        // the colluders were exerting, and the budget collapses under it.
+        adv.feedback(0, 10, true, &mut coll);
+        let learned = adv.model.drift_cap_ms;
+        assert!(
+            learned < 80.0,
+            "believed cap must drop below the model: {learned}"
+        );
+        assert!(adv.model.evasion_budget_ms() < adv.last_worst_pull);
+        // Subsequent rounds hold instead of feeding more colluders in.
+        for r in 5..=10 {
+            adv.on_round(&mut coll, &view_at(&f, r), &mut rng);
+        }
+        assert_eq!(coll.groups()[0].offset, offset_before, "throttle holds");
+        assert_eq!(adv.learner().unwrap().first_flags(), 1);
+        // A fixed-model twin keeps advancing at the same point in time.
+        let mut coll2 = Collusion::new();
+        let mut fixed = EvadingFrogBoil::new(10.0, DefenseModel::drift_cap(80.0));
+        fixed.inject(&[0, 1, 2, 3, 4, 5], &mut coll2, &view_at(&f, 0), &mut rng);
+        for r in 1..=10 {
+            fixed.on_round(&mut coll2, &view_at(&f, r), &mut rng);
+        }
+        assert!(coll2.groups()[0].offset > offset_before);
+    }
+
+    #[test]
     fn threshold_probe_lie_encodes_the_guess() {
         let f = fixture(16, 2);
         let mut rng = ChaCha12Rng::seed_from_u64(3);
@@ -798,6 +1036,7 @@ mod tests {
     fn labels_are_distinct_from_the_classic_families() {
         let labels = [
             EvadingFrogBoil::default().label(),
+            EvadingFrogBoil::learning(5.0, DefenseModel::default()).label(),
             ThresholdProbe::default().label(),
             SleeperCollusion::default().label(),
             crate::FrogBoiling::default().label(),

@@ -69,7 +69,9 @@ pub mod scenario;
 pub mod strategies;
 pub mod strategy;
 
-pub use adaptive::{DefenseModel, EvadingFrogBoil, SleeperCollusion, SleeperPhase, ThresholdProbe};
+pub use adaptive::{
+    CapLearner, DefenseModel, EvadingFrogBoil, SleeperCollusion, SleeperPhase, ThresholdProbe,
+};
 pub use collusion::{Collusion, Group};
 pub use scenario::Scenario;
 pub use strategies::{Deflation, FrogBoiling, Inflation, NetworkPartition, Oscillation, RandomLie};

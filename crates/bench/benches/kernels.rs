@@ -4,6 +4,7 @@
 //! zero-allocation contract is *asserted*, not assumed.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use vcoord::defense::testing::{allocations, ring_fill_samples, CountingAllocator};
@@ -11,7 +12,9 @@ use vcoord::defense::{Defense, DriftCap, ResidualOutlier, Update};
 use vcoord::metrics::EvalPlan;
 use vcoord::netsim::SeedStream;
 use vcoord::space::simplex::oracle::simplex_downhill_reference;
-use vcoord::space::{simplex_downhill_scratch, Coord, SimplexScratch, Space};
+use vcoord::space::{
+    dist_batch, dist_batch_scalar, simplex_downhill_scratch, Coord, SimplexScratch, Space,
+};
 use vcoord::topo::{KingLike, KingLikeConfig};
 use vcoord::vivaldi::node::vivaldi_update;
 
@@ -79,6 +82,31 @@ fn bench_simplex(c: &mut Criterion) {
         });
         group.bench_function("8D_quadratic_oracle", |b| {
             b.iter(|| simplex_downhill_reference(quadratic, black_box(&start), &opts))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lanes(c: &mut Criterion) {
+    // The batched SoA distance kernel against its scalar reference, at the
+    // shape the EvalPlan sweep feeds it (one anchor against a contiguous
+    // peer-row block). The pairs are bitwise-equal by construction (pinned
+    // in crates/space/tests/lane_properties.rs); the only question here is
+    // speed, so read the trimmed/median columns, not the raw mean.
+    let mut group = c.benchmark_group("dist_batch");
+    let mut rng = ChaCha12Rng::seed_from_u64(9);
+    for (dim, pairs) in [(2usize, 96usize), (8, 96)] {
+        let a: Vec<f64> = (0..dim).map(|_| rng.gen_range(-200.0..200.0)).collect();
+        let rows: Vec<f64> = (0..dim * pairs)
+            .map(|_| rng.gen_range(-200.0..200.0))
+            .collect();
+        let mut out = vec![0.0; pairs];
+        group.bench_function(format!("{dim}D_{pairs}pairs_dispatch"), |b| {
+            b.iter(|| dist_batch(black_box(&a), black_box(&rows), &mut out))
+        });
+        let mut out_scalar = vec![0.0; pairs];
+        group.bench_function(format!("{dim}D_{pairs}pairs_scalar"), |b| {
+            b.iter(|| dist_batch_scalar(black_box(&a), black_box(&rows), &mut out_scalar))
         });
     }
     group.finish();
@@ -216,6 +244,6 @@ fn bench_matrix_ops(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_vivaldi_update, bench_simplex, bench_eval_plan, bench_defense_inspect, bench_matrix_ops
+    targets = bench_vivaldi_update, bench_simplex, bench_lanes, bench_eval_plan, bench_defense_inspect, bench_matrix_ops
 }
 criterion_main!(benches);

@@ -12,18 +12,28 @@
 //!   --out DIR  output directory (default .)
 //! ```
 //!
-//! Emits one machine-readable JSON file holding (a) per-figure wall-clock
-//! seconds at the chosen scale — figures are timed one at a time (no
-//! `--jobs` overlap), though each figure still uses its internal
+//! Emits one machine-readable JSON file (schema 2) holding (a) per-figure
+//! wall-clock seconds at the chosen scale — figures are timed one at a time
+//! (no `--jobs` overlap), though each figure still uses its internal
 //! repetition/eval pools, so pin `VCOORD_THREADS` (recorded in the JSON as
-//! `"threads"`) when comparing numbers across machines — and (b)
-//! hot-kernel timings: the allocation-free Simplex kernel next to its
-//! retained allocating oracle (`vcoord_space::simplex::oracle`) and the
-//! snapshot-based `EvalPlan::avg_error`, timed in-process on the shared
-//! `vcoord_bench` fixtures (deliberately not scraping `cargo bench`, so
-//! the baseline needs no cargo at runtime). Committing a
-//! `BENCH_smoke.json` per perf-relevant PR gives the repo a perf
-//! trajectory that review can diff instead of trusting prose; CI
+//! `"threads"`) when comparing numbers across machines — (b) per-figure
+//! `evals_per_round` (mean/median Simplex objective evaluations per NPS
+//! positioning round, from snapshot deltas of the `vcoord::nps::evals`
+//! histogram; Vivaldi-only figures record no entry), (c) the
+//! strict-vs-warm **eval-collapse fixture** — one steady-state NPS run per
+//! positioning mode, same seed, reporting mean evals/round and the ratio
+//! the ≥2× warm-start claim is judged on — and (d) hot-kernel timings: the
+//! allocation-free Simplex kernel next to its retained allocating oracle
+//! (`vcoord_space::simplex::oracle`), the batched SoA distance kernel next
+//! to its scalar reference, and the snapshot-based `EvalPlan::avg_error`,
+//! timed in-process on the shared `vcoord_bench` fixtures (deliberately
+//! not scraping `cargo bench`, so the baseline needs no cargo at runtime).
+//! Kernel entries carry mean/median/trimmed-mean/p95/min/max: compare the
+//! robust columns (`trimmed_mean_s`, `p95_s`, `median_s`) across runs —
+//! the raw mean is kept for schema continuity but one preempted sample
+//! can invert it between paired kernels (see vendor/README.md).
+//! Committing a `BENCH_smoke.json` per perf-relevant PR gives the repo a
+//! perf trajectory that review can diff instead of trusting prose; CI
 //! regenerates and prints it on every run.
 
 use std::io::Write;
@@ -32,8 +42,12 @@ use std::time::{Duration, Instant};
 use vcoord::experiments::{registry, Scale};
 use vcoord::metrics::EvalPlan;
 use vcoord::netsim::SeedStream;
+use vcoord::nps::{evals, NpsConfig, NpsSim, PositioningMode};
 use vcoord::space::simplex::oracle::simplex_downhill_reference;
-use vcoord::space::{simplex_downhill_scratch, Coord, SimplexScratch, Space};
+use vcoord::space::{
+    dist_batch, dist_batch_scalar, simplex_downhill_scratch, Coord, ResumePolicy, SimplexScratch,
+    Space,
+};
 use vcoord::topo::{KingLike, KingLikeConfig};
 
 struct Args {
@@ -96,6 +110,11 @@ fn parse_args() -> Result<Args, String> {
 struct KernelStats {
     mean_s: f64,
     median_s: f64,
+    /// 20 % symmetrically trimmed mean — the robust headline number (one
+    /// preempted sample can invert the raw means of paired kernels).
+    trimmed_mean_s: f64,
+    /// 95th-percentile (nearest-rank) single-call time.
+    p95_s: f64,
     min_s: f64,
     max_s: f64,
     samples: usize,
@@ -113,9 +132,13 @@ fn time_kernel<F: FnMut()>(budget: Duration, mut f: F) -> KernelStats {
     }
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
     let n = samples.len();
+    let cut = n / 10; // 10 % per tail, like the criterion stub
+    let kept = &samples[cut..n - cut];
     KernelStats {
         mean_s: samples.iter().sum::<f64>() / n as f64,
         median_s: samples[n / 2],
+        trimmed_mean_s: kept.iter().sum::<f64>() / kept.len() as f64,
+        p95_s: samples[((n as f64 - 1.0) * 0.95).round() as usize],
         min_s: samples[0],
         max_s: samples[n - 1],
         samples: n,
@@ -198,6 +221,42 @@ fn main() {
         ));
     }
     {
+        // The batched SoA distance kernel against its scalar reference, at
+        // the EvalPlan working-set shape (96 sampled peers per node). Both
+        // are bit-identical by contract; the pair reads as the SIMD lane
+        // speedup.
+        let dim = 8;
+        let pairs = 96;
+        let seeds = SeedStream::new(5);
+        let mut rng = seeds.rng("bench/lanes");
+        let space = Space::Euclidean(dim);
+        let a = space.random_coord(150.0, &mut rng).vec;
+        let rows: Vec<f64> = (0..pairs)
+            .flat_map(|_| space.random_coord(150.0, &mut rng).vec)
+            .collect();
+        let mut out = vec![0.0; pairs];
+        // One call is too short to time; 64 calls per sample keeps the
+        // timer quantization honest on both paths.
+        kernels.push((
+            format!("dist_batch_{dim}d_{pairs}pairs_x64"),
+            time_kernel(budget, || {
+                for _ in 0..64 {
+                    dist_batch(std::hint::black_box(&a), &rows, &mut out);
+                }
+                std::hint::black_box(&mut out);
+            }),
+        ));
+        kernels.push((
+            format!("dist_batch_scalar_{dim}d_{pairs}pairs_x64"),
+            time_kernel(budget, || {
+                for _ in 0..64 {
+                    dist_batch_scalar(std::hint::black_box(&a), &rows, &mut out);
+                }
+                std::hint::black_box(&mut out);
+            }),
+        ));
+    }
+    {
         let seeds = SeedStream::new(3);
         let matrix =
             KingLike::new(KingLikeConfig::with_nodes(400)).generate(&mut seeds.rng("topo"));
@@ -217,10 +276,46 @@ fn main() {
     }
     for (name, s) in &kernels {
         println!(
-            "{name:<36} {:>9.3e} s median ({} samples, mean {:.3e})",
-            s.median_s, s.samples, s.mean_s
+            "{name:<40} {:>9.3e} s median ({} samples, trimmed {:.3e}, p95 {:.3e})",
+            s.median_s, s.samples, s.trimmed_mean_s, s.p95_s
         );
     }
+
+    // --- Eval-collapse fixture ------------------------------------------
+    // One steady-state NPS run per positioning mode, same seed and probe
+    // stream, measured after the join transient: the evals/round ratio is
+    // the evidence for the warm-start evaluation-count collapse. Runs
+    // before the figure sweep so its rounds never pollute the per-figure
+    // histogram deltas below.
+    let collapse_nodes = match args.scale_name {
+        "quick" => 200,
+        _ => 80,
+    };
+    let collapse = |mode: PositioningMode| -> f64 {
+        let seeds = SeedStream::new(args.seed);
+        let matrix = KingLike::new(KingLikeConfig::with_nodes(collapse_nodes))
+            .generate(&mut seeds.rng("topo"));
+        let config = NpsConfig {
+            landmarks: 12,
+            refs_per_node: 12,
+            space: Space::Euclidean(4),
+            positioning: mode,
+            ..NpsConfig::default()
+        };
+        let mut sim = NpsSim::new(matrix, config, &seeds);
+        sim.run_ms(1_200_000); // join transient
+        let warmed = sim.counters();
+        sim.run_ms(1_200_000);
+        let c = sim.counters();
+        (c.objective_evals - warmed.objective_evals) as f64
+            / (c.positionings - warmed.positionings).max(1) as f64
+    };
+    let collapse_strict = collapse(PositioningMode::Strict);
+    let collapse_warm = collapse(PositioningMode::Warm(ResumePolicy::default_warm()));
+    let collapse_ratio = collapse_strict / collapse_warm;
+    println!(
+        "nps_eval_collapse ({collapse_nodes} nodes)       strict {collapse_strict:.1} warm {collapse_warm:.1} evals/round ({collapse_ratio:.2}x)"
+    );
 
     // --- Figure wall-clocks ---------------------------------------------
     let ids: Vec<String> = if args.ids.is_empty() || args.ids.iter().any(|i| i == "all") {
@@ -232,13 +327,29 @@ fn main() {
         args.ids.clone()
     };
     let mut figures: Vec<(String, f64)> = Vec::new();
+    // Per-figure NPS positioning cost: (id, mean, median, rounds). Figures
+    // that never reposition an NPS node (the Vivaldi family) record no
+    // entry. The figures run one at a time, so each snapshot delta of the
+    // process-global histogram is attributable to exactly one figure.
+    let mut figure_evals: Vec<(String, f64, f64, u64)> = Vec::new();
     let sweep_start = Instant::now();
     for id in &ids {
         let start = Instant::now();
+        let evals_before = evals::snapshot();
         match registry::run_figure(id, &args.scale, args.seed) {
             Some(_) => {
                 let secs = start.elapsed().as_secs_f64();
-                println!("{id:<20} {secs:>8.2}s");
+                let d = evals::snapshot().delta_since(&evals_before);
+                if d.rounds() > 0 {
+                    println!(
+                        "{id:<20} {secs:>8.2}s  {:>7.1} evals/round over {} rounds",
+                        d.mean(),
+                        d.rounds()
+                    );
+                    figure_evals.push((id.clone(), d.mean(), d.median(), d.rounds()));
+                } else {
+                    println!("{id:<20} {secs:>8.2}s");
+                }
                 figures.push((id.clone(), secs));
             }
             None => {
@@ -253,7 +364,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"label\": \"{}\",\n", json_escape(&label)));
-    json.push_str("  \"schema\": 1,\n");
+    json.push_str("  \"schema\": 2,\n");
     json.push_str(&format!("  \"scale\": \"{}\",\n", args.scale_name));
     json.push_str(&format!("  \"seed\": {},\n", args.seed));
     json.push_str(&format!(
@@ -263,14 +374,28 @@ fn main() {
     json.push_str("  \"kernels\": {\n");
     for (i, (name, s)) in kernels.iter().enumerate() {
         json.push_str(&format!(
-            "    \"{}\": {{\"mean_s\": {:e}, \"median_s\": {:e}, \"min_s\": {:e}, \"max_s\": {:e}, \"samples\": {}}}{}\n",
+            "    \"{}\": {{\"mean_s\": {:e}, \"median_s\": {:e}, \"trimmed_mean_s\": {:e}, \"p95_s\": {:e}, \"min_s\": {:e}, \"max_s\": {:e}, \"samples\": {}}}{}\n",
             json_escape(name),
             s.mean_s,
             s.median_s,
+            s.trimmed_mean_s,
+            s.p95_s,
             s.min_s,
             s.max_s,
             s.samples,
             if i + 1 < kernels.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"nps_eval_collapse\": {{\"nodes\": {collapse_nodes}, \"strict_mean\": {collapse_strict:.3}, \"warm_mean\": {collapse_warm:.3}, \"ratio\": {collapse_ratio:.3}}},\n"
+    ));
+    json.push_str("  \"evals_per_round\": {\n");
+    for (i, (id, mean, median, rounds)) in figure_evals.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{\"mean\": {mean:.3}, \"median\": {median:.1}, \"rounds\": {rounds}}}{}\n",
+            json_escape(id),
+            if i + 1 < figure_evals.len() { "," } else { "" }
         ));
     }
     json.push_str("  },\n");

@@ -87,6 +87,26 @@ impl CoordSnapshot {
             self.heights[j],
         )
     }
+
+    /// Copy the rows and heights of `idxs` into contiguous buffers — the
+    /// gather step feeding [`Space::distance_flat_batch`].
+    fn gather(&self, idxs: &[usize], rows: &mut Vec<f64>, heights: &mut Vec<f64>) {
+        rows.clear();
+        heights.clear();
+        for &j in idxs {
+            rows.extend_from_slice(self.point(j));
+            heights.push(self.heights[j]);
+        }
+    }
+}
+
+/// Per-worker reusable buffers for the batched distance sweep: gathered
+/// peer rows/heights plus the distance lane output.
+#[derive(Debug, Default)]
+struct DistScratch {
+    rows: Vec<f64>,
+    heights: Vec<f64>,
+    dists: Vec<f64>,
 }
 
 /// A fixed evaluation plan: which peers each node's error is measured
@@ -173,24 +193,37 @@ impl EvalPlan {
         sum / peers.len() as f64
     }
 
-    /// [`EvalPlan::node_error`] evaluated against a flat snapshot — the same
-    /// floating-point operations in the same order, on cache-friendly rows.
+    /// [`EvalPlan::node_error`] evaluated against a flat snapshot: the
+    /// node's peers are gathered into the scratch's contiguous buffers and
+    /// all predicted distances come from one
+    /// [`Space::distance_flat_batch`] call. Each distance and the
+    /// peer-order error reduction are bit-identical to the per-pair path.
     fn node_error_snap(
         &self,
         k: usize,
         snap: &CoordSnapshot,
         space: &Space,
         matrix: &RttMatrix,
+        scratch: &mut DistScratch,
     ) -> f64 {
         let i = self.nodes[k];
         let peers = &self.peers[k];
         if peers.is_empty() {
             return 0.0;
         }
+        snap.gather(peers, &mut scratch.rows, &mut scratch.heights);
+        scratch.dists.clear();
+        scratch.dists.resize(peers.len(), 0.0);
+        space.distance_flat_batch(
+            snap.point(i),
+            snap.heights[i],
+            &scratch.rows,
+            &scratch.heights,
+            &mut scratch.dists,
+        );
         let mut sum = 0.0;
-        for &j in peers {
+        for (&j, &predicted) in peers.iter().zip(scratch.dists.iter()) {
             let actual = matrix.rtt(i, j);
-            let predicted = snap.distance(space, i, j);
             sum += relative_error(actual, predicted).min(CLAMP);
         }
         sum / peers.len() as f64
@@ -269,8 +302,9 @@ impl EvalPlan {
         let mut out = vec![0.0; n];
         let workers = threads.max(1).min(n.max(1));
         if workers == 1 || n < Self::PARALLEL_THRESHOLD {
+            let mut scratch = DistScratch::default();
             for (k, e) in out.iter_mut().enumerate() {
-                *e = self.node_error_snap(k, &snap, space, matrix);
+                *e = self.node_error_snap(k, &snap, space, matrix, &mut scratch);
             }
             return out;
         }
@@ -279,8 +313,15 @@ impl EvalPlan {
             for (c, slot) in out.chunks_mut(chunk).enumerate() {
                 let snap = &snap;
                 scope.spawn(move || {
+                    let mut scratch = DistScratch::default();
                     for (off, e) in slot.iter_mut().enumerate() {
-                        *e = self.node_error_snap(c * chunk + off, snap, space, matrix);
+                        *e = self.node_error_snap(
+                            c * chunk + off,
+                            snap,
+                            space,
+                            matrix,
+                            &mut scratch,
+                        );
                     }
                 });
             }

@@ -1,0 +1,173 @@
+//! Process-global objective-evaluation accounting.
+//!
+//! Every successful NPS positioning round records how many Simplex objective
+//! evaluations it performed (both fits combined) into a lock-free global
+//! histogram. The bench harness snapshots the histogram around each figure
+//! run and reports the delta as `evals_per_round` — the before/after
+//! evidence for the warm-start evaluation-count collapse.
+//!
+//! Only ordinary repositioning rounds are recorded; the start-up landmark
+//! embedding is construction-time work, identical in every mode, and would
+//! dilute the per-round statistic.
+//!
+//! The counters are process-global `AtomicU64`s (relaxed ordering: each
+//! counter is an independent monotone tally, no cross-counter invariant), so
+//! parallel figure workers all land in the same histogram; callers that need
+//! a per-run view take a [`snapshot`] before and after and subtract.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Histogram bucket width (objective evaluations per round).
+const BUCKET_WIDTH: usize = 25;
+/// Bucket count; the last bucket is open-ended. With width 25 this covers
+/// rounds up to 1 575 evals exactly — far beyond the ~2 × (cap = 150)
+/// worst case of the default Simplex options.
+const BUCKETS: usize = 64;
+
+static TOTAL_EVALS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_ROUNDS: AtomicU64 = AtomicU64::new(0);
+// A `const` item (not inline-const, which needs a newer MSRV) so the array
+// repeat expression is allowed despite `AtomicU64` not being `Copy`.
+#[allow(clippy::declare_interior_mutable_const)]
+const HIST_ZERO: AtomicU64 = AtomicU64::new(0);
+static HIST: [AtomicU64; BUCKETS] = [HIST_ZERO; BUCKETS];
+
+/// Record one positioning round that performed `evals` objective
+/// evaluations.
+pub fn record_round(evals: usize) {
+    TOTAL_EVALS.fetch_add(evals as u64, Ordering::Relaxed);
+    TOTAL_ROUNDS.fetch_add(1, Ordering::Relaxed);
+    let b = (evals / BUCKET_WIDTH).min(BUCKETS - 1);
+    HIST[b].fetch_add(1, Ordering::Relaxed);
+}
+
+/// A point-in-time copy of the global evaluation histogram.
+///
+/// Subtract two snapshots ([`EvalSnapshot::delta_since`]) to get the rounds
+/// recorded in between, then read [`EvalSnapshot::mean`] /
+/// [`EvalSnapshot::median`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalSnapshot {
+    total_evals: u64,
+    total_rounds: u64,
+    hist: [u64; BUCKETS],
+}
+
+/// Capture the current global histogram.
+pub fn snapshot() -> EvalSnapshot {
+    let mut hist = [0u64; BUCKETS];
+    for (h, a) in hist.iter_mut().zip(HIST.iter()) {
+        *h = a.load(Ordering::Relaxed);
+    }
+    EvalSnapshot {
+        total_evals: TOTAL_EVALS.load(Ordering::Relaxed),
+        total_rounds: TOTAL_ROUNDS.load(Ordering::Relaxed),
+        hist,
+    }
+}
+
+impl EvalSnapshot {
+    /// The rounds recorded between `earlier` and `self`.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is not actually earlier (the counters are
+    /// monotone, so a negative delta means the snapshots were swapped).
+    pub fn delta_since(&self, earlier: &EvalSnapshot) -> EvalSnapshot {
+        let mut hist = [0u64; BUCKETS];
+        for (i, h) in hist.iter_mut().enumerate() {
+            *h = self.hist[i]
+                .checked_sub(earlier.hist[i])
+                .expect("snapshots out of order");
+        }
+        EvalSnapshot {
+            total_evals: self
+                .total_evals
+                .checked_sub(earlier.total_evals)
+                .expect("snapshots out of order"),
+            total_rounds: self
+                .total_rounds
+                .checked_sub(earlier.total_rounds)
+                .expect("snapshots out of order"),
+            hist,
+        }
+    }
+
+    /// Positioning rounds covered by this snapshot (or delta).
+    pub fn rounds(&self) -> u64 {
+        self.total_rounds
+    }
+
+    /// Total objective evaluations covered.
+    pub fn evals(&self) -> u64 {
+        self.total_evals
+    }
+
+    /// Exact mean objective evaluations per round (`NaN` with no rounds).
+    pub fn mean(&self) -> f64 {
+        if self.total_rounds == 0 {
+            return f64::NAN;
+        }
+        self.total_evals as f64 / self.total_rounds as f64
+    }
+
+    /// Approximate median evaluations per round: the midpoint of the
+    /// histogram bucket containing the median round (`NaN` with no rounds).
+    /// Resolution is the bucket width (25 evals).
+    pub fn median(&self) -> f64 {
+        if self.total_rounds == 0 {
+            return f64::NAN;
+        }
+        let target = self.total_rounds.div_ceil(2);
+        let mut seen = 0u64;
+        for (i, &count) in self.hist.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return (i * BUCKET_WIDTH) as f64 + BUCKET_WIDTH as f64 / 2.0;
+            }
+        }
+        unreachable!("histogram counts sum to total_rounds");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The histogram is process-global and other tests in this binary drive
+    // whole simulations through it, so every assertion here works on
+    // snapshot *deltas* over locally recorded rounds.
+
+    #[test]
+    fn deltas_track_recorded_rounds() {
+        let before = snapshot();
+        record_round(10);
+        record_round(30);
+        record_round(200);
+        let d = snapshot().delta_since(&before);
+        assert_eq!(d.rounds(), 3);
+        assert_eq!(d.evals(), 240);
+        assert!((d.mean() - 80.0).abs() < 1e-12);
+        // Median round is the 30-eval one: bucket [25, 50), midpoint 37.5.
+        assert_eq!(d.median(), 37.5);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_huge_rounds() {
+        let before = snapshot();
+        record_round(1_000_000);
+        let d = snapshot().delta_since(&before);
+        assert_eq!(d.rounds(), 1);
+        assert_eq!(d.evals(), 1_000_000);
+        // Median lands in the open-ended last bucket's nominal midpoint.
+        assert_eq!(d.median(), (63 * 25) as f64 + 12.5);
+    }
+
+    #[test]
+    fn empty_delta_is_nan() {
+        let s = snapshot();
+        let d = s.delta_since(&s);
+        assert_eq!(d.rounds(), 0);
+        assert!(d.mean().is_nan());
+        assert!(d.median().is_nan());
+    }
+}

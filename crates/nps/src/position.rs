@@ -2,7 +2,10 @@
 //! functions (directly testable against §3.1 of the paper).
 
 use serde::{Deserialize, Serialize};
-use vcoord_space::{simplex_downhill_scratch, Coord, SimplexOptions, SimplexScratch, Space};
+use vcoord_space::{
+    simplex_downhill_resume, simplex_downhill_scratch, Coord, ResumePolicy, SimplexOptions,
+    SimplexScratch, SimplexSeed, Space,
+};
 
 /// The latency-fit objective minimized by Simplex Downhill.
 ///
@@ -97,38 +100,84 @@ pub struct PositionOutcome {
     /// Reference point the security filter eliminated, if any (at most one
     /// per positioning — load-bearing for the paper's attack analysis).
     pub filtered: Option<usize>,
+    /// Simplex objective evaluations this positioning actually performed
+    /// (both fits combined; a skipped duplicate fit contributes zero).
+    pub evals: usize,
+}
+
+/// Reusable buffers for one Simplex fit: the kernel's working state, the
+/// objective's evaluation coordinate, the gathered SoA reference rows
+/// feeding [`Space::distance_flat_batch`], and the initial-vertex term
+/// cache shared between a positioning's two cold fits.
+#[derive(Debug, Clone)]
+struct FitScratch {
+    simplex: SimplexScratch,
+    probe: Coord,
+    /// Reference coordinates of the fitted samples, `dim`-strided, in
+    /// `idxs` order.
+    rows: Vec<f64>,
+    /// Reference heights, parallel to `rows`' logical rows.
+    heights: Vec<f64>,
+    /// Distance lane output, one slot per fitted sample.
+    dists: Vec<f64>,
+    /// Cached `term * weight` contributions of the initial simplex
+    /// vertices: entry `v * cache_stride + k` is sample `k`'s term at
+    /// initial vertex `v`. Filled by a positioning's provisional fit and
+    /// reused by its final fit (see [`position_node_scratch`]).
+    cache: Vec<f64>,
+    /// Samples-per-vertex stride of `cache` (the full sample count of the
+    /// positioning that filled it).
+    cache_stride: usize,
+}
+
+impl Default for FitScratch {
+    fn default() -> FitScratch {
+        FitScratch {
+            simplex: SimplexScratch::new(),
+            probe: Coord::origin(0),
+            rows: Vec::new(),
+            heights: Vec::new(),
+            dists: Vec::new(),
+            cache: Vec::new(),
+            cache_stride: 0,
+        }
+    }
+}
+
+/// How one fit interacts with the initial-vertex term cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CacheMode {
+    /// No caching (warm-started fits; standalone fits).
+    Off,
+    /// Record each sample's `term * weight` for the first `n + 1`
+    /// (initial-vertex) objective evaluations.
+    Fill,
+    /// Serve the first `n + 1` evaluations by re-summing the recorded
+    /// per-sample terms over this fit's index set — bit-identical to
+    /// recomputing them, because the initial vertices of two cold fits
+    /// from the same start are the same points and each term only depends
+    /// on its own sample.
+    Use,
 }
 
 /// Reusable buffers for [`position_node_scratch`]: the Simplex working
-/// state, the objective's evaluation coordinate, and the usable/surviving
-/// sample index sets.
+/// state, the objective's evaluation coordinate, the SoA gather/lane
+/// buffers, and the usable/surviving sample index sets.
 ///
 /// One long-lived scratch per simulation world makes every positioning
 /// round after the first run without heap allocation on the Simplex hot
 /// path (only the returned [`PositionOutcome`] is allocated).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PositionScratch {
-    simplex: SimplexScratch,
-    probe: Coord,
+    fit: FitScratch,
     usable: Vec<usize>,
     surviving: Vec<usize>,
-}
-
-impl Default for PositionScratch {
-    fn default() -> PositionScratch {
-        PositionScratch::new()
-    }
 }
 
 impl PositionScratch {
     /// A new, empty scratch; buffers grow on first use.
     pub fn new() -> PositionScratch {
-        PositionScratch {
-            simplex: SimplexScratch::new(),
-            probe: Coord::origin(0),
-            usable: Vec::new(),
-            surviving: Vec::new(),
-        }
+        PositionScratch::default()
     }
 }
 
@@ -170,8 +219,14 @@ pub fn position_node(
 /// Run one Simplex fit over `samples[idxs]`, minimizing `objective_kind`.
 ///
 /// Allocation-free apart from the returned coordinate: the Simplex state
-/// lives in `simplex` and the objective evaluates through the reusable
-/// `probe` coordinate instead of materializing a fresh [`Coord`] per call.
+/// lives in the scratch and the objective evaluates through the reusable
+/// `probe` coordinate. All reference distances for one evaluation come from
+/// a single [`Space::distance_flat_batch`] call over rows gathered once per
+/// fit — bit-identical to the per-sample `space.distance` loop it replaces.
+/// `seed` warm-starts the kernel via [`simplex_downhill_resume`];
+/// `cache_mode` shares initial-vertex terms between a positioning's two
+/// cold fits (see [`CacheMode`]). Returns the fitted coordinate, the final
+/// objective value, and the number of objective evaluations performed.
 #[allow(clippy::too_many_arguments)]
 fn fit_samples(
     space: &Space,
@@ -180,32 +235,79 @@ fn fit_samples(
     start: &Coord,
     opts: &SimplexOptions,
     objective_kind: FitObjective,
-    simplex: &mut SimplexScratch,
-    probe: &mut Coord,
-) -> (Coord, f64) {
+    fit: &mut FitScratch,
+    cache_mode: CacheMode,
+    seed: Option<(&ResumePolicy, &mut SimplexSeed)>,
+) -> (Coord, f64, usize) {
+    let FitScratch {
+        simplex,
+        probe,
+        rows,
+        heights,
+        dists,
+        cache,
+        cache_stride,
+    } = fit;
+    let dim = start.vec.len();
     probe.vec.clear();
-    probe.vec.resize(start.vec.len(), 0.0);
+    probe.vec.resize(dim, 0.0);
     probe.height = 0.0;
+    // Gather the fitted references once, SoA, in `idxs` order.
+    rows.clear();
+    heights.clear();
+    for &k in idxs {
+        rows.extend_from_slice(&samples[k].coord.vec);
+        heights.push(samples[k].coord.height);
+    }
+    dists.clear();
+    dists.resize(idxs.len(), 0.0);
+    if cache_mode == CacheMode::Fill {
+        cache.clear();
+        cache.resize((dim + 1) * samples.len(), 0.0);
+        *cache_stride = samples.len();
+    }
+    let n_init = dim + 1;
+    let mut eval_idx = 0usize;
     let objective = |x: &[f64]| -> f64 {
+        let e = eval_idx;
+        eval_idx += 1;
+        if cache_mode == CacheMode::Use && e < n_init {
+            // The first `n + 1` evaluations are the initial vertices, which
+            // are the same points the fill fit evaluated; re-summing its
+            // per-sample terms in `idxs` order is bit-identical to
+            // recomputing them.
+            return idxs.iter().map(|&k| cache[e * *cache_stride + k]).sum();
+        }
         probe.vec.copy_from_slice(x);
+        space.distance_flat_batch(&probe.vec, probe.height, rows, heights, dists);
         idxs.iter()
-            .map(|&k| {
+            .zip(dists.iter())
+            .map(|(&k, &d)| {
                 let s = &samples[k];
-                let diff = space.distance(probe, &s.coord) - s.rtt;
+                let diff = d - s.rtt;
                 let term = match objective_kind {
                     FitObjective::SquaredAbsolute => diff * diff,
                     FitObjective::SquaredRelative => (diff / s.rtt) * (diff / s.rtt),
                 };
                 // Defense dampening: a trailing ×1.0 for full-strength
                 // samples, so the unweighted fit is preserved bit for bit.
-                term * s.weight
+                let weighted = term * s.weight;
+                if cache_mode == CacheMode::Fill && e < n_init {
+                    cache[e * *cache_stride + k] = weighted;
+                }
+                weighted
             })
             .sum()
     };
-    let result = simplex_downhill_scratch(objective, &start.vec, opts, simplex);
+    let result = match seed {
+        Some((policy, seed)) => {
+            simplex_downhill_resume(objective, &start.vec, opts, policy, seed, simplex)
+        }
+        None => simplex_downhill_scratch(objective, &start.vec, opts, simplex),
+    };
     let mut coord = Coord::from_vec(result.point);
     coord.sanitize();
-    (coord, result.value)
+    (coord, result.value, result.evals)
 }
 
 /// [`position_node`] with an explicit fit objective and an optional
@@ -263,9 +365,68 @@ pub fn position_node_scratch(
     objective_kind: FitObjective,
     scratch: &mut PositionScratch,
 ) -> Option<PositionOutcome> {
+    position_node_impl(
+        space,
+        samples,
+        start,
+        incumbent,
+        security,
+        opts,
+        objective_kind,
+        None,
+        scratch,
+    )
+}
+
+/// [`position_node_scratch`] with a per-node warm-start seed.
+///
+/// With a cold-only `policy` ([`ResumePolicy::always_cold`]) this is
+/// bitwise-identical to [`position_node_scratch`]. With a warm policy the
+/// *final* fit resumes from `seed` — the converged simplex of this node's
+/// previous positioning — typically collapsing the per-round evaluation
+/// count; the strict-mode optimizations (duplicate-fit skip and
+/// initial-vertex term cache) are disabled because warm initial vertices
+/// differ between fits.
+#[allow(clippy::too_many_arguments)]
+pub fn position_node_seeded(
+    space: &Space,
+    samples: &[RefSample],
+    start: &Coord,
+    incumbent: Option<&Coord>,
+    security: SecurityPolicy,
+    opts: &SimplexOptions,
+    objective_kind: FitObjective,
+    policy: &ResumePolicy,
+    seed: &mut SimplexSeed,
+    scratch: &mut PositionScratch,
+) -> Option<PositionOutcome> {
+    position_node_impl(
+        space,
+        samples,
+        start,
+        incumbent,
+        security,
+        opts,
+        objective_kind,
+        Some((policy, seed)),
+        scratch,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn position_node_impl(
+    space: &Space,
+    samples: &[RefSample],
+    start: &Coord,
+    incumbent: Option<&Coord>,
+    security: SecurityPolicy,
+    opts: &SimplexOptions,
+    objective_kind: FitObjective,
+    seed: Option<(&ResumePolicy, &mut SimplexSeed)>,
+    scratch: &mut PositionScratch,
+) -> Option<PositionOutcome> {
     let PositionScratch {
-        simplex,
-        probe,
+        fit,
         usable,
         surviving,
     } = scratch;
@@ -281,23 +442,40 @@ pub fn position_node_scratch(
         );
         return None;
     }
+    let warm = seed
+        .as_ref()
+        .is_some_and(|(policy, _)| !policy.is_cold_only());
+    let mut evals = 0usize;
 
     // Reference frame for outlier rejection: the incumbent when available,
-    // otherwise a provisional fit over all samples.
+    // otherwise a provisional fit over all samples. A cold provisional fit
+    // fills the initial-vertex term cache and is remembered so the final
+    // fit can be skipped outright when it would be an exact repeat.
+    let mut provisional: Option<(Coord, f64)> = None;
     let frame: Coord = match incumbent {
         Some(c) => c.clone(),
         None => {
-            fit_samples(
+            let mode = if warm {
+                CacheMode::Off
+            } else {
+                CacheMode::Fill
+            };
+            let (c, v, e) = fit_samples(
                 space,
                 samples,
                 usable,
                 start,
                 opts,
                 objective_kind,
-                simplex,
-                probe,
-            )
-            .0
+                fit,
+                mode,
+                None,
+            );
+            evals += e;
+            if !warm {
+                provisional = Some((c.clone(), v));
+            }
+            c
         }
     };
     let fit_errors: Vec<f64> = samples
@@ -323,22 +501,39 @@ pub fn position_node_scratch(
     } else {
         &*usable
     };
-    let (coord, objective_value) = fit_samples(
-        space,
-        samples,
-        fit_over,
-        start,
-        opts,
-        objective_kind,
-        simplex,
-        probe,
-    );
+    // `surviving` preserves `usable`'s order, so equal length means the
+    // final fit would repeat the provisional fit bit for bit (same samples,
+    // start, options, cold kernel): reuse its result instead.
+    let dup_skip = provisional.is_some() && fit_over.len() == usable.len();
+    let (coord, objective_value) = if dup_skip {
+        provisional.expect("dup_skip implies a provisional fit")
+    } else {
+        let mode = if provisional.is_some() {
+            CacheMode::Use
+        } else {
+            CacheMode::Off
+        };
+        let (c, v, e) = fit_samples(
+            space,
+            samples,
+            fit_over,
+            start,
+            opts,
+            objective_kind,
+            fit,
+            mode,
+            seed,
+        );
+        evals += e;
+        (c, v)
+    };
 
     Some(PositionOutcome {
         coord,
         objective: objective_value,
         fit_errors,
         filtered,
+        evals,
     })
 }
 

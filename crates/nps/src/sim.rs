@@ -18,15 +18,18 @@
 use crate::adversary::{AttackStrategy, CoordView, Lie, Probe, Protocol, Scenario};
 use crate::config::NpsConfig;
 use crate::defense::{Defense, DefenseStats, DefenseStrategy, Update as DefenseUpdate, Verdict};
+use crate::evals;
 use crate::layers::{assign_layers, select_landmarks};
 use crate::membership::Membership;
-use crate::position::{position_node_scratch, PositionScratch, RefSample, SecurityPolicy};
+use crate::position::{
+    position_node_scratch, position_node_seeded, PositionScratch, RefSample, SecurityPolicy,
+};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
 use vcoord_metrics::FilterLedger;
 use vcoord_netsim::{Engine, NodeId, Scheduler, SeedStream, World};
-use vcoord_space::{Coord, Space};
+use vcoord_space::{Coord, SimplexSeed, Space};
 use vcoord_topo::RttMatrix;
 
 const TAG_REPOSITION: u64 = 1;
@@ -50,6 +53,9 @@ pub struct NpsCounters {
     pub lies_served: u64,
     /// Negative adversarial delays clamped (threat-model violations).
     pub delay_clamped: u64,
+    /// Simplex objective evaluations across all positioning rounds
+    /// (landmark embedding excluded — it is identical in every mode).
+    pub objective_evals: u64,
 }
 
 struct NpsWorld {
@@ -72,6 +78,13 @@ struct NpsWorld {
     adv_rng: ChaCha12Rng,
     /// Reusable Simplex/positioning buffers (allocation-free hot path).
     pos_scratch: PositionScratch,
+    /// Per-node converged simplex carried between rounds. Only consulted
+    /// under [`PositioningMode::Warm`]; under `Strict` the cold-only resume
+    /// policy ignores it entirely, keeping strict runs bit-identical to the
+    /// pre-warm-start engine.
+    ///
+    /// [`PositioningMode::Warm`]: crate::config::PositioningMode::Warm
+    warm_seeds: Vec<SimplexSeed>,
     /// Recycled gathering buffer for one round's reference samples.
     samples_buf: Vec<RefSample>,
     /// Recycled copy of the repositioning node's reference set (decouples
@@ -272,12 +285,14 @@ impl NpsWorld {
         self.drain_reputation_events();
 
         let mut scratch = std::mem::take(&mut self.pos_scratch);
+        let mut seed = std::mem::take(&mut self.warm_seeds[node]);
+        let policy = self.config.positioning.policy();
         let incumbent = if self.positioned[node] {
             Some(&self.coords[node])
         } else {
             None
         };
-        let outcome = position_node_scratch(
+        let outcome = position_node_seeded(
             &self.config.space,
             &samples,
             &self.coords[node],
@@ -285,14 +300,19 @@ impl NpsWorld {
             self.security(),
             &self.config.simplex,
             self.config.objective,
+            &policy,
+            &mut seed,
             &mut scratch,
         );
         self.pos_scratch = scratch;
+        self.warm_seeds[node] = seed;
         self.samples_buf = samples;
         let Some(outcome) = outcome else {
             self.counters.skipped_rounds += 1;
             return;
         };
+        self.counters.objective_evals += outcome.evals as u64;
+        evals::record_round(outcome.evals);
 
         if self.positioned[node] {
             // Damped incremental refinement (see NpsConfig::update_damping).
@@ -443,6 +463,7 @@ impl NpsSim {
             probe_rng: seeds.rng("nps/probe"),
             adv_rng: seeds.rng("nps/adversary"),
             pos_scratch: lm_scratch,
+            warm_seeds: vec![SimplexSeed::default(); n],
             samples_buf: lm_samples,
             refs_buf: Vec::new(),
             rep_banned: Vec::new(),
@@ -685,6 +706,67 @@ mod tests {
         let err = plan.avg_error(sim.coords(), sim.space(), sim.matrix());
         assert!(err < 0.8, "converged NPS error too high: {err}");
         assert!(sim.counters().positionings > 100);
+    }
+
+    #[test]
+    fn warm_mode_halves_objective_evals_and_still_converges() {
+        let run = |mode: crate::config::PositioningMode| {
+            let seeds = SeedStream::new(9);
+            let matrix =
+                KingLike::new(KingLikeConfig::with_nodes(80)).generate(&mut seeds.rng("topo"));
+            let config = NpsConfig {
+                landmarks: 12,
+                refs_per_node: 12,
+                space: Space::Euclidean(4),
+                positioning: mode,
+                ..NpsConfig::default()
+            };
+            let mut sim = NpsSim::new(matrix, config, &seeds);
+            // Let the join transient pass: during it every node's early
+            // fits are dominated by large coordinate moves, which no warm
+            // start can skip. The collapse claim is about the steady
+            // repositioning regime.
+            sim.run_ms(1_200_000);
+            let warmed = sim.counters();
+            sim.run_ms(1_200_000);
+            let c = sim.counters();
+            let plan = EvalPlan::new(&sim.eval_nodes(), &mut SeedStream::new(7).rng("plan"));
+            let err = plan.avg_error(sim.coords(), sim.space(), sim.matrix());
+            (
+                c.objective_evals - warmed.objective_evals,
+                c.positionings - warmed.positionings,
+                err,
+            )
+        };
+        let (strict_evals, strict_rounds, strict_err) = run(crate::config::PositioningMode::Strict);
+        let (warm_evals, warm_rounds, warm_err) = run(crate::config::PositioningMode::Warm(
+            vcoord_space::ResumePolicy::default_warm(),
+        ));
+        // Identical round structure (same seeds, same probe stream)...
+        assert_eq!(warm_rounds, strict_rounds);
+        // ...at less than half the objective evaluations (the tentpole's
+        // ≥ 2× collapse, measured end to end over whole steady-state
+        // rounds, forced cold restarts included)...
+        assert!(
+            warm_evals * 2 <= strict_evals,
+            "warm {warm_evals} vs strict {strict_evals} evals over {strict_rounds} rounds"
+        );
+        // ...without giving up embedding quality.
+        assert!(
+            warm_err < strict_err + 0.05,
+            "warm error {warm_err} vs strict {strict_err}"
+        );
+    }
+
+    #[test]
+    fn strict_counters_record_objective_evals() {
+        let mut sim = small_sim(60, 11);
+        sim.run_ms(300_000);
+        let c = sim.counters();
+        assert!(c.objective_evals > 0);
+        // Every positioning performs at least dim + 2 evaluations (the
+        // initial simplex plus one trial) even with the duplicate-fit skip.
+        assert!(c.objective_evals >= c.positionings * 6);
     }
 
     #[test]

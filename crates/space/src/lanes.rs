@@ -1,0 +1,149 @@
+//! Batched SoA Euclidean distance kernels.
+//!
+//! [`dist_batch`] computes the distance from one point `a` to many points
+//! stored as contiguous dimension-strided rows (`rows[p*dim..(p+1)*dim]` is
+//! point `p`), writing one distance per entry of `out`. It is the multi-pair
+//! lane variant behind [`Space::distance_flat_batch`] and is required to be
+//! **bit-identical** to calling [`crate::vector::dist`] once per pair:
+//!
+//! * the scalar path ([`dist_batch_scalar`]) performs, for each pair, the
+//!   exact per-dimension sequence `acc += (a[i] - b[i])²` followed by one
+//!   `sqrt` — the same operations in the same order as `vector::dist`, and
+//!   written so LLVM can auto-vectorize *across pairs* without reassociating
+//!   any per-pair sum;
+//! * the explicit SIMD path (SSE2, gated on
+//!   `#[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]`) packs
+//!   two *pairs* per 128-bit register — vertical vectorization — so each
+//!   lane still executes the scalar program's adds, multiplies, and square
+//!   root in the identical order. IEEE-754 add/sub/mul/sqrt are correctly
+//!   rounded per lane, so results match the scalar path bit for bit
+//!   (property-tested in `tests/lane_properties.rs` across alignments and
+//!   remainder lengths).
+//!
+//! Horizontal vectorization (summing one pair's dimensions in SIMD lanes)
+//! would reassociate the per-pair sum and break bit-identity; it is
+//! deliberately not used.
+//!
+//! [`Space::distance_flat_batch`]: crate::Space::distance_flat_batch
+
+/// Scalar reference kernel: `out[p] = ||a - rows[p]||₂`.
+///
+/// # Panics
+/// Panics if `rows.len() != a.len() * out.len()` (debug and release).
+pub fn dist_batch_scalar(a: &[f64], rows: &[f64], out: &mut [f64]) {
+    let dim = a.len();
+    assert_eq!(rows.len(), dim * out.len(), "rows/out shape mismatch");
+    for (p, o) in out.iter_mut().enumerate() {
+        let row = &rows[p * dim..(p + 1) * dim];
+        let mut acc = 0.0f64;
+        for (x, y) in a.iter().zip(row) {
+            let d = x - y;
+            acc += d * d;
+        }
+        *o = acc.sqrt();
+    }
+}
+
+/// SSE2 kernel: two pairs per 128-bit lane pair, scalar tail for the odd
+/// remainder. Bit-identical to [`dist_batch_scalar`] (see module docs).
+#[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
+fn dist_batch_sse2(a: &[f64], rows: &[f64], out: &mut [f64]) {
+    use core::arch::x86_64::{
+        _mm_add_pd, _mm_mul_pd, _mm_set1_pd, _mm_set_pd, _mm_setzero_pd, _mm_sqrt_pd,
+        _mm_storeu_pd, _mm_sub_pd,
+    };
+    let dim = a.len();
+    let pairs = out.len();
+    assert_eq!(rows.len(), dim * pairs, "rows/out shape mismatch");
+    let mut p = 0;
+    // SAFETY: SSE2 is statically enabled by the cfg gate on this function,
+    // and every index below is in bounds: `p + 1 < pairs` inside the loop,
+    // so `r1 + i < pairs * dim == rows.len()` and the 2-wide store at
+    // `out[p]` fits.
+    unsafe {
+        while p + 2 <= pairs {
+            let r0 = p * dim;
+            let r1 = r0 + dim;
+            let mut acc = _mm_setzero_pd();
+            for i in 0..dim {
+                let av = _mm_set1_pd(*a.get_unchecked(i));
+                let bv = _mm_set_pd(*rows.get_unchecked(r1 + i), *rows.get_unchecked(r0 + i));
+                let d = _mm_sub_pd(av, bv);
+                acc = _mm_add_pd(acc, _mm_mul_pd(d, d));
+            }
+            _mm_storeu_pd(out.as_mut_ptr().add(p), _mm_sqrt_pd(acc));
+            p += 2;
+        }
+    }
+    if p < pairs {
+        dist_batch_scalar(a, &rows[p * dim..], &mut out[p..]);
+    }
+}
+
+/// Batched Euclidean distance: `out[p] = ||a - rows[p]||₂` for every `p`.
+///
+/// Dispatches to the explicit SIMD kernel when the target supports it and
+/// to [`dist_batch_scalar`] otherwise; both produce bit-identical results.
+///
+/// # Panics
+/// Panics if `rows.len() != a.len() * out.len()`.
+#[inline]
+pub fn dist_batch(a: &[f64], rows: &[f64], out: &mut [f64]) {
+    #[cfg(all(target_arch = "x86_64", target_feature = "sse2"))]
+    {
+        dist_batch_sse2(a, rows, out)
+    }
+    #[cfg(not(all(target_arch = "x86_64", target_feature = "sse2")))]
+    {
+        dist_batch_scalar(a, rows, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector;
+
+    fn pseudo(seed: &mut u64) -> f64 {
+        // xorshift64*, mapped to [-100, 100): deterministic and dependency-free.
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        let m = seed.wrapping_mul(0x2545F4914F6CDD1D);
+        (m >> 11) as f64 / (1u64 << 53) as f64 * 200.0 - 100.0
+    }
+
+    #[test]
+    fn batch_matches_per_pair_dist_bitwise() {
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        for dim in 1..=9 {
+            for pairs in 0..=7 {
+                let a: Vec<f64> = (0..dim).map(|_| pseudo(&mut seed)).collect();
+                let rows: Vec<f64> = (0..dim * pairs).map(|_| pseudo(&mut seed)).collect();
+                let mut out = vec![0.0; pairs];
+                dist_batch(&a, &rows, &mut out);
+                let mut out_scalar = vec![0.0; pairs];
+                dist_batch_scalar(&a, &rows, &mut out_scalar);
+                for p in 0..pairs {
+                    let want = vector::dist(&a, &rows[p * dim..(p + 1) * dim]);
+                    assert_eq!(out[p].to_bits(), want.to_bits(), "dim={dim} p={p}");
+                    assert_eq!(out_scalar[p].to_bits(), want.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_pairs_is_a_no_op() {
+        let mut out: Vec<f64> = vec![];
+        dist_batch(&[1.0, 2.0], &[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let mut out = vec![0.0; 2];
+        dist_batch(&[1.0, 2.0], &[1.0, 2.0, 3.0], &mut out);
+    }
+}

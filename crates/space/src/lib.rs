@@ -24,12 +24,15 @@
 //! experiment parameter anyway.
 
 pub mod coord;
+pub mod lanes;
 pub mod simplex;
 pub mod space;
 pub mod vector;
 
 pub use coord::{Coord, Displacement};
+pub use lanes::{dist_batch, dist_batch_scalar};
 pub use simplex::{
-    simplex_downhill, simplex_downhill_scratch, SimplexOptions, SimplexResult, SimplexScratch,
+    simplex_downhill, simplex_downhill_resume, simplex_downhill_scratch, ResumePolicy,
+    SimplexOptions, SimplexResult, SimplexScratch, SimplexSeed,
 };
 pub use space::Space;

@@ -1,0 +1,86 @@
+//! Property tests pinning the batched SoA distance kernel to its scalar
+//! reference: for every dimension, pair count, and slice alignment the
+//! dispatched kernel ([`dist_batch`]) must match [`dist_batch_scalar`] and
+//! the per-pair [`vector::dist`] oracle bit for bit. This is what licenses
+//! routing the figure pipeline's distance reductions through the SIMD path
+//! while keeping the golden CSVs byte-identical.
+//!
+//! [`dist_batch`]: vcoord_space::dist_batch
+//! [`dist_batch_scalar`]: vcoord_space::dist_batch_scalar
+//! [`vector::dist`]: vcoord_space::vector::dist
+
+use proptest::prelude::*;
+use vcoord_space::{dist_batch, dist_batch_scalar, vector};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random shapes and values, including the empty batch, odd remainders
+    /// (the SSE2 path handles pairs two at a time with a scalar tail), and
+    /// non-finite inputs.
+    #[test]
+    fn batch_kernel_is_bitwise_equal_to_scalar_and_oracle(
+        dim in 1usize..12,
+        pairs in 0usize..33,
+        fill in prop::collection::vec(-1.0e4f64..1.0e4, 12 * 33 + 12),
+        scale in 0.001f64..1000.0,
+    ) {
+        let a: Vec<f64> = fill[..dim].iter().map(|v| v * scale).collect();
+        let rows: Vec<f64> = fill[dim..dim + dim * pairs]
+            .iter()
+            .map(|v| v * scale)
+            .collect();
+        let mut out = vec![0.0; pairs];
+        let mut out_scalar = vec![0.0; pairs];
+        dist_batch(&a, &rows, &mut out);
+        dist_batch_scalar(&a, &rows, &mut out_scalar);
+        for p in 0..pairs {
+            let oracle = vector::dist(&a, &rows[p * dim..(p + 1) * dim]);
+            prop_assert_eq!(
+                out[p].to_bits(),
+                oracle.to_bits(),
+                "dispatched kernel diverges at pair {} (dim {})",
+                p,
+                dim
+            );
+            prop_assert_eq!(
+                out_scalar[p].to_bits(),
+                oracle.to_bits(),
+                "scalar kernel diverges at pair {} (dim {})",
+                p,
+                dim
+            );
+        }
+    }
+
+    /// Every alignment: run the kernel on sub-slices starting at each
+    /// possible pair offset of one backing allocation, so the output
+    /// pointer handed to the unaligned SIMD store cycles through both
+    /// 16-byte phases and every remainder length 0..=pairs is exercised.
+    #[test]
+    fn batch_kernel_is_alignment_invariant(
+        dim in 1usize..9,
+        pairs in 1usize..17,
+        fill in prop::collection::vec(-500.0f64..500.0, 9 * 17 + 9),
+    ) {
+        let a: Vec<f64> = fill[..dim].to_vec();
+        let rows: Vec<f64> = fill[dim..dim + dim * pairs].to_vec();
+        let mut whole = vec![0.0; pairs];
+        dist_batch(&a, &rows, &mut whole);
+        for off in 0..pairs {
+            // The same backing buffer, entered at pair `off`: different
+            // output alignment, different remainder parity.
+            let mut out = vec![0.0; pairs];
+            dist_batch(&a, &rows[off * dim..], &mut out[off..]);
+            for p in off..pairs {
+                prop_assert_eq!(
+                    out[p].to_bits(),
+                    whole[p].to_bits(),
+                    "offset {} diverges at pair {}",
+                    off,
+                    p
+                );
+            }
+        }
+    }
+}

@@ -231,6 +231,50 @@ proptest! {
         );
     }
 
+    // ---- Online cap learning: never worse than the fixed model ---------
+
+    #[test]
+    fn learned_model_evader_matches_or_beats_fixed_model_on_a_mismodeled_cap(
+        seed in 0u64..1000,
+    ) {
+        // The deployed cap is HALF the modeled one: the fixed-model
+        // evader throttles to a budget (0.8 × 80 = 64 ms) far above the
+        // real cap (40 ms) and feeds its colluders straight into the
+        // ban. The learning evader behaves identically until the first
+        // flag, then collapses its bracket under the observed pull and
+        // holds — saving whichever colluders' evidence windows had not
+        // yet filled. Its detection rate must therefore never exceed the
+        // fixed evader's at the same seed.
+        let n = 60;
+        let deployed = 40.0;
+        let run = |learning: bool| {
+            let mut sim = converged_sim(n, seed);
+            let attackers = sim.pick_attackers(0.3);
+            let model = DefenseModel::drift_cap(80.0);
+            let adv = if learning {
+                EvadingFrogBoil::learning(5.0, model)
+            } else {
+                EvadingFrogBoil::new(5.0, model)
+            };
+            sim.inject_adversary(&attackers, Box::new(adv));
+            sim.deploy_defense(Box::new(DriftCap::new(deployed)));
+            sim.run_ticks(DEFENDED_TICKS);
+            let stats = sim.defense_stats().expect("defense deployed");
+            stats.confusion(sim.malicious(), 1).tpr().expect("attackers present")
+        };
+        let fixed = run(false);
+        let learned = run(true);
+        prop_assert!(
+            fixed > 0.0,
+            "a budget 24 ms over the deployed cap must draw bans (seed {seed})"
+        );
+        prop_assert!(
+            learned <= fixed,
+            "online cap learning must match or beat the fixed model's TPR \
+             collapse: learned {learned:.2} vs fixed {fixed:.2} (seed {seed})"
+        );
+    }
+
     // ---- Dampen(1.0) ≡ Accept, bitwise, through a full simulation ------
 
     #[test]

@@ -4,9 +4,15 @@
 //! workspace benches (`bench_function`, `benchmark_group`, `iter`,
 //! `iter_batched`, the group/config builders, and the two macros). Instead of
 //! Criterion's statistical machinery it runs a short calibrated loop and
-//! prints mean, median, min, and max wall-clock time per iteration (the
-//! median/min/max come from per-batch timings) — enough to compare hot
-//! paths while offline. When the `VCOORD_BENCH_JSON` environment variable
+//! prints mean, median, trimmed mean, p95, min, and max wall-clock time per
+//! iteration (everything but the mean comes from per-batch timings) —
+//! enough to compare hot paths while offline. The raw mean is kept for
+//! continuity but is the *least* robust column: a single slow batch (page
+//! fault, scheduler preemption) drags it while leaving the median and
+//! trimmed mean untouched, so paired kernels can show inverted means with
+//! agreeing medians. Compare `trimmed_mean_s` (20 % symmetric trim) or
+//! `median_s`/`p95_s` instead (see vendor/README.md).
+//! When the `VCOORD_BENCH_JSON` environment variable
 //! is set to a non-empty value, each benchmark additionally emits one JSON
 //! line (`{"benchmark": ..., "mean_s": ...}`) on stdout so external
 //! harnesses (CI jobs, ad-hoc scripts) can scrape `cargo bench` output
@@ -190,6 +196,21 @@ impl Bencher {
     }
 }
 
+/// Symmetrically trimmed mean of an ascending-sorted sample set: drop 10 %
+/// of samples at each end (20 % total) and average the middle. With fewer
+/// than 10 samples nothing can be trimmed and this is the plain mean.
+pub fn trimmed_mean(sorted: &[f64]) -> f64 {
+    let cut = sorted.len() / 10;
+    let kept = &sorted[cut..sorted.len() - cut];
+    kept.iter().sum::<f64>() / kept.len() as f64
+}
+
+/// The `q`-quantile (nearest-rank) of an ascending-sorted sample set.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(id: &str, budget: Duration, mut f: F) {
     let mut b = Bencher {
         budget,
@@ -202,15 +223,17 @@ fn run_one<F: FnMut(&mut Bencher)>(id: &str, budget: Duration, mut f: F) {
             let mut sorted = r.batch_samples.clone();
             sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
             let median = sorted[sorted.len() / 2];
+            let trimmed = trimmed_mean(&sorted);
+            let p95 = quantile(&sorted, 0.95);
             let min = sorted[0];
             let max = sorted[sorted.len() - 1];
             println!(
-                "{id:<48} {:>10} iters   mean {mean:>10.3e}  median {median:>10.3e}  min {min:>10.3e}  max {max:>10.3e}  s/iter",
+                "{id:<48} {:>10} iters   mean {mean:>10.3e}  median {median:>10.3e}  trimmed {trimmed:>10.3e}  p95 {p95:>10.3e}  min {min:>10.3e}  max {max:>10.3e}  s/iter",
                 r.total_iters
             );
             if std::env::var(JSON_ENV).is_ok_and(|v| !v.is_empty()) {
                 println!(
-                    "{{\"benchmark\":\"{}\",\"mean_s\":{mean:e},\"median_s\":{median:e},\"min_s\":{min:e},\"max_s\":{max:e},\"iters\":{}}}",
+                    "{{\"benchmark\":\"{}\",\"mean_s\":{mean:e},\"median_s\":{median:e},\"trimmed_mean_s\":{trimmed:e},\"p95_s\":{p95:e},\"min_s\":{min:e},\"max_s\":{max:e},\"iters\":{}}}",
                     id.replace('\\', "\\\\").replace('"', "\\\""),
                     r.total_iters
                 );
@@ -295,5 +318,27 @@ mod tests {
         b2.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput);
         let r2 = b2.report.expect("iter_batched sets a report");
         assert_eq!(r2.total_iters as usize, r2.batch_samples.len());
+    }
+
+    #[test]
+    fn trimmed_mean_discards_outlier_tails() {
+        // One wild outlier per tail: the raw mean moves, the trimmed mean
+        // stays at the bulk's value — the exact mean-inversion hazard the
+        // robust columns exist for.
+        let sorted = [0.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 1000.0];
+        assert_eq!(trimmed_mean(&sorted), 5.0);
+        let raw = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        assert!(raw > 100.0);
+        // Fewer than 10 samples: nothing trimmed, plain mean.
+        assert_eq!(trimmed_mean(&[1.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(quantile(&sorted, 0.0), 1.0);
+        assert_eq!(quantile(&sorted, 1.0), 10.0);
+        assert_eq!(quantile(&sorted, 0.95), 10.0);
+        assert_eq!(quantile(&sorted, 0.5), 6.0);
     }
 }

@@ -9,12 +9,16 @@
 
 use proc_macro::TokenStream;
 
-#[proc_macro_derive(Serialize)]
+// `attributes(serde)` registers the `#[serde(...)]` helper attribute just
+// like the real derive does, so field annotations such as
+// `#[serde(default)]` compile (inert here, honoured once the real serde is
+// swapped in).
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
