@@ -404,6 +404,15 @@ impl AttackStrategy for EvadingFrogBoil {
         }
         if worst + self.step <= self.model.evasion_budget_ms() {
             collusion.advance_all(self.step, f64::INFINITY);
+            if vcoord_obs::enabled() {
+                let offset = collusion.groups().first().map_or(0.0, |g| g.offset);
+                vcoord_obs::event(
+                    vcoord_obs::metric_id!("attack.offset_advance"),
+                    view.round,
+                    vcoord_obs::NO_NODE,
+                    offset,
+                );
+            }
         } else {
             // Hold: let the dragged victims close the gap before pulling
             // again. This is the whole evasion — the classic frog would
@@ -671,7 +680,7 @@ impl AttackStrategy for SleeperCollusion {
     fn on_round(
         &mut self,
         collusion: &mut Collusion,
-        _view: &CoordView<'_>,
+        view: &CoordView<'_>,
         _rng: &mut ChaCha12Rng,
     ) {
         self.rounds += 1;
@@ -692,6 +701,15 @@ impl AttackStrategy for SleeperCollusion {
             self.bursts_started += 1;
         }
         collusion.advance_all(self.step, f64::INFINITY);
+        if vcoord_obs::enabled() {
+            let offset = collusion.groups().first().map_or(0.0, |g| g.offset);
+            vcoord_obs::event(
+                vcoord_obs::metric_id!("attack.offset_advance"),
+                view.round,
+                vcoord_obs::NO_NODE,
+                offset,
+            );
+        }
     }
 
     fn respond(

@@ -75,6 +75,14 @@ impl Scenario {
     /// deployed defense judged; with no defense deployed it is never
     /// called.
     pub fn feedback(&mut self, attacker: usize, victim: usize, flagged: bool) {
+        if vcoord_obs::enabled() {
+            vcoord_obs::event(
+                vcoord_obs::metric_id!("attack.feedback"),
+                self.last_round.unwrap_or(0),
+                attacker as u32,
+                if flagged { 1.0 } else { 0.0 },
+            );
+        }
         self.strategy
             .feedback(attacker, victim, flagged, &mut self.collusion);
     }

@@ -1,16 +1,18 @@
 //! Hot-path kernels: the per-event work of both simulators — plus the
-//! defense-inspection kernel, benchmarked under the defense crate's
-//! counting allocator (`vcoord::defense::testing`) so the `NoDefense`
-//! zero-allocation contract is *asserted*, not assumed.
+//! defense-inspection kernel, benchmarked under the shared counting
+//! allocator (`vcoord::obs::testing`) so the `NoDefense` zero-allocation
+//! contract is *asserted*, not assumed — and the disabled-path cost of
+//! the `vcoord-obs` recording calls those kernels now carry.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
-use vcoord::defense::testing::{allocations, ring_fill_samples, CountingAllocator};
+use vcoord::defense::testing::ring_fill_samples;
 use vcoord::defense::{Defense, DriftCap, ResidualOutlier, Update};
 use vcoord::metrics::EvalPlan;
 use vcoord::netsim::SeedStream;
+use vcoord::obs::testing::{allocations, CountingAllocator};
 use vcoord::space::simplex::oracle::simplex_downhill_reference;
 use vcoord::space::{
     dist_batch, dist_batch_scalar, simplex_downhill_scratch, Coord, SimplexScratch, Space,
@@ -232,6 +234,27 @@ fn bench_defense_inspect(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_obs_disabled(c: &mut Criterion) {
+    // The "zero-overhead-when-off" claim, measured: each disabled recording
+    // call must cost one relaxed load and a branch. Run next to the kernels
+    // above, any regression here shows up as a visible absolute floor.
+    assert_eq!(vcoord::obs::mode(), vcoord::obs::ObsMode::Off);
+    let counter = vcoord::obs::metric("bench.obs.counter");
+    let hist = vcoord::obs::metric("bench.obs.hist");
+    let mut group = c.benchmark_group("obs_disabled");
+    group.bench_function("counter_add", |b| {
+        b.iter(|| vcoord::obs::counter_add(black_box(counter), 1))
+    });
+    group.bench_function("observe", |b| {
+        b.iter(|| vcoord::obs::observe(black_box(hist), 1.0))
+    });
+    group.bench_function("event", |b| {
+        b.iter(|| vcoord::obs::event(black_box(counter), 1, 2, 3.0))
+    });
+    group.bench_function("span", |b| b.iter(|| vcoord::obs::span(black_box(hist))));
+    group.finish();
+}
+
 fn bench_matrix_ops(c: &mut Criterion) {
     let seeds = SeedStream::new(4);
     let matrix = KingLike::new(KingLikeConfig::with_nodes(400)).generate(&mut seeds.rng("topo"));
@@ -244,6 +267,6 @@ fn bench_matrix_ops(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_vivaldi_update, bench_simplex, bench_lanes, bench_eval_plan, bench_defense_inspect, bench_matrix_ops
+    targets = bench_vivaldi_update, bench_simplex, bench_lanes, bench_eval_plan, bench_defense_inspect, bench_obs_disabled, bench_matrix_ops
 }
 criterion_main!(benches);

@@ -12,14 +12,19 @@
 //!   --out DIR  output directory (default .)
 //! ```
 //!
-//! Emits one machine-readable JSON file (schema 2) holding (a) per-figure
+//! Emits one machine-readable JSON file (schema 3) holding (a) per-figure
 //! wall-clock seconds at the chosen scale — figures are timed one at a time
 //! (no `--jobs` overlap), though each figure still uses its internal
 //! repetition/eval pools, so pin `VCOORD_THREADS` (recorded in the JSON as
 //! `"threads"`) when comparing numbers across machines — (b) per-figure
 //! `evals_per_round` (mean/median Simplex objective evaluations per NPS
 //! positioning round, from snapshot deltas of the `vcoord::nps::evals`
-//! histogram; Vivaldi-only figures record no entry), (c) the
+//! histogram; Vivaldi-only figures record no entry), plus a per-figure
+//! `"obs"` block (schema 3): the figure sweep runs with the `vcoord-obs`
+//! gated plane in `Metrics` mode and each figure's drained counters and
+//! histogram summaries (count + mean, wall-clock ones included — this file
+//! is a perf record, not a byte-compared trace) land beside its wall-clock
+//! — (c) the
 //! strict-vs-warm **eval-collapse fixture** — one steady-state NPS run per
 //! positioning mode, same seed, reporting mean evals/round and the ratio
 //! the ≥2× warm-start claim is judged on — and (d) hot-kernel timings: the
@@ -332,13 +337,20 @@ fn main() {
     // entry. The figures run one at a time, so each snapshot delta of the
     // process-global histogram is attributable to exactly one figure.
     let mut figure_evals: Vec<(String, f64, f64, u64)> = Vec::new();
+    // Per-figure gated-plane summaries for the schema-3 "obs" block. The
+    // sweep (and only the sweep) runs in Metrics mode: kernel timings above
+    // stay on the disabled path, comparable with pre-obs baselines.
+    let mut figure_obs: Vec<(String, vcoord::obs::ObsReport)> = Vec::new();
+    vcoord::obs::set_mode(vcoord::obs::ObsMode::Metrics);
     let sweep_start = Instant::now();
     for id in &ids {
         let start = Instant::now();
         let evals_before = evals::snapshot();
+        vcoord::obs::reset();
         match registry::run_figure(id, &args.scale, args.seed) {
             Some(_) => {
                 let secs = start.elapsed().as_secs_f64();
+                figure_obs.push((id.clone(), vcoord::obs::drain()));
                 let d = evals::snapshot().delta_since(&evals_before);
                 if d.rounds() > 0 {
                     println!(
@@ -359,12 +371,13 @@ fn main() {
         }
     }
     let figures_total = sweep_start.elapsed().as_secs_f64();
+    vcoord::obs::set_mode(vcoord::obs::ObsMode::Off);
 
     // --- JSON -----------------------------------------------------------
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"label\": \"{}\",\n", json_escape(&label)));
-    json.push_str("  \"schema\": 2,\n");
+    json.push_str("  \"schema\": 3,\n");
     json.push_str(&format!("  \"scale\": \"{}\",\n", args.scale_name));
     json.push_str(&format!("  \"seed\": {},\n", args.seed));
     json.push_str(&format!(
@@ -396,6 +409,33 @@ fn main() {
             "    \"{}\": {{\"mean\": {mean:.3}, \"median\": {median:.1}, \"rounds\": {rounds}}}{}\n",
             json_escape(id),
             if i + 1 < figure_evals.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"obs\": {\n");
+    for (i, (id, report)) in figure_obs.iter().enumerate() {
+        json.push_str(&format!("    \"{}\": {{", json_escape(id)));
+        json.push_str("\"counters\": {");
+        for (k, &(metric, value)) in report.counters().iter().enumerate() {
+            json.push_str(&format!(
+                "{}\"{}\": {value}",
+                if k > 0 { ", " } else { "" },
+                json_escape(vcoord::obs::metric_name(metric)),
+            ));
+        }
+        json.push_str("}, \"hists\": {");
+        for (k, (metric, h)) in report.hists().iter().enumerate() {
+            json.push_str(&format!(
+                "{}\"{}\": {{\"count\": {}, \"mean\": {:e}}}",
+                if k > 0 { ", " } else { "" },
+                json_escape(vcoord::obs::metric_name(*metric)),
+                h.count,
+                h.mean(),
+            ));
+        }
+        json.push_str(&format!(
+            "}}}}{}\n",
+            if i + 1 < figure_obs.len() { "," } else { "" }
         ));
     }
     json.push_str("  },\n");

@@ -1,7 +1,8 @@
 //! Regenerate the paper's evaluation figures.
 //!
 //! ```text
-//! figures [IDS...] [--full|--quick|--smoke] [--seed N] [--jobs N] [--out DIR] [--list]
+//! figures [IDS...] [--full|--quick|--smoke] [--seed N] [--jobs N] [--out DIR]
+//!         [--trace-out DIR] [--list]
 //!
 //!   IDS        figure ids (fig1 .. fig26) or `all` (default: all)
 //!   --quick    400 nodes, 3 repetitions (default; minutes)
@@ -11,6 +12,9 @@
 //!   --jobs N   figure ids computed concurrently (default: the
 //!              VCOORD_THREADS override when set, else 1)
 //!   --out DIR  CSV output directory (default ./results)
+//!   --trace-out DIR
+//!              enable full tracing (`vcoord-obs` in `Trace` mode) and
+//!              write one `DIR/<id>.jsonl` trace per figure
 //!   --list     print the figure index and exit
 //! ```
 //!
@@ -20,7 +24,11 @@
 //!
 //! Every figure derives its seeds from `(master seed, figure id)` alone, so
 //! `--jobs` changes wall-clock time but never a CSV byte; the writer thread
-//! reorders completions so stdout also stays in figure order.
+//! reorders completions so stdout also stays in figure order. Traces are
+//! deterministic too: `run_repetitions` merges per-repetition observations
+//! in repetition order, each figure worker drains its own thread-local
+//! recorder, and the trace's `run` id is derived from the scale and seed
+//! alone, so `--jobs` never changes a JSONL byte either.
 
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -36,6 +44,7 @@ struct Args {
     seed: u64,
     jobs: usize,
     out: PathBuf,
+    trace_out: Option<PathBuf>,
     list: bool,
 }
 
@@ -46,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 2006u64;
     let mut jobs = vcoord::metrics::parallel::env_threads().unwrap_or(1);
     let mut out = PathBuf::from(vcoord_bench::DEFAULT_OUT_DIR);
+    let mut trace_out = None;
     let mut list = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -82,9 +92,14 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 out = PathBuf::from(argv.next().ok_or("--out needs a value")?);
             }
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(
+                    argv.next().ok_or("--trace-out needs a value")?,
+                ));
+            }
             "--list" => list = true,
             "--help" | "-h" => {
-                return Err("usage: figures [IDS...|all] [--quick|--full|--smoke] [--seed N] [--jobs N] [--out DIR] [--list]".into());
+                return Err("usage: figures [IDS...|all] [--quick|--full|--smoke] [--seed N] [--jobs N] [--out DIR] [--trace-out DIR] [--list]".into());
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other}"));
@@ -99,6 +114,7 @@ fn parse_args() -> Result<Args, String> {
         seed,
         jobs,
         out,
+        trace_out,
         list,
     })
 }
@@ -112,6 +128,14 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    // `--trace-out` forces full tracing; otherwise honor VCOORD_OBS so the
+    // aggregate/metrics planes can be flipped on without trace files.
+    if args.trace_out.is_some() {
+        vcoord::obs::set_mode(vcoord::obs::ObsMode::Trace);
+    } else {
+        vcoord::obs::init_from_env();
+    }
 
     if args.list {
         println!("available figures:");
@@ -146,6 +170,9 @@ fn main() {
         .collect();
 
     std::fs::create_dir_all(&args.out).expect("create output directory");
+    if let Some(dir) = &args.trace_out {
+        std::fs::create_dir_all(dir).expect("create trace directory");
+    }
     println!(
         "# vcoord figure harness — scale={} nodes={} reps={} seed={} jobs={}",
         args.scale_name, args.scale.nodes, args.scale.repetitions, args.seed, args.jobs
@@ -168,19 +195,49 @@ fn main() {
     // output. Per-figure seeding makes the CSV bytes independent of the
     // completion order; the writer's reorder buffer keeps stdout in figure
     // order too.
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, vcoord::experiments::FigureResult, f64)>();
+    type Done = (
+        usize,
+        vcoord::experiments::FigureResult,
+        f64,
+        Option<vcoord::obs::ObsReport>,
+    );
+    let (tx, rx) = std::sync::mpsc::channel::<Done>();
     let out_dir = args.out.clone();
+    let trace_dir = args.trace_out.clone();
+    // Wall-clock-free run id: reruns of the same scale+seed are
+    // byte-identical, which is what the golden-trace tests compare.
+    let run_id = format!("{}-seed{}", args.scale_name, args.seed);
+    let scale_name = args.scale_name;
+    let seed = args.seed;
     let writer = std::thread::spawn(move || {
-        let mut pending: BTreeMap<usize, (vcoord::experiments::FigureResult, f64)> =
-            BTreeMap::new();
+        let mut pending: BTreeMap<
+            usize,
+            (
+                vcoord::experiments::FigureResult,
+                f64,
+                Option<vcoord::obs::ObsReport>,
+            ),
+        > = BTreeMap::new();
         let mut next = 0usize;
-        for (idx, fig, compute_secs) in rx {
-            pending.insert(idx, (fig, compute_secs));
-            while let Some((fig, compute_secs)) = pending.remove(&next) {
+        for (idx, fig, compute_secs, report) in rx {
+            pending.insert(idx, (fig, compute_secs, report));
+            while let Some((fig, compute_secs, report)) = pending.remove(&next) {
                 println!("{}", fig.to_table());
                 let path = out_dir.join(format!("{}.csv", fig.id));
                 let mut file = std::fs::File::create(&path).expect("create CSV");
                 file.write_all(fig.to_csv().as_bytes()).expect("write CSV");
+                if let (Some(dir), Some(report)) = (&trace_dir, report) {
+                    let meta = vcoord::obs::TraceMeta {
+                        run: run_id.clone(),
+                        fig: fig.id.clone(),
+                        seed,
+                        scale: scale_name.to_string(),
+                    };
+                    let trace_path = dir.join(format!("{}.jsonl", fig.id));
+                    std::fs::write(&trace_path, vcoord::obs::render_jsonl(&meta, &report))
+                        .expect("write trace");
+                    println!("wrote {}", trace_path.display());
+                }
                 println!(
                     "wrote {} ({} rows) in {compute_secs:.1}s\n",
                     path.display(),
@@ -200,15 +257,31 @@ fn main() {
             let cursor = &cursor;
             let scale = &args.scale;
             let seed = args.seed;
+            let traced = args.trace_out.is_some();
             scope.spawn(move || loop {
                 let idx = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(id) = ids.get(idx) else { break };
                 let start = Instant::now();
+                // Each worker computes one figure at a time, so its
+                // thread-local recorder (plus the per-repetition merges
+                // absorbed by run_repetitions) holds exactly that figure's
+                // observations between reset() and drain().
+                if traced {
+                    vcoord::obs::reset();
+                }
                 // Stamp the compute time here: on the writer thread it
                 // would also count time spent queued behind earlier
                 // figures' I/O.
                 let fig = registry::run_figure(id, scale, seed).expect("id validated above");
-                tx.send((idx, fig, start.elapsed().as_secs_f64()))
+                // Wall-clock histograms are nondeterministic; everything
+                // else in the report is seed-derived, so stripping them
+                // keeps the JSONL byte-stable across reruns and --jobs.
+                let report = traced.then(|| {
+                    let mut r = vcoord::obs::drain();
+                    r.strip_timings();
+                    r
+                });
+                tx.send((idx, fig, start.elapsed().as_secs_f64(), report))
                     .expect("writer thread alive");
             });
         }

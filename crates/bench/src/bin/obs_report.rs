@@ -1,0 +1,63 @@
+//! Digest `vcoord-obs` trace files into per-round tables.
+//!
+//! ```text
+//! obs-report [--csv] FILE...
+//!
+//!   FILE...  JSONL traces written by `figures --trace-out DIR`
+//!   --csv    emit `kind,metric,round,count,sum,min,max` CSV instead of
+//!            the aligned text tables
+//! ```
+//!
+//! Each file is parsed against the schema documented in the `vcoord-obs`
+//! crate root and reduced to whole-run counters, histogram summaries, and
+//! per-round event aggregates (events collapse over repetitions and
+//! nodes). A malformed file aborts with the offending line number and a
+//! non-zero exit so CI catches schema drift.
+
+use vcoord::obs::{digest, parse_jsonl};
+
+fn main() {
+    let mut csv = false;
+    let mut files = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--csv" => csv = true,
+            "--help" | "-h" => {
+                eprintln!("usage: obs-report [--csv] FILE...");
+                return;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+            other => files.push(other.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: obs-report [--csv] FILE...");
+        std::process::exit(2);
+    }
+
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let lines = match parse_jsonl(&text) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let d = digest(&lines);
+        if csv {
+            print!("{}", d.to_csv());
+        } else {
+            print!("{}", d.to_text());
+        }
+    }
+}

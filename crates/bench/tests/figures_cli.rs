@@ -303,6 +303,83 @@ fn same_seed_same_csv_bytes() {
 }
 
 /// A unique, test-scoped output directory under the target tmp dir.
+#[test]
+fn trace_out_is_deterministic_across_jobs_and_digestible() {
+    // The observability contract on the figure harness: `--trace-out`
+    // emits one schema-valid JSONL per figure whose bytes depend only on
+    // (figure, scale, seed) — never on `--jobs` — and the obs-report
+    // binary digests it without error.
+    let dir1 = tempdir("trace-jobs1");
+    let dir2 = tempdir("trace-jobs2");
+    for (dir, jobs) in [(&dir1, "1"), (&dir2, "2")] {
+        let out = run(&[
+            "def-frog-drift",
+            "fig1",
+            "--smoke",
+            "--seed",
+            "7",
+            "--jobs",
+            jobs,
+            "--out",
+            dir.to_str().unwrap(),
+            "--trace-out",
+            dir.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "figures --trace-out failed:\n{}",
+            stderr(&out)
+        );
+    }
+    for id in ["def-frog-drift", "fig1"] {
+        let a = std::fs::read(dir1.join(format!("{id}.jsonl"))).unwrap();
+        let b = std::fs::read(dir2.join(format!("{id}.jsonl"))).unwrap();
+        assert_eq!(
+            a, b,
+            "{id}.jsonl differs between --jobs 1 and --jobs 2: traces must \
+             be byte-deterministic"
+        );
+    }
+    // The defended figure's trace carries the verdict counters and flag
+    // events the EXPERIMENTS.md digest is built from.
+    let drift = std::fs::read_to_string(dir1.join("def-frog-drift.jsonl")).unwrap();
+    assert!(drift.starts_with("{\"type\":\"meta\""), "meta line first");
+    assert!(drift.contains("defense.accept"));
+    assert!(drift.contains("\"type\":\"event\""));
+
+    // obs-report digests both traces, in both renderings.
+    let trace_path = dir1.join("def-frog-drift.jsonl");
+    let report = Command::new(env!("CARGO_BIN_EXE_obs-report"))
+        .arg(&trace_path)
+        .output()
+        .expect("spawn obs-report");
+    assert!(
+        report.status.success(),
+        "obs-report failed:\n{}",
+        stderr(&report)
+    );
+    let text = stdout(&report);
+    assert!(text.contains("trace def-frog-drift"), "{text}");
+    assert!(text.contains("defense.accept"), "{text}");
+    let csv = Command::new(env!("CARGO_BIN_EXE_obs-report"))
+        .arg("--csv")
+        .arg(&trace_path)
+        .output()
+        .expect("spawn obs-report --csv");
+    assert!(csv.status.success());
+    assert!(stdout(&csv).starts_with("kind,metric,round,count,sum,min,max"));
+
+    // A malformed trace is a hard error with the offending line number.
+    let bad = dir1.join("corrupt.jsonl");
+    std::fs::write(&bad, "{\"type\":\"meta\",\"schema\":1,\"run\":\"r\",\"fig\":\"f\",\"seed\":7,\"scale\":\"smoke\"}\nnot json\n").unwrap();
+    let fail = Command::new(env!("CARGO_BIN_EXE_obs-report"))
+        .arg(&bad)
+        .output()
+        .expect("spawn obs-report on corrupt input");
+    assert_eq!(fail.status.code(), Some(1));
+    assert!(stderr(&fail).contains("line 2"), "{}", stderr(&fail));
+}
+
 fn tempdir(tag: &str) -> std::path::PathBuf {
     let base = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("figures-cli-{tag}"));
     // Stale contents from a previous run are fine to clobber.

@@ -178,3 +178,92 @@ fn smoke_suite_reproduces_committed_csvs_byte_for_byte() {
          EXPERIMENTS.md"
     );
 }
+
+/// The *enabled*-path half of the observability invariant: with full
+/// tracing on (`--trace-out`), every golden CSV still reproduces
+/// byte-for-byte — the obs plane reads the simulations but never perturbs
+/// them — and every figure emits a schema-valid JSONL trace.
+#[test]
+fn traced_smoke_suite_matches_committed_csvs_and_emits_valid_traces() {
+    let out = Path::new(env!("CARGO_TARGET_TMPDIR")).join("golden-figures-traced");
+    let traces = out.join("traces");
+    let _ = std::fs::remove_dir_all(&out);
+    std::fs::create_dir_all(&out).unwrap();
+
+    let run = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .args(["all", "--smoke", "--seed", "2006", "--jobs", "2"])
+        .arg("--out")
+        .arg(&out)
+        .arg("--trace-out")
+        .arg(&traces)
+        .output()
+        .expect("spawn figures binary");
+    assert!(
+        run.status.success(),
+        "figures all --smoke --trace-out failed:\n{}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+
+    let reference = results_dir();
+    let mut diverged: Vec<String> = Vec::new();
+    let mut meta_only: Vec<String> = Vec::new();
+    let mut ids = 0usize;
+    for entry in std::fs::read_dir(&reference).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("csv") {
+            continue;
+        }
+        ids += 1;
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let committed_bytes = std::fs::read(&path).unwrap();
+        let fresh_bytes = std::fs::read(out.join(&name)).unwrap();
+        if committed_bytes != fresh_bytes {
+            diverged.push(name.clone());
+        }
+
+        // Trace sidecar: present, parseable, and stamped with this run's
+        // identity.
+        let id = name.trim_end_matches(".csv");
+        let trace_path = traces.join(format!("{id}.jsonl"));
+        let text = std::fs::read_to_string(&trace_path)
+            .unwrap_or_else(|e| panic!("missing trace {}: {e}", trace_path.display()));
+        let lines = vcoord::obs::parse_jsonl(&text)
+            .unwrap_or_else(|e| panic!("{id}.jsonl does not parse: {e}"));
+        match &lines[0] {
+            vcoord::obs::TraceLine::Meta {
+                schema,
+                fig,
+                seed,
+                scale,
+                ..
+            } => {
+                assert_eq!(*schema, vcoord::obs::TRACE_SCHEMA);
+                assert_eq!(fig, id);
+                assert_eq!(*seed, 2006);
+                assert_eq!(scale, "smoke");
+            }
+            other => panic!("{id}.jsonl first line is not meta: {other:?}"),
+        }
+        if lines.len() == 1 {
+            meta_only.push(id.to_string());
+        }
+    }
+    assert!(ids >= 39, "expected the full 39-figure suite, saw {ids}");
+    // A few figures are closed-form (no simulation — fig17's geometric
+    // evaluation, for example) and legitimately trace nothing; every
+    // simulating figure must have recorded at least one counter or event.
+    assert!(
+        meta_only.len() <= 3,
+        "too many meta-only traces — simulating figures ran unobserved: \
+         {meta_only:?}"
+    );
+    assert!(
+        diverged.is_empty(),
+        "CSV bytes diverged from committed results/ WITH TRACING ON for: \
+         {diverged:?}\n\
+         The obs plane must be numerics-inert: recording may observe the \
+         simulations but never perturb them. Do not re-record — find the \
+         flipped bit (a span or counter on a code path that consumes \
+         randomness, reorders float ops, or mutates state)"
+    );
+}

@@ -183,6 +183,13 @@ pub fn average_series(series: &[TimeSeries]) -> TimeSeries {
 /// repetitions, but over-subscribes badly once sweeps multiply the job
 /// count. Workers pull repetition indices from a shared counter, so the cap
 /// costs nothing when `repetitions` is small.
+///
+/// This is also the observability merge seam: when the `vcoord_obs` gated
+/// plane is on, each worker drains its thread-local recorder after every
+/// repetition (tagging the events with the repetition index) and the
+/// coordinator absorbs the reports *in repetition order* — so per-figure
+/// traces are byte-identical for any pool width, exactly like the figure
+/// CSVs themselves.
 pub fn run_repetitions<T, F>(repetitions: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -193,6 +200,7 @@ where
     let workers = repetition_pool_width(repetitions);
     let next = AtomicUsize::new(0);
     let mut results: Vec<Option<T>> = (0..repetitions).map(|_| None).collect();
+    let mut reports: Vec<Option<vcoord_obs::ObsReport>> = (0..repetitions).map(|_| None).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -200,23 +208,42 @@ where
                 let next = &next;
                 scope.spawn(move || {
                     let mut done = Vec::new();
+                    // Leftovers from earlier work on this pool thread must
+                    // not leak into the first repetition's report.
+                    if vcoord_obs::enabled() {
+                        vcoord_obs::reset();
+                    }
                     loop {
                         let rep = next.fetch_add(1, Ordering::Relaxed);
                         if rep >= repetitions {
                             break;
                         }
-                        done.push((rep, f(rep as u64)));
+                        let span = vcoord_obs::span(vcoord_obs::metric_id!("figure.rep_ns"));
+                        let value = f(rep as u64);
+                        drop(span);
+                        let report = if vcoord_obs::enabled() {
+                            let mut r = vcoord_obs::drain();
+                            r.retag_rep(rep as i32);
+                            Some(r)
+                        } else {
+                            None
+                        };
+                        done.push((rep, value, report));
                     }
                     done
                 })
             })
             .collect();
         for h in handles {
-            for (rep, value) in h.join().expect("repetition worker panicked") {
+            for (rep, value, report) in h.join().expect("repetition worker panicked") {
                 results[rep] = Some(value);
+                reports[rep] = report;
             }
         }
     });
+    for report in reports.into_iter().flatten() {
+        vcoord_obs::absorb(report);
+    }
     results
         .into_iter()
         .map(|r| r.expect("all repetitions completed"))

@@ -63,6 +63,7 @@ pub use vcoord_defense as defense;
 pub use vcoord_metrics as metrics;
 pub use vcoord_netsim as netsim;
 pub use vcoord_nps as nps;
+pub use vcoord_obs as obs;
 pub use vcoord_space as space;
 pub use vcoord_topo as topo;
 pub use vcoord_vivaldi as vivaldi;

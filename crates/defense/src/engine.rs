@@ -187,6 +187,25 @@ impl Defense {
         self.strategy.drain_reputation(banned, reinstated);
         self.stats.bans += (banned.len() - b0) as u64;
         self.stats.reinstated += (reinstated.len() - r0) as u64;
+        if vcoord_obs::enabled() {
+            let round = self.last_round.unwrap_or(0);
+            for &node in &banned[b0..] {
+                vcoord_obs::event(
+                    vcoord_obs::metric_id!("defense.ban"),
+                    round,
+                    node as u32,
+                    1.0,
+                );
+            }
+            for &node in &reinstated[r0..] {
+                vcoord_obs::event(
+                    vcoord_obs::metric_id!("defense.reinstate"),
+                    round,
+                    node as u32,
+                    1.0,
+                );
+            }
+        }
     }
 
     /// Judge one sample, advancing per-round strategy state first.
@@ -201,11 +220,13 @@ impl Defense {
     /// as defense flags would double-book.
     pub fn inspect(&mut self, space: &Space, observer_coord: &Coord, u: Update<'_>) -> Verdict {
         if self.passthrough {
-            // NoDefense fast path: one branch + one counter. No history, no
+            // NoDefense fast path: one branch + one counter (plus one
+            // relaxed load for the disabled obs plane). No history, no
             // distance computation, no allocation — the defended update
             // loop is byte-identical (and near-cost-identical) to the
             // undefended one.
             self.stats.accepted += 1;
+            vcoord_obs::counter_add(vcoord_obs::metric_id!("defense.accept"), 1);
             return Verdict::Accept;
         }
         if !(u.rtt.is_finite() && u.rtt > 0.0 && u.reported_coord.is_finite()) {
@@ -267,6 +288,22 @@ impl Defense {
             );
         }
         self.stats.record(u.remote, &verdict);
+        if vcoord_obs::enabled() {
+            let which = match verdict {
+                Verdict::Accept => vcoord_obs::metric_id!("defense.accept"),
+                Verdict::Reject => vcoord_obs::metric_id!("defense.reject"),
+                Verdict::Dampen(_) => vcoord_obs::metric_id!("defense.dampen"),
+            };
+            vcoord_obs::counter_add(which, 1);
+            if verdict.is_flag() {
+                vcoord_obs::event(
+                    vcoord_obs::metric_id!("defense.flag"),
+                    u.round,
+                    u.remote as u32,
+                    1.0,
+                );
+            }
+        }
         if verdict.is_flag() {
             log::trace!(
                 "defense[{}]: flagged node {} (observer {}, round {})",

@@ -1,23 +1,18 @@
-//! Test support for the crate's zero-allocation contracts: a counting
-//! global allocator shared by `crates/defense/tests/no_alloc.rs` and the
-//! `defense_inspect` group of the workspace kernels bench, so the two
-//! assertion sites cannot drift apart on what "allocation" means.
+//! Test support for the crate's zero-allocation contracts.
+//!
+//! The counting global allocator itself lives in
+//! [`vcoord_obs::testing`] — shared by every no-alloc suite in the
+//! workspace (defense, obs, vivaldi, nps) and the kernels bench, so the
+//! assertion sites cannot drift apart on what "allocation" means. This
+//! module re-exports it for existing importers and keeps the
+//! defense-specific warm-up bound, which derives from this crate's history
+//! window constants.
 //!
 //! Each consuming *binary* still declares its own
 //! `#[global_allocator] static A: CountingAllocator = CountingAllocator;`
-//! (the attribute is per-binary by construction); the struct, the counter,
-//! and the ring-fill warm-up bound live here once.
+//! (the attribute is per-binary by construction).
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
-
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-
-/// Number of allocation/reallocation calls observed so far in this
-/// process.
-pub fn allocations() -> u64 {
-    ALLOCATIONS.load(Ordering::Relaxed)
-}
+pub use vcoord_obs::testing::{allocations, CountingAllocator};
 
 /// Warm-up samples that provably fill every history ring for a workload
 /// cycling over `remotes` distinct neighbors: a *growing* ring still
@@ -28,23 +23,4 @@ pub fn ring_fill_samples(remotes: usize) -> u64 {
         .max(crate::history::REPORTED_WINDOW)
         .max(crate::history::OBSERVER_WINDOW);
     (remotes * deepest * 2) as u64
-}
-
-/// A [`System`]-delegating allocator that counts `alloc`/`realloc` calls.
-pub struct CountingAllocator;
-
-unsafe impl GlobalAlloc for CountingAllocator {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
 }

@@ -1,5 +1,5 @@
-//! The `NoDefense` fast-path contract, enforced with the crate's counting
-//! allocator (`vcoord_defense::testing`): once deployed, the defended
+//! The `NoDefense` fast-path contract, enforced with the workspace's
+//! counting allocator (`vcoord_obs::testing`): once deployed, the defended
 //! update loop must add **zero heap allocation** per inspected sample —
 //! the engine short-circuits before any history bookkeeping, and real
 //! strategies reuse the `DefenseScratch` buffers after warm-up.
@@ -8,8 +8,9 @@
 //! worker threads, and a sibling test allocating concurrently would
 //! corrupt the global counter.
 
-use vcoord_defense::testing::{allocations, ring_fill_samples, CountingAllocator};
+use vcoord_defense::testing::ring_fill_samples;
 use vcoord_defense::{Defense, DriftCap, Update};
+use vcoord_obs::testing::{allocations, CountingAllocator};
 use vcoord_space::{Coord, Space};
 
 #[global_allocator]

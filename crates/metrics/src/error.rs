@@ -309,23 +309,41 @@ impl EvalPlan {
             return out;
         }
         let chunk = n.div_ceil(workers);
+        // Worker timings flow back through the join handles and are
+        // recorded by this coordinating thread in spawn order — workers
+        // never touch the thread-local recorder, so traces stay
+        // deterministic for any worker count (the crate's sequential-merge
+        // discipline).
+        let timed = vcoord_obs::enabled();
         std::thread::scope(|scope| {
-            for (c, slot) in out.chunks_mut(chunk).enumerate() {
-                let snap = &snap;
-                scope.spawn(move || {
-                    let mut scratch = DistScratch::default();
-                    for (off, e) in slot.iter_mut().enumerate() {
-                        *e = self.node_error_snap(
-                            c * chunk + off,
-                            snap,
-                            space,
-                            matrix,
-                            &mut scratch,
-                        );
-                    }
-                });
+            let handles: Vec<_> = out
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(c, slot)| {
+                    let snap = &snap;
+                    scope.spawn(move || {
+                        let start = timed.then(std::time::Instant::now);
+                        let mut scratch = DistScratch::default();
+                        for (off, e) in slot.iter_mut().enumerate() {
+                            *e = self.node_error_snap(
+                                c * chunk + off,
+                                snap,
+                                space,
+                                matrix,
+                                &mut scratch,
+                            );
+                        }
+                        start.map(|t| t.elapsed().as_nanos() as f64)
+                    })
+                })
+                .collect();
+            for handle in handles {
+                if let Some(ns) = handle.join().expect("eval worker panicked") {
+                    vcoord_obs::observe(vcoord_obs::metric_id!("evalplan.worker_ns"), ns);
+                }
             }
         });
+        vcoord_obs::counter_add(vcoord_obs::metric_id!("evalplan.parallel_sweeps"), 1);
         out
     }
 

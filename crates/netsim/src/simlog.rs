@@ -3,19 +3,117 @@
 //! The library crates only *emit* through the `log` facade (TRACE for normal
 //! events, DEBUG for exceptional events, following the smoltcp convention);
 //! this module lets examples and the figure harness print those records
-//! without pulling in a logging framework. The level comes from the
-//! `VCOORD_LOG` environment variable (`error`..`trace`, default `warn`).
+//! without pulling in a logging framework.
+//!
+//! Configuration comes from the `VCOORD_LOG` environment variable, an
+//! env_logger-style comma-separated spec:
+//!
+//! ```text
+//! VCOORD_LOG=warn                          # one global level (default warn)
+//! VCOORD_LOG=warn,vcoord_defense=debug     # per-target override
+//! VCOORD_LOG=off,vcoord_nps::sim=trace     # silence all but one module
+//! ```
+//!
+//! Bare entries set the default level (`error`..`trace`, `off`); `target=
+//! level` entries override it for any record whose target starts with that
+//! module path (longest prefix wins). Unparseable entries are *not*
+//! silently dropped: the logger installs with the remaining spec and emits
+//! one warning naming each bad entry.
+//!
+//! Setting `VCOORD_LOG_TS` to anything non-empty prefixes every record
+//! with the monotonic elapsed time since logger installation.
 
 use log::{Level, LevelFilter, Metadata, Record};
 use std::sync::Once;
+use std::time::Instant;
 
 struct SimLogger {
-    level: LevelFilter,
+    default: LevelFilter,
+    /// `(target-prefix, level)` overrides; longest matching prefix wins.
+    targets: Vec<(String, LevelFilter)>,
+    timestamps: bool,
+    start: Instant,
+}
+
+fn parse_level(s: &str) -> Option<LevelFilter> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "error" => Some(LevelFilter::Error),
+        "warn" => Some(LevelFilter::Warn),
+        "info" => Some(LevelFilter::Info),
+        "debug" => Some(LevelFilter::Debug),
+        "trace" => Some(LevelFilter::Trace),
+        "off" => Some(LevelFilter::Off),
+        _ => None,
+    }
+}
+
+/// A parsed `VCOORD_LOG` spec: the default level, per-target overrides,
+/// and any entries that failed to parse (reported verbatim).
+struct LogSpec {
+    default: LevelFilter,
+    targets: Vec<(String, LevelFilter)>,
+    bad: Vec<String>,
+}
+
+fn parse_spec(spec: &str) -> LogSpec {
+    let mut out = LogSpec {
+        default: LevelFilter::Warn,
+        targets: Vec::new(),
+        bad: Vec::new(),
+    };
+    for entry in spec.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        if let Some((target, level)) = entry.split_once('=') {
+            match parse_level(level) {
+                Some(l) if !target.trim().is_empty() => {
+                    out.targets.push((target.trim().to_string(), l));
+                }
+                _ => out.bad.push(entry.to_string()),
+            }
+        } else {
+            match parse_level(entry) {
+                Some(l) => out.default = l,
+                None => out.bad.push(entry.to_string()),
+            }
+        }
+    }
+    out
+}
+
+/// Does `target` (a module path like `vcoord_defense::engine`) fall under
+/// `prefix` (a module path like `vcoord_defense`)?
+fn target_matches(target: &str, prefix: &str) -> bool {
+    target == prefix || (target.starts_with(prefix) && target[prefix.len()..].starts_with("::"))
+}
+
+impl SimLogger {
+    /// The level filter in effect for `target`: the longest matching
+    /// prefix override, or the default.
+    fn effective(&self, target: &str) -> LevelFilter {
+        self.targets
+            .iter()
+            .filter(|(prefix, _)| target_matches(target, prefix))
+            .max_by_key(|(prefix, _)| prefix.len())
+            .map(|&(_, level)| level)
+            .unwrap_or(self.default)
+    }
+
+    /// The most verbose level any target can reach — what
+    /// `log::set_max_level` needs so the facade's early-out stays correct.
+    fn max_level(&self) -> LevelFilter {
+        self.targets
+            .iter()
+            .map(|&(_, l)| l)
+            .fold(self.default, |a, b| a.max(b))
+    }
 }
 
 impl log::Log for SimLogger {
     fn enabled(&self, metadata: &Metadata) -> bool {
-        metadata.level() <= self.level
+        metadata.level() <= self.effective(metadata.target())
     }
 
     fn log(&self, record: &Record) {
@@ -29,7 +127,16 @@ impl log::Log for SimLogger {
             Level::Debug => "D",
             Level::Trace => "T",
         };
-        eprintln!("[{tag} {}] {}", record.target(), record.args());
+        if self.timestamps {
+            let elapsed = self.start.elapsed().as_secs_f64();
+            eprintln!(
+                "[{elapsed:10.3}s {tag} {}] {}",
+                record.target(),
+                record.args()
+            );
+        } else {
+            eprintln!("[{tag} {}] {}", record.target(), record.args());
+        }
     }
 
     fn flush(&self) {}
@@ -37,33 +144,101 @@ impl log::Log for SimLogger {
 
 static INIT: Once = Once::new();
 
-/// Install the logger (idempotent). Reads `VCOORD_LOG` for the level.
+/// Install the logger (idempotent). Reads `VCOORD_LOG` for the level spec
+/// and `VCOORD_LOG_TS` for the elapsed-time prefix.
 pub fn init() {
     INIT.call_once(|| {
-        let level = match std::env::var("VCOORD_LOG").as_deref() {
-            Ok("error") => LevelFilter::Error,
-            Ok("warn") => LevelFilter::Warn,
-            Ok("info") => LevelFilter::Info,
-            Ok("debug") => LevelFilter::Debug,
-            Ok("trace") => LevelFilter::Trace,
-            Ok("off") => LevelFilter::Off,
-            _ => LevelFilter::Warn,
-        };
+        let spec = parse_spec(std::env::var("VCOORD_LOG").as_deref().unwrap_or(""));
+        let timestamps = std::env::var("VCOORD_LOG_TS").is_ok_and(|v| !v.is_empty());
         // Leak one small allocation for the lifetime of the process; this is
         // the standard pattern for installing a global logger.
-        let logger: &'static SimLogger = Box::leak(Box::new(SimLogger { level }));
+        let logger: &'static SimLogger = Box::leak(Box::new(SimLogger {
+            default: spec.default,
+            targets: spec.targets,
+            timestamps,
+            start: Instant::now(),
+        }));
         if log::set_logger(logger).is_ok() {
-            log::set_max_level(level);
+            log::set_max_level(logger.max_level());
+        }
+        for bad in &spec.bad {
+            log::warn!(
+                "simlog: ignoring unparseable VCOORD_LOG entry {bad:?} \
+                 (expected a level or target=level; levels are error..trace, off)"
+            );
         }
     });
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
+    fn logger(spec: &str, timestamps: bool) -> SimLogger {
+        let parsed = parse_spec(spec);
+        SimLogger {
+            default: parsed.default,
+            targets: parsed.targets,
+            timestamps,
+            start: Instant::now(),
+        }
+    }
+
     #[test]
     fn init_is_idempotent() {
         super::init();
         super::init();
         log::debug!("logger smoke test");
+    }
+
+    #[test]
+    fn bare_levels_set_the_default() {
+        assert_eq!(parse_spec("debug").default, LevelFilter::Debug);
+        assert_eq!(parse_spec("").default, LevelFilter::Warn);
+        assert_eq!(parse_spec("off").default, LevelFilter::Off);
+        // Last bare entry wins, like env_logger.
+        assert_eq!(parse_spec("debug,error").default, LevelFilter::Error);
+    }
+
+    #[test]
+    fn per_target_overrides_win_by_longest_prefix() {
+        let l = logger(
+            "warn,vcoord_defense=debug,vcoord_defense::engine=trace",
+            false,
+        );
+        assert_eq!(l.effective("vcoord_nps::sim"), LevelFilter::Warn);
+        assert_eq!(l.effective("vcoord_defense"), LevelFilter::Debug);
+        assert_eq!(l.effective("vcoord_defense::history"), LevelFilter::Debug);
+        assert_eq!(l.effective("vcoord_defense::engine"), LevelFilter::Trace);
+        assert_eq!(
+            l.effective("vcoord_defense::engine::inner"),
+            LevelFilter::Trace
+        );
+        // Prefix match is per path segment: no false match on a name that
+        // merely starts with the same characters.
+        assert_eq!(l.effective("vcoord_defensekit"), LevelFilter::Warn);
+        assert_eq!(l.max_level(), LevelFilter::Trace);
+    }
+
+    #[test]
+    fn unparseable_entries_are_collected_not_swallowed() {
+        let spec = parse_spec("dbug");
+        assert_eq!(spec.default, LevelFilter::Warn);
+        assert_eq!(spec.bad, vec!["dbug".to_string()]);
+        let spec = parse_spec("warn,vcoord_nps=loud,=debug");
+        assert_eq!(spec.default, LevelFilter::Warn);
+        assert_eq!(
+            spec.bad,
+            vec!["vcoord_nps=loud".to_string(), "=debug".to_string()]
+        );
+        assert!(spec.targets.is_empty());
+    }
+
+    #[test]
+    fn off_default_with_one_loud_target() {
+        let l = logger("off,vcoord_nps::sim=trace", false);
+        assert_eq!(l.effective("vcoord_vivaldi::sim"), LevelFilter::Off);
+        assert_eq!(l.effective("vcoord_nps::sim"), LevelFilter::Trace);
+        assert_eq!(l.max_level(), LevelFilter::Trace);
     }
 }

@@ -1,21 +1,24 @@
 //! Process-global objective-evaluation accounting.
 //!
 //! Every successful NPS positioning round records how many Simplex objective
-//! evaluations it performed (both fits combined) into a lock-free global
-//! histogram. The bench harness snapshots the histogram around each figure
-//! run and reports the delta as `evals_per_round` — the before/after
-//! evidence for the warm-start evaluation-count collapse.
+//! evaluations it performed (both fits combined) into a global histogram.
+//! The bench harness snapshots the histogram around each figure run and
+//! reports the delta as `evals_per_round` — the before/after evidence for
+//! the warm-start evaluation-count collapse.
 //!
 //! Only ordinary repositioning rounds are recorded; the start-up landmark
 //! embedding is construction-time work, identical in every mode, and would
 //! dilute the per-round statistic.
 //!
-//! The counters are process-global `AtomicU64`s (relaxed ordering: each
-//! counter is an independent monotone tally, no cross-counter invariant), so
-//! parallel figure workers all land in the same histogram; callers that need
-//! a per-run view take a [`snapshot`] before and after and subtract.
+//! The storage is a `vcoord_obs` [`GlobalHist`] registered as
+//! `nps.position.evals` — the aggregate (always-on) observability plane —
+//! so eval accounting and the tracing metrics share one registry. This
+//! module keeps the original API as a thin veneer: parallel figure workers
+//! all land in the same histogram, and callers that need a per-run view
+//! take a [`snapshot`] before and after and subtract.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use vcoord_obs::{global_hist, GlobalHist, HistSnapshot};
 
 /// Histogram bucket width (objective evaluations per round).
 const BUCKET_WIDTH: usize = 25;
@@ -24,21 +27,18 @@ const BUCKET_WIDTH: usize = 25;
 /// worst case of the default Simplex options.
 const BUCKETS: usize = 64;
 
-static TOTAL_EVALS: AtomicU64 = AtomicU64::new(0);
-static TOTAL_ROUNDS: AtomicU64 = AtomicU64::new(0);
-// A `const` item (not inline-const, which needs a newer MSRV) so the array
-// repeat expression is allowed despite `AtomicU64` not being `Copy`.
-#[allow(clippy::declare_interior_mutable_const)]
-const HIST_ZERO: AtomicU64 = AtomicU64::new(0);
-static HIST: [AtomicU64; BUCKETS] = [HIST_ZERO; BUCKETS];
+/// Metric name in the shared `vcoord_obs` registry.
+pub const METRIC: &str = "nps.position.evals";
+
+fn hist() -> &'static GlobalHist {
+    static HIST: OnceLock<&'static GlobalHist> = OnceLock::new();
+    HIST.get_or_init(|| global_hist(METRIC, BUCKET_WIDTH, BUCKETS))
+}
 
 /// Record one positioning round that performed `evals` objective
 /// evaluations.
 pub fn record_round(evals: usize) {
-    TOTAL_EVALS.fetch_add(evals as u64, Ordering::Relaxed);
-    TOTAL_ROUNDS.fetch_add(1, Ordering::Relaxed);
-    let b = (evals / BUCKET_WIDTH).min(BUCKETS - 1);
-    HIST[b].fetch_add(1, Ordering::Relaxed);
+    hist().record(evals);
 }
 
 /// A point-in-time copy of the global evaluation histogram.
@@ -47,23 +47,11 @@ pub fn record_round(evals: usize) {
 /// recorded in between, then read [`EvalSnapshot::mean`] /
 /// [`EvalSnapshot::median`].
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct EvalSnapshot {
-    total_evals: u64,
-    total_rounds: u64,
-    hist: [u64; BUCKETS],
-}
+pub struct EvalSnapshot(HistSnapshot);
 
 /// Capture the current global histogram.
 pub fn snapshot() -> EvalSnapshot {
-    let mut hist = [0u64; BUCKETS];
-    for (h, a) in hist.iter_mut().zip(HIST.iter()) {
-        *h = a.load(Ordering::Relaxed);
-    }
-    EvalSnapshot {
-        total_evals: TOTAL_EVALS.load(Ordering::Relaxed),
-        total_rounds: TOTAL_ROUNDS.load(Ordering::Relaxed),
-        hist,
-    }
+    EvalSnapshot(hist().snapshot())
 }
 
 impl EvalSnapshot {
@@ -73,59 +61,29 @@ impl EvalSnapshot {
     /// Panics if `earlier` is not actually earlier (the counters are
     /// monotone, so a negative delta means the snapshots were swapped).
     pub fn delta_since(&self, earlier: &EvalSnapshot) -> EvalSnapshot {
-        let mut hist = [0u64; BUCKETS];
-        for (i, h) in hist.iter_mut().enumerate() {
-            *h = self.hist[i]
-                .checked_sub(earlier.hist[i])
-                .expect("snapshots out of order");
-        }
-        EvalSnapshot {
-            total_evals: self
-                .total_evals
-                .checked_sub(earlier.total_evals)
-                .expect("snapshots out of order"),
-            total_rounds: self
-                .total_rounds
-                .checked_sub(earlier.total_rounds)
-                .expect("snapshots out of order"),
-            hist,
-        }
+        EvalSnapshot(self.0.delta_since(&earlier.0))
     }
 
     /// Positioning rounds covered by this snapshot (or delta).
     pub fn rounds(&self) -> u64 {
-        self.total_rounds
+        self.0.count()
     }
 
     /// Total objective evaluations covered.
     pub fn evals(&self) -> u64 {
-        self.total_evals
+        self.0.sum()
     }
 
     /// Exact mean objective evaluations per round (`NaN` with no rounds).
     pub fn mean(&self) -> f64 {
-        if self.total_rounds == 0 {
-            return f64::NAN;
-        }
-        self.total_evals as f64 / self.total_rounds as f64
+        self.0.mean()
     }
 
     /// Approximate median evaluations per round: the midpoint of the
     /// histogram bucket containing the median round (`NaN` with no rounds).
     /// Resolution is the bucket width (25 evals).
     pub fn median(&self) -> f64 {
-        if self.total_rounds == 0 {
-            return f64::NAN;
-        }
-        let target = self.total_rounds.div_ceil(2);
-        let mut seen = 0u64;
-        for (i, &count) in self.hist.iter().enumerate() {
-            seen += count;
-            if seen >= target {
-                return (i * BUCKET_WIDTH) as f64 + BUCKET_WIDTH as f64 / 2.0;
-            }
-        }
-        unreachable!("histogram counts sum to total_rounds");
+        self.0.median()
     }
 }
 
@@ -158,16 +116,25 @@ mod tests {
         let d = snapshot().delta_since(&before);
         assert_eq!(d.rounds(), 1);
         assert_eq!(d.evals(), 1_000_000);
-        // Median lands in the open-ended last bucket's nominal midpoint.
-        assert_eq!(d.median(), (63 * 25) as f64 + 12.5);
+        // Far past the last bucket boundary: lands in the open-ended one.
+        assert!((d.median() - ((63 * 25) as f64 + 12.5)).abs() < 1e-9);
     }
 
     #[test]
-    fn empty_delta_is_nan() {
-        let s = snapshot();
-        let d = s.delta_since(&s);
-        assert_eq!(d.rounds(), 0);
-        assert!(d.mean().is_nan());
-        assert!(d.median().is_nan());
+    #[should_panic(expected = "snapshots out of order")]
+    fn swapped_snapshots_panic() {
+        let before = snapshot();
+        record_round(1);
+        let after = snapshot();
+        let _ = before.delta_since(&after);
+    }
+
+    #[test]
+    fn shares_the_obs_registry() {
+        record_round(0); // ensure registration
+        let id = vcoord_obs::metric(METRIC);
+        assert!(vcoord_obs::global_hists()
+            .iter()
+            .any(|h| h.id() == id && h.bucket_width() == BUCKET_WIDTH));
     }
 }

@@ -478,6 +478,7 @@ fn position_node_impl(
             c
         }
     };
+    let filter_span = vcoord_obs::span(vcoord_obs::metric_id!("nps.filter_ns"));
     let fit_errors: Vec<f64> = samples
         .iter()
         .map(|s| fit_error(space, &frame, s))
@@ -487,6 +488,7 @@ fn position_node_impl(
     } else {
         None
     };
+    drop(filter_span);
 
     // Final fit over the surviving samples (at most one eliminated).
     surviving.clear();

@@ -271,6 +271,7 @@ impl NpsWorld {
     }
 
     fn reposition(&mut self, node: usize, now_ms: u64) {
+        let _span = vcoord_obs::span(vcoord_obs::metric_id!("nps.position_ns"));
         // Recycle the refs/samples gathering buffers across rounds: after
         // warm-up the probe loop runs without fresh allocations (the lie
         // coordinates inside each `RefSample` are the only per-probe values
@@ -309,10 +310,18 @@ impl NpsWorld {
         self.samples_buf = samples;
         let Some(outcome) = outcome else {
             self.counters.skipped_rounds += 1;
+            vcoord_obs::counter_add(vcoord_obs::metric_id!("nps.skipped_rounds"), 1);
             return;
         };
         self.counters.objective_evals += outcome.evals as u64;
         evals::record_round(outcome.evals);
+        if vcoord_obs::enabled() {
+            vcoord_obs::counter_add(vcoord_obs::metric_id!("nps.positionings"), 1);
+            vcoord_obs::observe(
+                vcoord_obs::metric_id!("nps.round_evals"),
+                outcome.evals as f64,
+            );
+        }
 
         if self.positioned[node] {
             // Damped incremental refinement (see NpsConfig::update_damping).
@@ -329,6 +338,12 @@ impl NpsWorld {
         if let Some(bad) = outcome.filtered {
             self.counters.refs_filtered += 1;
             self.ledger.record(self.malicious[bad]);
+            vcoord_obs::event(
+                vcoord_obs::metric_id!("nps.filter"),
+                now_ms / self.config.reposition_ms.max(1),
+                bad as u32,
+                if self.malicious[bad] { 1.0 } else { 0.0 },
+            );
             self.ban_ref(node, bad);
         }
     }
@@ -616,6 +631,12 @@ impl NpsSim {
                 ..Protocol::default()
             },
         };
+        vcoord_obs::event(
+            vcoord_obs::metric_id!("nps.inject"),
+            view.round,
+            vcoord_obs::NO_NODE,
+            attackers.len() as f64,
+        );
         let mut scenario = Scenario::new(strategy);
         scenario.inject(attackers, &view, &mut self.world.adv_rng);
         self.world.scenario = Some(scenario);

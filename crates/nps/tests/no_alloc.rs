@@ -1,0 +1,89 @@
+//! Allocation accounting for the instrumented NPS fit path with the obs
+//! plane off: the per-round evals histogram (`evals::record_round`, on the
+//! always-on aggregate plane) must be allocation-free, and the Simplex
+//! kernels must stay at exactly one allocation per call (the returned
+//! point) — i.e. the `simplex.evals` / warm-vs-cold counters added to them
+//! must cost nothing when disabled, and `SimplexSeed::store` must reuse
+//! its capacity across rounds.
+//!
+//! This file holds exactly one `#[test]`: the libtest harness runs tests on
+//! worker threads, and a sibling test allocating concurrently would
+//! corrupt the global counter.
+
+use vcoord_nps::evals;
+use vcoord_obs::testing::{allocations, CountingAllocator};
+use vcoord_space::{
+    simplex_downhill_resume, simplex_downhill_scratch, ResumePolicy, SimplexOptions,
+    SimplexScratch, SimplexSeed,
+};
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn fit_hot_path_allocation_budget_holds_with_obs_off() {
+    assert_eq!(vcoord_obs::mode(), vcoord_obs::ObsMode::Off);
+
+    // --- Aggregate plane: recording a round is pure atomics. ---
+    evals::record_round(17); // pay the lazy histogram registration
+    let before = allocations();
+    for n in 0..100_000usize {
+        evals::record_round(n % 300);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "evals::record_round allocated with the obs plane off"
+    );
+
+    // --- Cold kernel: exactly one allocation per call (the returned
+    // point), so the disabled `simplex.evals` counter adds nothing. ---
+    let objective = |x: &[f64]| -> f64 { x.iter().map(|v| (v - 3.0) * (v - 3.0)).sum::<f64>() };
+    let opts = SimplexOptions::default();
+    let start = vec![1.0; 4];
+    let mut scratch = SimplexScratch::new();
+    let _ = simplex_downhill_scratch(objective, &start, &opts, &mut scratch); // size the scratch
+    const CALLS: u64 = 1_000;
+    let before = allocations();
+    for _ in 0..CALLS {
+        std::hint::black_box(simplex_downhill_scratch(
+            objective,
+            &start,
+            &opts,
+            &mut scratch,
+        ));
+    }
+    assert_eq!(
+        allocations() - before,
+        CALLS,
+        "cold simplex kernel must allocate exactly the returned point per call"
+    );
+
+    // --- Warm-resume kernel: same budget once the seed has been stored
+    // once (its vertex buffers are reused, and the warm/cold counter block
+    // is behind the disabled gate). ---
+    let policy = ResumePolicy::default_warm();
+    let mut seed = SimplexSeed::new();
+    let _ = simplex_downhill_resume(objective, &start, &opts, &policy, &mut seed, &mut scratch);
+    let before = allocations();
+    for _ in 0..CALLS {
+        std::hint::black_box(simplex_downhill_resume(
+            objective,
+            &start,
+            &opts,
+            &policy,
+            &mut seed,
+            &mut scratch,
+        ));
+    }
+    assert_eq!(
+        allocations() - before,
+        CALLS,
+        "warm-resume simplex kernel must allocate exactly the returned point per call"
+    );
+
+    // Allocator sanity: the counter does observe real allocations.
+    let before = allocations();
+    drop(std::hint::black_box(vec![1u8; 64]));
+    assert!(allocations() > before, "counting allocator is live");
+}

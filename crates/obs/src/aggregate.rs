@@ -1,0 +1,245 @@
+//! The aggregate plane: process-global, always-on, lock-free histograms
+//! with linear buckets and monotone snapshot/delta semantics. This is the
+//! generalization of the old `vcoord_nps::evals` module, which now
+//! registers its histogram here; bench harnesses snapshot around a run and
+//! subtract.
+
+use crate::registry::{metric, metric_name, MetricId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A process-global histogram over non-negative integer samples with
+/// fixed-width linear buckets (last bucket open-ended). Recording is a few
+/// relaxed atomic adds — safe from any thread, never gated on the
+/// [`mode`](crate::mode) flag, so accounting that predates the gated plane
+/// keeps its always-on semantics.
+#[derive(Debug)]
+pub struct GlobalHist {
+    id: MetricId,
+    bucket_width: usize,
+    total_value: AtomicU64,
+    total_count: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+fn registry() -> &'static Mutex<Vec<&'static GlobalHist>> {
+    static REGISTRY: OnceLock<Mutex<Vec<&'static GlobalHist>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Register (or look up) the global histogram `name` with `buckets` linear
+/// buckets of `bucket_width`. Re-registration with the same shape returns
+/// the existing histogram; a different shape panics (two call sites
+/// disagreeing about one metric is a programming error).
+pub fn global_hist(name: &'static str, bucket_width: usize, buckets: usize) -> &'static GlobalHist {
+    assert!(
+        bucket_width > 0 && buckets > 0,
+        "degenerate histogram shape"
+    );
+    let id = metric(name);
+    let mut reg = registry().lock().expect("global hist registry poisoned");
+    if let Some(h) = reg.iter().find(|h| h.id == id) {
+        assert!(
+            h.bucket_width == bucket_width && h.buckets.len() == buckets,
+            "global_hist({name:?}) re-registered with a different shape"
+        );
+        return h;
+    }
+    let hist: &'static GlobalHist = Box::leak(Box::new(GlobalHist {
+        id,
+        bucket_width,
+        total_value: AtomicU64::new(0),
+        total_count: AtomicU64::new(0),
+        buckets: (0..buckets).map(|_| AtomicU64::new(0)).collect(),
+    }));
+    reg.push(hist);
+    hist
+}
+
+/// Every registered global histogram, in registration order.
+pub fn global_hists() -> Vec<&'static GlobalHist> {
+    registry()
+        .lock()
+        .expect("global hist registry poisoned")
+        .clone()
+}
+
+impl GlobalHist {
+    pub fn id(&self) -> MetricId {
+        self.id
+    }
+
+    pub fn name(&self) -> &'static str {
+        metric_name(self.id)
+    }
+
+    pub fn bucket_width(&self) -> usize {
+        self.bucket_width
+    }
+
+    /// Record one sample of `value`. Relaxed ordering: each counter is an
+    /// independent monotone tally, no cross-counter invariant.
+    pub fn record(&self, value: usize) {
+        self.total_value.fetch_add(value as u64, Ordering::Relaxed);
+        self.total_count.fetch_add(1, Ordering::Relaxed);
+        let b = (value / self.bucket_width).min(self.buckets.len() - 1);
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy; subtract two with
+    /// [`HistSnapshot::delta_since`] for a per-run view.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            bucket_width: self.bucket_width,
+            total_value: self.total_value.load(Ordering::Relaxed),
+            total_count: self.total_count.load(Ordering::Relaxed),
+            hist: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A copy of a [`GlobalHist`] at one instant (or the difference of two
+/// such copies).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    bucket_width: usize,
+    total_value: u64,
+    total_count: u64,
+    hist: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// The samples recorded between `earlier` and `self`.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is not actually earlier (the counters are
+    /// monotone, so a negative delta means the snapshots were swapped).
+    pub fn delta_since(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        assert_eq!(
+            self.bucket_width, earlier.bucket_width,
+            "snapshot shapes differ"
+        );
+        assert_eq!(
+            self.hist.len(),
+            earlier.hist.len(),
+            "snapshot shapes differ"
+        );
+        HistSnapshot {
+            bucket_width: self.bucket_width,
+            total_value: self
+                .total_value
+                .checked_sub(earlier.total_value)
+                .expect("snapshots out of order"),
+            total_count: self
+                .total_count
+                .checked_sub(earlier.total_count)
+                .expect("snapshots out of order"),
+            hist: self
+                .hist
+                .iter()
+                .zip(&earlier.hist)
+                .map(|(a, b)| a.checked_sub(*b).expect("snapshots out of order"))
+                .collect(),
+        }
+    }
+
+    /// Samples covered by this snapshot (or delta).
+    pub fn count(&self) -> u64 {
+        self.total_count
+    }
+
+    /// Summed sample values covered.
+    pub fn sum(&self) -> u64 {
+        self.total_value
+    }
+
+    /// Per-bucket sample counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.hist
+    }
+
+    pub fn bucket_width(&self) -> usize {
+        self.bucket_width
+    }
+
+    /// Exact mean sample value (`NaN` with no samples).
+    pub fn mean(&self) -> f64 {
+        if self.total_count == 0 {
+            return f64::NAN;
+        }
+        self.total_value as f64 / self.total_count as f64
+    }
+
+    /// Approximate median sample value: the midpoint of the bucket
+    /// containing the median sample (`NaN` with no samples). Resolution is
+    /// the bucket width.
+    pub fn median(&self) -> f64 {
+        if self.total_count == 0 {
+            return f64::NAN;
+        }
+        let target = self.total_count.div_ceil(2);
+        let mut seen = 0u64;
+        for (i, &count) in self.hist.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return (i * self.bucket_width) as f64 + self.bucket_width as f64 / 2.0;
+            }
+        }
+        unreachable!("histogram counts sum to total_count");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The histograms are process-global, so every assertion works on
+    // snapshot deltas over locally recorded samples.
+
+    #[test]
+    fn deltas_track_recorded_samples() {
+        let h = global_hist("test.aggregate.delta", 25, 64);
+        let before = h.snapshot();
+        h.record(10);
+        h.record(30);
+        h.record(200);
+        let d = h.snapshot().delta_since(&before);
+        assert_eq!(d.count(), 3);
+        assert_eq!(d.sum(), 240);
+        assert!((d.mean() - 80.0).abs() < 1e-12);
+        // Median sample is the 30-value one: bucket [25, 50), midpoint 37.5.
+        assert_eq!(d.median(), 37.5);
+    }
+
+    #[test]
+    fn overflow_lands_in_last_bucket() {
+        let h = global_hist("test.aggregate.overflow", 10, 4);
+        let before = h.snapshot();
+        h.record(1_000_000);
+        let d = h.snapshot().delta_since(&before);
+        assert_eq!(d.count(), 1);
+        assert_eq!(d.buckets()[3], 1);
+    }
+
+    #[test]
+    fn reregistration_returns_the_same_histogram() {
+        let a = global_hist("test.aggregate.same", 5, 8);
+        let b = global_hist("test.aggregate.same", 5, 8);
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a.name(), "test.aggregate.same");
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshots out of order")]
+    fn swapped_snapshots_panic() {
+        let h = global_hist("test.aggregate.swap", 5, 8);
+        let before = h.snapshot();
+        h.record(1);
+        let after = h.snapshot();
+        let _ = before.delta_since(&after);
+    }
+}

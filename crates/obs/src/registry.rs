@@ -1,0 +1,94 @@
+//! The metric-name registry: interns `&'static str` names into dense
+//! [`MetricId`]s so the per-thread recorders can index plain vectors
+//! instead of hashing strings on the hot path.
+
+use std::sync::{Mutex, OnceLock};
+
+/// A registered metric. Copyable, dense, and stable for the process
+/// lifetime; obtain one with [`metric`] (or the caching
+/// [`metric_id!`](crate::metric_id) macro at call sites).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricId(u16);
+
+impl MetricId {
+    /// Dense index into per-thread recorder vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn from_index(i: usize) -> MetricId {
+        MetricId(u16::try_from(i).expect("metric registry overflow"))
+    }
+}
+
+fn names() -> &'static Mutex<Vec<&'static str>> {
+    static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    NAMES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Intern `name`, returning its id (existing or fresh). Cold path: call
+/// sites should cache the result, which is what the
+/// [`metric_id!`](crate::metric_id) macro does with a `OnceLock`.
+pub fn metric(name: &'static str) -> MetricId {
+    let mut names = names().lock().expect("metric registry poisoned");
+    if let Some(i) = names.iter().position(|&n| n == name) {
+        return MetricId::from_index(i);
+    }
+    assert!(
+        names.len() < u16::MAX as usize,
+        "metric registry full ({} names)",
+        names.len()
+    );
+    names.push(name);
+    MetricId::from_index(names.len() - 1)
+}
+
+/// The name `id` was registered under (`"<unregistered>"` for an id from
+/// another process or a corrupted index).
+pub fn metric_name(id: MetricId) -> &'static str {
+    names()
+        .lock()
+        .expect("metric registry poisoned")
+        .get(id.index())
+        .copied()
+        .unwrap_or("<unregistered>")
+}
+
+/// Intern a metric name once per call site and cache the [`MetricId`] in a
+/// local static, so the hot path pays one initialized-`OnceLock` load.
+///
+/// ```
+/// let id = vcoord_obs::metric_id!("demo.macro_metric");
+/// assert_eq!(vcoord_obs::metric_name(id), "demo.macro_metric");
+/// ```
+#[macro_export]
+macro_rules! metric_id {
+    ($name:literal) => {{
+        static ID: ::std::sync::OnceLock<$crate::MetricId> = ::std::sync::OnceLock::new();
+        *ID.get_or_init(|| $crate::metric($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_names_round_trip() {
+        let a = metric("test.registry.alpha");
+        let b = metric("test.registry.beta");
+        assert_ne!(a, b);
+        assert_eq!(metric("test.registry.alpha"), a);
+        assert_eq!(metric_name(a), "test.registry.alpha");
+        assert_eq!(metric_name(b), "test.registry.beta");
+    }
+
+    #[test]
+    fn macro_caches_one_id_per_site() {
+        let first = crate::metric_id!("test.registry.macro");
+        let second = crate::metric_id!("test.registry.macro");
+        assert_eq!(first, second);
+        assert_eq!(metric_name(first), "test.registry.macro");
+    }
+}

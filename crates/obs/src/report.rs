@@ -1,0 +1,255 @@
+//! Render a parsed trace into a per-round digest — the library half of the
+//! `obs-report` binary, kept here so the aggregation is unit-testable.
+
+use crate::export::TraceLine;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One histogram row of a [`Digest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistRow {
+    pub metric: String,
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+/// One per-round aggregation row of a [`Digest`]: how many events of
+/// `metric` fired in `round`, and their summed value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRow {
+    pub metric: String,
+    pub round: u64,
+    pub events: u64,
+    pub sum: f64,
+}
+
+/// A trace reduced to tables: run identity, whole-run counters and
+/// histogram summaries, and per-round event aggregates.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Digest {
+    pub run: String,
+    pub fig: String,
+    pub seed: u64,
+    pub scale: String,
+    /// `(metric, value)`, sorted by metric name.
+    pub counters: Vec<(String, u64)>,
+    /// Sorted by metric name.
+    pub hists: Vec<HistRow>,
+    /// Sorted by metric name, then round.
+    pub rounds: Vec<RoundRow>,
+}
+
+/// Aggregate parsed trace lines into a [`Digest`]. Events collapse over
+/// repetitions and nodes onto `(metric, round)`.
+pub fn digest(lines: &[TraceLine]) -> Digest {
+    let mut d = Digest::default();
+    let mut rounds: BTreeMap<(String, u64), (u64, f64)> = BTreeMap::new();
+    for line in lines {
+        match line {
+            TraceLine::Meta {
+                run,
+                fig,
+                seed,
+                scale,
+                ..
+            } => {
+                d.run = run.clone();
+                d.fig = fig.clone();
+                d.seed = *seed;
+                d.scale = scale.clone();
+            }
+            TraceLine::Counter { metric, value } => d.counters.push((metric.clone(), *value)),
+            TraceLine::Hist {
+                metric,
+                count,
+                sum,
+                min,
+                max,
+            } => d.hists.push(HistRow {
+                metric: metric.clone(),
+                count: *count,
+                sum: *sum,
+                min: *min,
+                max: *max,
+            }),
+            TraceLine::Event {
+                metric,
+                round,
+                value,
+                ..
+            } => {
+                let slot = rounds.entry((metric.clone(), *round)).or_insert((0, 0.0));
+                slot.0 += 1;
+                slot.1 += value;
+            }
+        }
+    }
+    d.counters.sort();
+    d.hists.sort_by(|a, b| a.metric.cmp(&b.metric));
+    d.rounds = rounds
+        .into_iter()
+        .map(|((metric, round), (events, sum))| RoundRow {
+            metric,
+            round,
+            events,
+            sum,
+        })
+        .collect();
+    d
+}
+
+impl Digest {
+    /// Human-readable tables.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace {} (run {}, seed {}, scale {})",
+            self.fig, self.run, self.seed, self.scale
+        );
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (metric, value) in &self.counters {
+                let _ = writeln!(out, "  {metric:<36} {value:>12}");
+            }
+        }
+        if !self.hists.is_empty() {
+            let _ = writeln!(
+                out,
+                "histograms: {:<25} {:>10} {:>14} {:>14} {:>14}",
+                "", "count", "mean", "min", "max"
+            );
+            for h in &self.hists {
+                let _ = writeln!(
+                    out,
+                    "  {:<34} {:>10} {:>14.1} {:>14.1} {:>14.1}",
+                    h.metric,
+                    h.count,
+                    h.sum / h.count.max(1) as f64,
+                    h.min,
+                    h.max
+                );
+            }
+        }
+        if !self.rounds.is_empty() {
+            let _ = writeln!(
+                out,
+                "per-round events: {:<19} {:>10} {:>10} {:>14}",
+                "", "round", "events", "sum"
+            );
+            for r in &self.rounds {
+                let _ = writeln!(
+                    out,
+                    "  {:<34} {:>10} {:>10} {:>14.1}",
+                    r.metric, r.round, r.events, r.sum
+                );
+            }
+        }
+        out
+    }
+
+    /// Machine-readable CSV: `kind,metric,round,count,sum,min,max` with
+    /// empty cells where a column does not apply.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,metric,round,count,sum,min,max\n");
+        for (metric, value) in &self.counters {
+            let _ = writeln!(out, "counter,{metric},,{value},,,");
+        }
+        for h in &self.hists {
+            let _ = writeln!(
+                out,
+                "hist,{},,{},{},{},{}",
+                h.metric, h.count, h.sum, h.min, h.max
+            );
+        }
+        for r in &self.rounds {
+            let _ = writeln!(
+                out,
+                "round,{},{},{},{},,",
+                r.metric, r.round, r.events, r.sum
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_lines() -> Vec<TraceLine> {
+        vec![
+            TraceLine::Meta {
+                schema: 1,
+                run: "r".into(),
+                fig: "figX".into(),
+                seed: 9,
+                scale: "smoke".into(),
+            },
+            TraceLine::Counter {
+                metric: "b.counter".into(),
+                value: 3,
+            },
+            TraceLine::Counter {
+                metric: "a.counter".into(),
+                value: 1,
+            },
+            TraceLine::Event {
+                metric: "e.flag".into(),
+                rep: 0,
+                round: 2,
+                node: Some(1),
+                value: 1.0,
+            },
+            TraceLine::Event {
+                metric: "e.flag".into(),
+                rep: 1,
+                round: 2,
+                node: Some(4),
+                value: 1.0,
+            },
+            TraceLine::Event {
+                metric: "e.flag".into(),
+                rep: 0,
+                round: 5,
+                node: Some(1),
+                value: 1.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn digest_sorts_counters_and_collapses_rounds() {
+        let d = digest(&sample_lines());
+        assert_eq!(d.fig, "figX");
+        assert_eq!(
+            d.counters,
+            vec![("a.counter".to_string(), 1), ("b.counter".to_string(), 3)]
+        );
+        assert_eq!(
+            d.rounds,
+            vec![
+                RoundRow {
+                    metric: "e.flag".into(),
+                    round: 2,
+                    events: 2,
+                    sum: 2.0
+                },
+                RoundRow {
+                    metric: "e.flag".into(),
+                    round: 5,
+                    events: 1,
+                    sum: 1.0
+                },
+            ]
+        );
+        let text = d.to_text();
+        assert!(text.contains("trace figX"));
+        assert!(text.contains("a.counter"));
+        let csv = d.to_csv();
+        assert!(csv.starts_with("kind,metric,round,count,sum,min,max\n"));
+        assert!(csv.contains("round,e.flag,2,2,2,,"));
+    }
+}

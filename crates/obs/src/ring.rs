@@ -1,0 +1,145 @@
+//! The flight recorder: a bounded ring of the most recent structured
+//! events, process-global, for post-mortem inspection of a run that went
+//! wrong. Never exported to traces (per-thread buffers own that, for
+//! determinism); this is the "what just happened" window.
+
+use crate::record::Event;
+use std::sync::{Mutex, OnceLock};
+
+/// Capacity of the process-global flight ring.
+pub const FLIGHT_RING_CAP: usize = 1024;
+
+/// A fixed-capacity ring of [`Event`]s; pushes never allocate after
+/// construction, the oldest event is evicted first.
+#[derive(Debug)]
+pub struct EventRing {
+    cap: usize,
+    buf: Vec<Event>,
+    total: u64,
+}
+
+impl EventRing {
+    /// An empty ring holding at most `cap` events (`cap > 0`).
+    pub fn new(cap: usize) -> EventRing {
+        assert!(cap > 0, "ring capacity must be positive");
+        EventRing {
+            cap,
+            buf: Vec::with_capacity(cap),
+            total: 0,
+        }
+    }
+
+    /// Append `e`, evicting the oldest event once full.
+    pub fn push(&mut self, e: Event) {
+        let slot = (self.total % self.cap as u64) as usize;
+        if self.buf.len() < self.cap {
+            self.buf.push(e);
+        } else {
+            self.buf[slot] = e;
+        }
+        self.total += 1;
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events ever pushed, including evicted ones.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Snapshot of the held events, oldest first.
+    pub fn oldest_first(&self) -> Vec<Event> {
+        if self.total <= self.cap as u64 {
+            return self.buf.clone();
+        }
+        let start = (self.total % self.cap as u64) as usize;
+        let mut out = Vec::with_capacity(self.cap);
+        out.extend_from_slice(&self.buf[start..]);
+        out.extend_from_slice(&self.buf[..start]);
+        out
+    }
+
+    /// Drop all held events (the total keeps counting).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.total = 0;
+    }
+}
+
+fn global() -> &'static Mutex<EventRing> {
+    static RING: OnceLock<Mutex<EventRing>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(EventRing::new(FLIGHT_RING_CAP)))
+}
+
+pub(crate) fn push_global(e: Event) {
+    global().lock().expect("flight ring poisoned").push(e);
+}
+
+/// Snapshot the process-global flight ring, oldest first.
+pub fn recent_events() -> Vec<Event> {
+    global()
+        .lock()
+        .expect("flight ring poisoned")
+        .oldest_first()
+}
+
+/// Empty the process-global flight ring.
+pub fn clear_recent_events() {
+    global().lock().expect("flight ring poisoned").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{NO_NODE, NO_REP};
+    use crate::registry::metric;
+
+    fn ev(value: f64) -> Event {
+        Event {
+            metric: metric("test.ring"),
+            rep: NO_REP,
+            round: 0,
+            node: NO_NODE,
+            value,
+        }
+    }
+
+    #[test]
+    fn evicts_oldest_first_and_preserves_order() {
+        let mut ring = EventRing::new(3);
+        assert!(ring.is_empty());
+        for i in 0..5 {
+            ring.push(ev(i as f64));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total(), 5);
+        let vals: Vec<f64> = ring.oldest_first().iter().map(|e| e.value).collect();
+        // 0 and 1 were evicted; 2..4 survive in push order.
+        assert_eq!(vals, vec![2.0, 3.0, 4.0]);
+        ring.push(ev(5.0));
+        let vals: Vec<f64> = ring.oldest_first().iter().map(|e| e.value).collect();
+        assert_eq!(vals, vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything() {
+        let mut ring = EventRing::new(8);
+        ring.push(ev(1.0));
+        ring.push(ev(2.0));
+        let vals: Vec<f64> = ring.oldest_first().iter().map(|e| e.value).collect();
+        assert_eq!(vals, vec![1.0, 2.0]);
+        ring.clear();
+        assert!(ring.is_empty() && ring.oldest_first().is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! Shared test support for the workspace's zero-allocation contracts: a
+//! counting global allocator used by the defense, obs, vivaldi, and nps
+//! no-alloc suites and the kernels bench, so every assertion site agrees
+//! on what "allocation" means.
+//!
+//! Each consuming *binary* still declares its own
+//! `#[global_allocator] static A: CountingAllocator = CountingAllocator;`
+//! (the attribute is per-binary by construction); the struct and the
+//! counter live here once. Domain-specific warm-up bounds (e.g. the
+//! defense crate's `ring_fill_samples`) stay next to the constants they
+//! derive from.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of allocation/reallocation calls observed so far in this
+/// process.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A [`System`]-delegating allocator that counts `alloc`/`realloc` calls.
+pub struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}

@@ -321,6 +321,7 @@ where
     };
     init_cold(&mut scratch.verts, x0, opts);
     let (iterations, converged) = descend(&mut eval, opts, scratch, n);
+    vcoord_obs::counter_add(vcoord_obs::metric_id!("simplex.evals"), evals as u64);
     finish(scratch, iterations, converged, evals)
 }
 
@@ -372,6 +373,15 @@ where
     }
     let (iterations, converged) = descend(&mut eval, opts, scratch, n);
     seed.store(scratch, warm);
+    if vcoord_obs::enabled() {
+        let which = if warm {
+            vcoord_obs::metric_id!("simplex.warm_start")
+        } else {
+            vcoord_obs::metric_id!("simplex.cold_restart")
+        };
+        vcoord_obs::counter_add(which, 1);
+        vcoord_obs::counter_add(vcoord_obs::metric_id!("simplex.evals"), evals as u64);
+    }
     finish(scratch, iterations, converged, evals)
 }
 

@@ -221,6 +221,7 @@ impl World for VivaldiWorld {
         );
         if applied.is_some() {
             self.counters.samples_applied += 1;
+            vcoord_obs::counter_add(vcoord_obs::metric_id!("vivaldi.samples_applied"), 1);
         }
     }
 }
@@ -283,6 +284,8 @@ impl VivaldiSim {
 
     /// Advance the simulation by `n` ticks.
     pub fn run_ticks(&mut self, n: u64) {
+        let _span = vcoord_obs::span(vcoord_obs::metric_id!("vivaldi.run_ticks_ns"));
+        vcoord_obs::counter_add(vcoord_obs::metric_id!("vivaldi.ticks"), n);
         let target = self.engine.now() + n * self.world.config.tick_ms;
         self.engine.run_until(&mut self.world, target);
     }
@@ -376,6 +379,12 @@ impl VivaldiSim {
                 probe_threshold_ms: f64::INFINITY,
             },
         };
+        vcoord_obs::event(
+            vcoord_obs::metric_id!("vivaldi.inject"),
+            view.round,
+            vcoord_obs::NO_NODE,
+            attackers.len() as f64,
+        );
         let mut scenario = Scenario::new(strategy);
         scenario.inject(attackers, &view, &mut self.world.adv_rng);
         self.world.scenario = Some(scenario);
