@@ -229,9 +229,64 @@ fn arms_sweep_ids_are_listed() {
         "arms-sweep-nps",
         "arms-evasion-roc",
         "arms-decay-tradeoff",
+        "arms-evasion-learning",
     ] {
         assert!(text.contains(id), "--list missing {id}:\n{text}");
     }
+}
+
+#[test]
+fn chaos_ids_are_listed() {
+    let out = run(&["--list"]);
+    let text = stdout(&out);
+    for id in [
+        "chaos-churn-vivaldi",
+        "chaos-churn-nps",
+        "chaos-landmark-takedown",
+        "chaos-loss-bursts",
+        "chaos-frog-hides-in-churn",
+        "chaos-partition-recovery",
+        "chaos-probation-nps",
+    ] {
+        assert!(text.contains(id), "--list missing {id}:\n{text}");
+    }
+}
+
+#[test]
+fn chaos_figures_write_csvs_under_smoke() {
+    let dir = tempdir("chaos-figs");
+    let out = run(&[
+        "chaos-loss-bursts",
+        "--smoke",
+        "--seed",
+        "7",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "chaos figures --smoke failed:\n{}",
+        stderr(&out)
+    );
+    let csv_path = dir.join("chaos-loss-bursts.csv");
+    assert!(csv_path.exists(), "expected {}", csv_path.display());
+    let csv = std::fs::read_to_string(&csv_path).unwrap();
+    let data_rows: Vec<&str> = csv
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .collect();
+    assert!(
+        data_rows.len() >= 2,
+        "chaos-loss-bursts: header plus rows needed:\n{csv}"
+    );
+    for cell in data_rows[1].split(',') {
+        cell.parse::<f64>()
+            .unwrap_or_else(|_| panic!("chaos-loss-bursts: non-numeric cell {cell:?}"));
+    }
+    // Every chaos figure carries the recovery accounting plus the injected
+    // fault tallies from the sim-side chaos counters.
+    assert!(csv.contains("recovery_ratio"));
+    assert!(csv.contains("burst_losses"));
 }
 
 #[test]

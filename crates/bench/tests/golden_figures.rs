@@ -59,14 +59,32 @@ const PRE_DEFENSE_IDS: [&str; 31] = [
     "atk-frog-drift",
 ];
 
-/// The arms-race figures (PR 5). Everything in neither this list nor
-/// [`PRE_DEFENSE_IDS`] is a PR-4 `def-*` sweep — the middle legacy bucket
-/// the arms-race layer must also leave byte-identical.
-const ARMS_IDS: [&str; 4] = [
+/// The arms-race figures (PR 5, plus the learning-curve figure that rode
+/// along with the chaos layer). Everything in neither this list nor
+/// [`PRE_DEFENSE_IDS`] nor [`CHAOS_IDS`] is a PR-4 `def-*` sweep — the
+/// middle legacy bucket every later layer must also leave byte-identical.
+const ARMS_IDS: [&str; 5] = [
     "arms-sweep-vivaldi",
     "arms-sweep-nps",
     "arms-evasion-roc",
     "arms-decay-tradeoff",
+    "arms-evasion-learning",
+];
+
+/// The fault-injection figures: each runs a fault model (churn, loss
+/// bursts, partitions, landmark takedown) against an attacked, defended
+/// system. Everything outside this family runs with **no `ChaosPlan`
+/// installed**, so a diff anywhere else means the chaos seam leaked into
+/// fault-free numerics — the exact regression `tests/chaos_properties.rs`
+/// exists to prevent.
+const CHAOS_IDS: [&str; 7] = [
+    "chaos-churn-vivaldi",
+    "chaos-churn-nps",
+    "chaos-landmark-takedown",
+    "chaos-loss-bursts",
+    "chaos-frog-hides-in-churn",
+    "chaos-partition-recovery",
+    "chaos-probation-nps",
 ];
 
 /// The committed reference CSVs: `<workspace root>/results`.
@@ -129,10 +147,17 @@ fn smoke_suite_reproduces_committed_csvs_byte_for_byte() {
             "arms-race golden CSV missing from results/: {id}.csv"
         );
     }
+    for id in CHAOS_IDS {
+        assert!(
+            committed.contains(&format!("{id}.csv")),
+            "chaos golden CSV missing from results/: {id}.csv"
+        );
+    }
 
     let mut diverged_legacy: Vec<String> = Vec::new();
     let mut diverged_def: Vec<String> = Vec::new();
     let mut diverged_arms: Vec<String> = Vec::new();
+    let mut diverged_chaos: Vec<String> = Vec::new();
     for name in &committed {
         let committed_bytes = std::fs::read(reference.join(name)).unwrap();
         let fresh_bytes = std::fs::read(out.join(name)).unwrap();
@@ -142,14 +167,16 @@ fn smoke_suite_reproduces_committed_csvs_byte_for_byte() {
                 diverged_legacy.push(name.clone());
             } else if ARMS_IDS.contains(&id) {
                 diverged_arms.push(name.clone());
+            } else if CHAOS_IDS.contains(&id) {
+                diverged_chaos.push(name.clone());
             } else {
                 diverged_def.push(name.clone());
             }
         }
     }
     assert!(
-        committed.len() >= 39,
-        "expected the full 39-figure suite under results/, found {} CSVs",
+        committed.len() >= 47,
+        "expected the full 47-figure suite under results/, found {} CSVs",
         committed.len()
     );
     assert!(
@@ -176,6 +203,15 @@ fn smoke_suite_reproduces_committed_csvs_byte_for_byte() {
          the change is *intentionally* numeric, re-record the affected CSVs \
          (figures <ids> --smoke --seed 2006) and explain the delta in \
          EXPERIMENTS.md"
+    );
+    assert!(
+        diverged_chaos.is_empty(),
+        "chaos-* CSV bytes diverged from committed results/ for: \
+         {diverged_chaos:?}\n\
+         The fault schedules draw from the plan's private seeded stream, so \
+         these figures are as deterministic as every other; if the change is \
+         *intentionally* numeric, re-record the affected CSVs (figures <ids> \
+         --smoke --seed 2006) and explain the delta in EXPERIMENTS.md"
     );
 }
 
@@ -247,8 +283,26 @@ fn traced_smoke_suite_matches_committed_csvs_and_emits_valid_traces() {
         if lines.len() == 1 {
             meta_only.push(id.to_string());
         }
+
+        // Every fault-injection figure must account for its injected
+        // faults in the trace: at least one `chaos.*` counter or event.
+        // A silent fault (injected but unrecorded) is exactly the class
+        // of bug a chaos run exists to surface.
+        if id.starts_with("chaos-") {
+            let observed_fault = lines.iter().any(|line| match line {
+                vcoord::obs::TraceLine::Counter { metric, .. }
+                | vcoord::obs::TraceLine::Hist { metric, .. }
+                | vcoord::obs::TraceLine::Event { metric, .. } => metric.starts_with("chaos."),
+                vcoord::obs::TraceLine::Meta { .. } => false,
+            });
+            assert!(
+                observed_fault,
+                "{id}.jsonl records no chaos.* metric — the fault schedule \
+                 ran unobserved (or never fired)"
+            );
+        }
     }
-    assert!(ids >= 39, "expected the full 39-figure suite, saw {ids}");
+    assert!(ids >= 47, "expected the full 47-figure suite, saw {ids}");
     // A few figures are closed-form (no simulation — fig17's geometric
     // evaluation, for example) and legitimately trace nothing; every
     // simulating figure must have recorded at least one counter or event.

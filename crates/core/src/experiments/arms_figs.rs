@@ -30,7 +30,9 @@ use crate::experiments::harness::{
     run_nps_defended, run_vivaldi_defended, DefenseOutcome, NpsFactory, VivaldiFactory,
 };
 use crate::experiments::{run_repetitions, FigureResult, Scale};
-use vcoord_attackkit::{AttackStrategy, EvadingFrogBoil, SleeperCollusion, ThresholdProbe};
+use vcoord_attackkit::{
+    AttackStrategy, DefenseModel, EvadingFrogBoil, SleeperCollusion, ThresholdProbe,
+};
 use vcoord_defense::{DefenseStrategy, DriftCap, DriftDecay, ResidualOutlier};
 use vcoord_metrics::Confusion;
 use vcoord_nps::NpsConfig;
@@ -304,6 +306,85 @@ pub fn arms_evasion_roc(scale: &Scale, seed: u64) -> FigureResult {
         id: "arms-evasion-roc".into(),
         title: "Evasion vs the drift cap on Vivaldi: classic and defense-modeling frog-boiling \
                 at matched budget"
+            .into(),
+        columns,
+        rows,
+        notes,
+    }
+}
+
+/// `arms-evasion-learning` — the fixed-model evader vs the *learning*
+/// evader ([`EvadingFrogBoil::learning`], PR 6's [`CapLearner`]) over the
+/// same deployed-cap sweep as `arms-evasion-roc`. The fixed evader's
+/// detectability is a cliff: wherever the deployment is tighter than its
+/// hard-coded 80 ms belief, it walks straight into the cap. The learner
+/// bisects its believed cap downward from defense feedback, recovering
+/// evasion (TPR falls back toward the evader's floor) at deployments the
+/// fixed model loses to — the arms race's next move after `def-roc`
+/// published the threshold.
+///
+/// [`CapLearner`]: vcoord_attackkit::CapLearner
+pub fn arms_evasion_learning(scale: &Scale, seed: u64) -> FigureResult {
+    let caps = [10.0, 20.0, 40.0, 80.0, 160.0];
+    let columns = vec![
+        "point_idx".to_string(),
+        "deployed_cap_ms".to_string(),
+        "tpr_fixed".to_string(),
+        "fpr_fixed".to_string(),
+        "drift_fixed".to_string(),
+        "tpr_learning".to_string(),
+        "fpr_learning".to_string(),
+        "drift_learning".to_string(),
+        "err_fixed".to_string(),
+        "err_learning".to_string(),
+    ];
+    let point = |learning: bool, cap: f64| {
+        let factory: VivaldiFactory<'_> = &move |_sim, _attackers, _seeds| {
+            let evader = if learning {
+                EvadingFrogBoil::learning(5.0, DefenseModel::default())
+            } else {
+                EvadingFrogBoil::new(5.0, DefenseModel::default())
+            };
+            (Box::new(evader) as Box<dyn AttackStrategy>, None)
+        };
+        let runs = run_repetitions(scale.repetitions, |rep| {
+            run_vivaldi_defended(
+                scale,
+                Space::Euclidean(2),
+                scale.nodes,
+                FRACTION,
+                seed,
+                rep,
+                factory,
+                Some(&move |_sim, _seeds| Box::new(DriftCap::new(cap)) as Box<dyn DefenseStrategy>),
+            )
+        });
+        let agg = aggregate_defense(runs.iter().map(|r| r.defense.as_ref()));
+        (
+            agg.confusion.tpr().unwrap_or(0.0),
+            agg.confusion.fpr().unwrap_or(0.0),
+            mean_tails(&runs, |r| &r.drift_series),
+            mean_tails(&runs, |r| &r.attack_series),
+        )
+    };
+    let mut rows = Vec::new();
+    let mut notes = Vec::new();
+    for (i, &cap) in caps.iter().enumerate() {
+        let (f_tpr, f_fpr, f_drift, f_err) = point(false, cap);
+        let (l_tpr, l_fpr, l_drift, l_err) = point(true, cap);
+        rows.push(vec![
+            i as f64, cap, f_tpr, f_fpr, f_drift, l_tpr, l_fpr, l_drift, f_err, l_err,
+        ]);
+        notes.push(format!(
+            "cap {cap} ms: fixed-model evader tpr {f_tpr:.2} (drift {f_drift:.2}), \
+             learning evader tpr {l_tpr:.2} (drift {l_drift:.2}) — both believe 80 ms \
+             at injection, only the learner revises"
+        ));
+    }
+    FigureResult {
+        id: "arms-evasion-learning".into(),
+        title: "Learned evasion vs the drift cap on Vivaldi: fixed-model cliff against the \
+                cap-learner's recovery over deployed bounds"
             .into(),
         columns,
         rows,

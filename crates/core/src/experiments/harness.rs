@@ -7,6 +7,7 @@
 
 use crate::experiments::Scale;
 use vcoord_attackkit::AttackStrategy;
+use vcoord_chaos::{ChaosCounters, ChaosPlan};
 use vcoord_defense::{DefenseStats, DefenseStrategy};
 use vcoord_metrics::{random_baseline_with, Confusion, EvalPlan, FilterLedger, TimeSeries};
 use vcoord_netsim::SeedStream;
@@ -109,6 +110,8 @@ pub struct VivaldiRun {
     pub attackers: usize,
     /// What the deployed defense did, when one was deployed.
     pub defense: Option<DefenseOutcome>,
+    /// Fault-injection accounting, when a chaos plan was installed.
+    pub chaos: Option<ChaosCounters>,
 }
 
 /// Builds the adversary once the attacker set is known. Returns the boxed
@@ -116,6 +119,15 @@ pub struct VivaldiRun {
 /// should track separately (isolation targets, designated victims).
 pub type VivaldiFactory<'a> = &'a (dyn Fn(&mut VivaldiSim, &[usize], &SeedStream) -> (Box<dyn AttackStrategy>, Option<Vec<usize>>)
          + Sync);
+
+/// Builds the fault-injection plan installed at the injection instant.
+/// Like defense factories, chaos factories see the converged system (for
+/// structural targeting — landmark ids, system size) and the seed stream;
+/// plan times are milliseconds *after installation*.
+pub type VivaldiChaosFactory<'a> = &'a (dyn Fn(&VivaldiSim, &SeedStream) -> ChaosPlan + Sync);
+
+/// Chaos-plan factory for NPS runs (see [`VivaldiChaosFactory`]).
+pub type NpsChaosFactory<'a> = &'a (dyn Fn(&NpsSim, &SeedStream) -> ChaosPlan + Sync);
 
 /// Builds the defense to deploy at injection time. Unlike the adversary
 /// factories this one never sees the attacker set — a defense that knew
@@ -192,6 +204,35 @@ pub fn run_vivaldi_defended(
     factory: VivaldiFactory<'_>,
     defense: Option<VivaldiDefenseFactory<'_>>,
 ) -> VivaldiRun {
+    run_vivaldi_chaos(
+        scale,
+        space,
+        nodes,
+        fraction,
+        master_seed,
+        rep,
+        factory,
+        defense,
+        None,
+    )
+}
+
+/// [`run_vivaldi_defended`] with a fault-injection plan installed at the
+/// injection instant — the chaos-sweep driver. With `chaos: None` the sim
+/// never allocates chaos state and this *is* `run_vivaldi_defended` (the
+/// chaos-off inertness property pinned by `tests/chaos_properties.rs`).
+#[allow(clippy::too_many_arguments)]
+pub fn run_vivaldi_chaos(
+    scale: &Scale,
+    space: Space,
+    nodes: usize,
+    fraction: f64,
+    master_seed: u64,
+    rep: u64,
+    factory: VivaldiFactory<'_>,
+    defense: Option<VivaldiDefenseFactory<'_>>,
+    chaos: Option<VivaldiChaosFactory<'_>>,
+) -> VivaldiRun {
     let seeds = SeedStream::new(master_seed).derive_indexed("vivaldi-rep", rep);
     let matrix = KingLike::new(KingLikeConfig::with_nodes(nodes)).generate(&mut seeds.rng("topo"));
     let config = VivaldiConfig::in_space(space);
@@ -229,6 +270,10 @@ pub fn run_vivaldi_defended(
     if let Some(build) = defense {
         let strategy = build(&sim, &seeds);
         sim.deploy_defense(strategy);
+    }
+    if let Some(build) = chaos {
+        let plan = build(&sim, &seeds);
+        sim.install_chaos(plan);
     }
 
     // Honest-population evaluation plan (the paper measures victims).
@@ -321,6 +366,7 @@ pub fn run_vivaldi_defended(
         random_baseline,
         attackers: n_attackers,
         defense: defense_outcome,
+        chaos: sim.chaos_counters().copied(),
     }
 }
 
@@ -352,6 +398,8 @@ pub struct NpsRun {
     pub attackers: usize,
     /// What the deployed defense did, when one was deployed.
     pub defense: Option<DefenseOutcome>,
+    /// Fault-injection accounting, when a chaos plan was installed.
+    pub chaos: Option<ChaosCounters>,
 }
 
 /// Adversary factory for NPS runs (see [`VivaldiFactory`]).
@@ -393,6 +441,34 @@ pub fn run_nps_defended(
     rep: u64,
     factory: NpsFactory<'_>,
     defense: Option<NpsDefenseFactory<'_>>,
+) -> NpsRun {
+    run_nps_chaos(
+        scale,
+        config,
+        nodes,
+        fraction,
+        master_seed,
+        rep,
+        factory,
+        defense,
+        None,
+    )
+}
+
+/// [`run_nps_defended`] with a fault-injection plan installed at the
+/// injection instant (see [`run_vivaldi_chaos`]). With `chaos: None` this
+/// *is* `run_nps_defended`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_nps_chaos(
+    scale: &Scale,
+    config: NpsConfig,
+    nodes: usize,
+    fraction: f64,
+    master_seed: u64,
+    rep: u64,
+    factory: NpsFactory<'_>,
+    defense: Option<NpsDefenseFactory<'_>>,
+    chaos: Option<NpsChaosFactory<'_>>,
 ) -> NpsRun {
     let seeds = SeedStream::new(master_seed).derive_indexed("nps-rep", rep);
     let matrix = KingLike::new(KingLikeConfig::with_nodes(nodes)).generate(&mut seeds.rng("topo"));
@@ -450,6 +526,10 @@ pub fn run_nps_defended(
     if let Some(build) = defense {
         let strategy = build(&sim, &seeds);
         sim.deploy_defense(strategy);
+    }
+    if let Some(build) = chaos {
+        let plan = build(&sim, &seeds);
+        sim.install_chaos(plan);
     }
 
     let honest = sim.eval_nodes();
@@ -573,6 +653,7 @@ pub fn run_nps_defended(
         random_baseline,
         attackers: n_attackers,
         defense: defense_outcome,
+        chaos: sim.chaos_counters().copied(),
     }
 }
 

@@ -12,6 +12,7 @@
 
 pub mod arms_figs;
 pub mod attack_figs;
+pub mod chaos_figs;
 pub mod defense_figs;
 pub mod extensions;
 pub mod harness;

@@ -1,7 +1,8 @@
 //! Figure registry: id → runner.
 
 use crate::experiments::{
-    arms_figs, attack_figs, defense_figs, extensions, nps_figs, vivaldi_figs, FigureResult, Scale,
+    arms_figs, attack_figs, chaos_figs, defense_figs, extensions, nps_figs, vivaldi_figs,
+    FigureResult, Scale,
 };
 
 type Runner = fn(&Scale, u64) -> FigureResult;
@@ -209,9 +210,51 @@ pub const FIGURES: &[(&str, Runner, &str)] = &[
         "ARMS: classic vs defense-modeling frog-boiling over deployed drift caps (Vivaldi)",
     ),
     (
+        "arms-evasion-learning",
+        arms_figs::arms_evasion_learning,
+        "ARMS: fixed-model vs cap-learning frog-boiling over deployed drift caps (Vivaldi)",
+    ),
+    (
         "arms-decay-tradeoff",
         arms_figs::arms_decay_tradeoff,
         "ARMS: sleeper collusion vs drift-cap reputation decay half-lives (Vivaldi)",
+    ),
+    // fault-injection sweeps (churn, correlated loss bursts, landmark
+    // takedown, partitions — see experiments::chaos_figs).
+    (
+        "chaos-churn-vivaldi",
+        chaos_figs::chaos_churn_vivaldi,
+        "CHAOS: crash/restart waves vs retry+backoff+eviction on Vivaldi (recovery)",
+    ),
+    (
+        "chaos-churn-nps",
+        chaos_figs::chaos_churn_nps,
+        "CHAOS: crash/restart waves vs in-round retries and membership fail-over on NPS",
+    ),
+    (
+        "chaos-landmark-takedown",
+        chaos_figs::chaos_landmark_takedown,
+        "CHAOS: permanent layer-0 landmark loss vs membership fail-over (NPS)",
+    ),
+    (
+        "chaos-loss-bursts",
+        chaos_figs::chaos_loss_bursts,
+        "CHAOS: Gilbert-Elliott loss bursts vs drift-cap false positives (honest Vivaldi)",
+    ),
+    (
+        "chaos-frog-hides-in-churn",
+        chaos_figs::chaos_frog_hides_in_churn,
+        "CHAOS: frog-boiling detection quality under churn noise (Vivaldi, headline)",
+    ),
+    (
+        "chaos-partition-recovery",
+        chaos_figs::chaos_partition_recovery,
+        "CHAOS: timed network partition — degradation while split, recovery after heal (Vivaldi)",
+    ),
+    (
+        "chaos-probation-nps",
+        chaos_figs::chaos_probation_nps,
+        "CHAOS: probation channel — reputation decay composing with membership banishment (NPS)",
     ),
 ];
 
@@ -245,9 +288,9 @@ mod tests {
         let ids = figure_ids();
         assert_eq!(
             ids.len(),
-            39,
+            47,
             "26 paper figures + 2 extensions + 3 attackkit sweeps + 4 defensekit \
-             sweeps + 4 arms-race sweeps"
+             sweeps + 5 arms-race sweeps + 7 chaos sweeps"
         );
         for k in 1..=26 {
             assert!(ids.contains(&format!("fig{k}").as_str()), "missing fig{k}");
@@ -265,7 +308,15 @@ mod tests {
             "arms-sweep-vivaldi",
             "arms-sweep-nps",
             "arms-evasion-roc",
+            "arms-evasion-learning",
             "arms-decay-tradeoff",
+            "chaos-churn-vivaldi",
+            "chaos-churn-nps",
+            "chaos-landmark-takedown",
+            "chaos-loss-bursts",
+            "chaos-frog-hides-in-churn",
+            "chaos-partition-recovery",
+            "chaos-probation-nps",
         ] {
             assert!(ids.contains(&id), "missing {id}");
         }

@@ -82,6 +82,7 @@ pub mod prelude {
         AttackStrategy, Collusion, CoordView, Deflation, FrogBoiling, Honest, Inflation, Lie,
         NetworkPartition, Oscillation, Probe, Protocol, RandomLie, Scenario,
     };
+    pub use vcoord_chaos::{BurstModel, ChaosCounters, ChaosPlan, ProbePolicy};
     pub use vcoord_defense::{
         Defense, DefenseStrategy, DriftCap, EwmaChangePoint, NoDefense, ResidualOutlier,
         TriangleCheck, TrustedBaseline, Verdict,

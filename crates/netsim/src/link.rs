@@ -40,14 +40,19 @@ impl LinkModel {
 
     /// Apply the model to a probe with base round-trip time `rtt_ms`.
     ///
-    /// Returns `None` when the probe is lost, otherwise the perturbed RTT
-    /// (never below 0.1 ms).
+    /// Returns `None` when the probe is lost, otherwise the perturbed RTT.
+    /// Jitter is sampled from the *inclusive* symmetric band
+    /// `[-jitter_ms, +jitter_ms]` — a half-open `-j..j` range would bias
+    /// the band by excluding `+jitter_ms` while admitting `-jitter_ms`.
+    /// The perturbed RTT is floored at **0.1 ms**: a measured round-trip
+    /// can be arbitrarily small but never zero or negative, and downstream
+    /// consumers (relative error, coordinate updates) divide by it.
     pub fn apply<R: Rng + ?Sized>(&self, rtt_ms: f64, rng: &mut R) -> Option<f64> {
         if self.loss > 0.0 && rng.gen_bool(self.loss.clamp(0.0, 1.0)) {
             return None;
         }
         let jit = if self.jitter_ms > 0.0 {
-            rng.gen_range(-self.jitter_ms..self.jitter_ms)
+            rng.gen_range(-self.jitter_ms..=self.jitter_ms)
         } else {
             0.0
         };
@@ -89,7 +94,7 @@ mod tests {
         };
         for _ in 0..500 {
             let v = m.apply(10.0, &mut rng).unwrap();
-            assert!((5.0..15.0).contains(&v), "{v}");
+            assert!((5.0..=15.0).contains(&v), "{v}");
         }
         // Tiny base RTT cannot go non-positive.
         for _ in 0..500 {

@@ -143,6 +143,30 @@ impl log::Log for SimLogger {
 }
 
 static INIT: Once = Once::new();
+static FAULT_DROP_WARNING: Once = Once::new();
+
+/// Emit one chaos fault event at INFO under `target`.
+///
+/// Fault injections (crashes, restarts, evictions, fail-overs) are rare,
+/// operator-relevant events, so they log at INFO rather than the TRACE/
+/// DEBUG convention of normal sim records. At the default `VCOORD_LOG`
+/// level (warn) they would all be filtered; instead of flooding the log or
+/// dropping them silently, the first filtered fault event emits a single
+/// process-wide WARN explaining how to surface them, and every subsequent
+/// drop is free.
+pub fn fault_event(target: &str, args: std::fmt::Arguments<'_>) {
+    if log::log_enabled!(target: target, log::Level::Info) {
+        log::info!(target: target, "{args}");
+    } else if log::max_level() > LevelFilter::Off {
+        FAULT_DROP_WARNING.call_once(|| {
+            log::warn!(
+                "simlog: fault events are below the current log level and are being \
+                 dropped; set VCOORD_LOG=info (or {target}=info) to see them \
+                 (this warning prints once)"
+            );
+        });
+    }
+}
 
 /// Install the logger (idempotent). Reads `VCOORD_LOG` for the level spec
 /// and `VCOORD_LOG_TS` for the elapsed-time prefix.
@@ -189,6 +213,22 @@ mod tests {
         super::init();
         super::init();
         log::debug!("logger smoke test");
+    }
+
+    #[test]
+    fn fault_events_warn_once_not_per_entry() {
+        super::init();
+        for n in 0..8 {
+            fault_event("vcoord_chaos", format_args!("crash node={n}"));
+        }
+        // Either INFO is enabled for the target (events delivered, no
+        // warning needed), logging is fully off (nothing to warn through),
+        // or the one-shot warning has fired — exactly once, by `Once`.
+        assert!(
+            log::log_enabled!(target: "vcoord_chaos", log::Level::Info)
+                || log::max_level() == LevelFilter::Off
+                || FAULT_DROP_WARNING.is_completed()
+        );
     }
 
     #[test]

@@ -85,6 +85,17 @@ pub struct NpsConfig {
     /// default; absent in serialized configs from before this field existed).
     #[serde(default)]
     pub positioning: PositioningMode,
+    /// Probation channel period, in positioning rounds: every
+    /// `probation_every`-th round a node re-measures one reference from its
+    /// rolling ban list (round-robin). The probation sample is *evidence
+    /// only* — it is screened through the deployed defense so a decaying
+    /// ban (`DriftDecay`) can observe reform and emit a `Reinstate`, but it
+    /// never enters the Simplex fit. `0` (the default, and the value
+    /// absent in older serialized configs) disables the channel; without
+    /// it, membership-mediated banning cuts the evidence stream and decay
+    /// can never compose with banishment.
+    #[serde(default)]
+    pub probation_every: u64,
 }
 
 impl Default for NpsConfig {
@@ -112,6 +123,7 @@ impl Default for NpsConfig {
             update_damping: 0.20,
             link: LinkModel::ideal(),
             positioning: PositioningMode::Strict,
+            probation_every: 0,
         }
     }
 }
@@ -150,6 +162,7 @@ mod tests {
         assert_eq!(c.probe_threshold_ms, 5_000.0);
         assert!(c.security);
         assert_eq!(c.positioning, PositioningMode::Strict);
+        assert_eq!(c.probation_every, 0, "probation is opt-in");
     }
 
     #[test]

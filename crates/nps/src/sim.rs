@@ -27,6 +27,7 @@ use crate::position::{
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
+use vcoord_chaos::{ChaosCounters, ChaosPlan, ChaosState, ProbeFate};
 use vcoord_metrics::FilterLedger;
 use vcoord_netsim::{Engine, NodeId, Scheduler, SeedStream, World};
 use vcoord_space::{Coord, SimplexSeed, Space};
@@ -56,6 +57,9 @@ pub struct NpsCounters {
     /// Simplex objective evaluations across all positioning rounds
     /// (landmark embedding excluded — it is identical in every mode).
     pub objective_evals: u64,
+    /// Probation re-measurements of banned references (evidence-only
+    /// probes; see `NpsConfig::probation_every`).
+    pub probation_probes: u64,
 }
 
 struct NpsWorld {
@@ -94,6 +98,15 @@ struct NpsWorld {
     /// reinstate side channel).
     rep_banned: Vec<usize>,
     rep_reinstated: Vec<usize>,
+    /// Installed fault schedule, if any. `None` costs one discriminant
+    /// check per reference probe; all chaos randomness lives on the plan's
+    /// own stream, so a run with an empty plan is bitwise identical to a
+    /// plain run.
+    chaos: Option<ChaosState>,
+    /// Per-node positioning-round count, driving the probation cadence.
+    probation_clock: Vec<u64>,
+    /// Per-node round-robin cursor over the rolling ban list.
+    probation_cursor: Vec<usize>,
 }
 
 impl NpsWorld {
@@ -115,6 +128,20 @@ impl NpsWorld {
                 self.counters.probes_lost += 1;
                 return None;
             }
+        };
+        let true_rtt = if self.chaos.is_some() {
+            match self.chaos_probe(node, r, now_ms, true_rtt) {
+                Some(v) => v,
+                None => {
+                    // The reference is unreachable after a full retry
+                    // cycle: fail over through the existing membership /
+                    // replacement channel, exactly like a distrusted one.
+                    self.ban_ref(node, r);
+                    return None;
+                }
+            }
+        } else {
+            true_rtt
         };
 
         let lie = if let (true, Some(scenario)) = (self.malicious[r], self.scenario.as_mut()) {
@@ -224,6 +251,28 @@ impl NpsWorld {
         })
     }
 
+    /// NPS positioning is atomic per round, so retries cannot be deferred
+    /// timers: a node retries an unresponsive reference in-round, up to
+    /// the policy's budget (each attempt steps the burst chain once), and
+    /// gives up with `None` when the cycle is exhausted.
+    fn chaos_probe(&mut self, node: usize, r: usize, now_ms: u64, rtt: f64) -> Option<f64> {
+        let chaos = self.chaos.as_mut().expect("chaos_probe without chaos");
+        let mut fate = chaos.probe_fate(node, r, now_ms, rtt);
+        let mut attempt = 0;
+        while fate == ProbeFate::Timeout && attempt < chaos.max_retries() {
+            chaos.note_retry();
+            attempt += 1;
+            fate = chaos.probe_fate(node, r, now_ms, rtt);
+        }
+        match fate {
+            ProbeFate::Delivered(v) => Some(v),
+            ProbeFate::Timeout => {
+                chaos.note_failover(node, r, now_ms);
+                None
+            }
+        }
+    }
+
     /// Ban reference `bad` for `node` and request a replacement from the
     /// membership server.
     fn ban_ref(&mut self, node: usize, bad: usize) {
@@ -236,7 +285,14 @@ impl NpsWorld {
         if self.banned[node].len() > window {
             self.banned[node].remove(0);
         }
+        let had = self.refs[node].len();
         self.refs[node].retain(|&r| r != bad);
+        if self.refs[node].len() == had {
+            // `bad` was not an active reference (a probation re-measure of
+            // an already-banned node): the window refreshed, but no slot
+            // opened, so no replacement is due.
+            return;
+        }
         if let Some(replacement) = self.membership.replacement(
             node,
             self.layer[node],
@@ -272,6 +328,44 @@ impl NpsWorld {
 
     fn reposition(&mut self, node: usize, now_ms: u64) {
         let _span = vcoord_obs::span(vcoord_obs::metric_id!("nps.position_ns"));
+        // Starvation relief, chaos runs only. A ban whose replacement
+        // request found the membership pool exhausted loses the reference
+        // slot permanently, and under churn that can starve a node's
+        // reference set below the dim+1 positioning constraint — a
+        // restarted (origin-reset) node would then skip every round
+        // forever. Refill: first re-ask the membership server (bans are
+        // scrubbed on reinstatement, so the pool recovers over time), then
+        // fall back to re-admitting the oldest banned references — under
+        // fire, fail-over bans are leases, not verdicts. Without a chaos
+        // plan installed a starved node keeps a valid incumbent
+        // coordinate, so the pre-chaos behavior (and its goldens) is
+        // untouched. Gated on the plan carrying actual faults — an empty
+        // plan must stay bitwise inert (tests/chaos_properties.rs), and
+        // starvation without faults cannot strand a node at the origin.
+        if self.chaos.as_ref().is_some_and(|c| !c.plan().is_empty()) {
+            let need = self.config.space.dim() + 1;
+            while self.refs[node].len() < need {
+                if let Some(repl) = self.membership.replacement(
+                    node,
+                    self.layer[node],
+                    &self.refs[node],
+                    &self.banned[node],
+                    &mut self.probe_rng,
+                ) {
+                    self.refs[node].push(repl);
+                    self.counters.refs_replaced += 1;
+                    continue;
+                }
+                if self.banned[node].is_empty() {
+                    break;
+                }
+                let back = self.banned[node].remove(0);
+                self.refs[node].push(back);
+                if let Some(chaos) = self.chaos.as_mut() {
+                    chaos.note_readmit(node, back, now_ms);
+                }
+            }
+        }
         // Recycle the refs/samples gathering buffers across rounds: after
         // warm-up the probe loop runs without fresh allocations (the lie
         // coordinates inside each `RefSample` are the only per-probe values
@@ -347,6 +441,41 @@ impl NpsWorld {
             self.ban_ref(node, bad);
         }
     }
+
+    /// The probation channel (`NpsConfig::probation_every`): every N-th
+    /// positioning round a node re-measures one reference from its rolling
+    /// ban list, round-robin. The probe runs the full adversary + defense
+    /// path of [`NpsWorld::probe_ref`], so a decaying ban keeps receiving
+    /// evidence about the banned node and can observe reform — but the
+    /// returned sample is dropped here and never enters the fit. This is
+    /// what lets reputation decay compose with membership-mediated
+    /// banishment: without it, a ban cuts the evidence stream and
+    /// forgiveness is structurally blind.
+    fn maybe_probation(&mut self, node: usize, now_ms: u64) {
+        let every = self.config.probation_every;
+        if every == 0 || self.defense.is_none() {
+            return;
+        }
+        self.probation_clock[node] += 1;
+        if self.probation_clock[node] % every != 0 || self.banned[node].is_empty() {
+            return;
+        }
+        let cursor = self.probation_cursor[node];
+        let candidate = self.banned[node][cursor % self.banned[node].len()];
+        self.probation_cursor[node] = cursor.wrapping_add(1);
+        self.counters.probation_probes += 1;
+        vcoord_obs::counter_add(vcoord_obs::metric_id!("nps.probation_probes"), 1);
+        vcoord_obs::event(
+            vcoord_obs::metric_id!("nps.probation"),
+            now_ms / self.config.reposition_ms.max(1),
+            node as u32,
+            candidate as f64,
+        );
+        // Evidence only: the sample is discarded, the verdict (and any
+        // reputation event it causes) is what matters.
+        let _ = self.probe_ref(node, candidate, now_ms);
+        self.drain_reputation_events();
+    }
 }
 
 impl World for NpsWorld {
@@ -358,9 +487,26 @@ impl World for NpsWorld {
         let jitter = self.probe_rng.gen_range(0..=self.config.reposition_ms / 10);
         sched.timer_after(self.config.reposition_ms + jitter, node, TAG_REPOSITION);
 
+        if let Some(chaos) = self.chaos.as_mut() {
+            for &r in chaos.advance(sched.now()) {
+                // Ordinary nodes rejoin from scratch (they re-run the full
+                // join positioning); restarted landmarks keep their pinned
+                // embedding — the paper's "highly secure machines" reboot
+                // with their coordinates intact.
+                if self.layer[r] != 0 && !self.malicious[r] {
+                    self.positioned[r] = false;
+                    self.coords[r] = self.config.space.origin();
+                    self.warm_seeds[r] = SimplexSeed::default();
+                }
+            }
+            if chaos.is_down(node) {
+                return; // crashed nodes skip their rounds entirely
+            }
+        }
         if self.malicious[node] || self.layer[node] == 0 {
             return; // landmarks are pinned; infected nodes freeze
         }
+        self.maybe_probation(node, sched.now());
         self.reposition(node, sched.now());
     }
 
@@ -483,6 +629,9 @@ impl NpsSim {
             refs_buf: Vec::new(),
             rep_banned: Vec::new(),
             rep_reinstated: Vec::new(),
+            chaos: None,
+            probation_clock: vec![0; n],
+            probation_cursor: vec![0; n],
             matrix,
             config,
         };
@@ -678,6 +827,40 @@ impl NpsSim {
     /// Verdict accounting of the deployed defense, if any.
     pub fn defense_stats(&self) -> Option<&DefenseStats> {
         self.world.defense.as_ref().map(|d| d.stats())
+    }
+
+    /// Install `plan` as the run's fault schedule, times relative to now
+    /// (the harness installs at attack injection). Replaces any previous
+    /// plan. An empty plan is inert: it draws nothing from any stream and
+    /// the run stays bitwise identical to one without chaos (pinned by the
+    /// `chaos_properties` proptests).
+    pub fn install_chaos(&mut self, plan: ChaosPlan) {
+        let n = self.world.matrix.len();
+        log::trace!(
+            "nps: installed chaos plan ({} churn events, {} partitions, bursts: {}) at t={}ms",
+            plan.churn.len(),
+            plan.partitions.len(),
+            plan.bursts.is_some(),
+            self.engine.now()
+        );
+        self.world.chaos = Some(ChaosState::new(plan, n, self.engine.now()));
+    }
+
+    /// The installed fault schedule's runtime state, if any.
+    pub fn chaos(&self) -> Option<&ChaosState> {
+        self.world.chaos.as_ref()
+    }
+
+    /// Fault totals of the installed chaos plan, if any.
+    pub fn chaos_counters(&self) -> Option<&ChaosCounters> {
+        self.world.chaos.as_ref().map(|c| c.counters())
+    }
+
+    /// Ids of the layer-0 landmarks (the degree-targeted takedown set).
+    pub fn landmark_ids(&self) -> Vec<usize> {
+        (0..self.world.matrix.len())
+            .filter(|&i| self.world.layer[i] == 0)
+            .collect()
     }
 }
 
@@ -993,5 +1176,156 @@ mod tests {
         let all = sim.eval_nodes();
         assert_eq!(l1.len() + l2.len(), all.len());
         assert!(!l1.is_empty() && !l2.is_empty());
+    }
+
+    #[test]
+    fn empty_chaos_plan_is_bit_identical_to_no_chaos() {
+        let run = |install: bool| {
+            let mut sim = small_sim(60, 31);
+            sim.run_ms(300_000);
+            if install {
+                sim.install_chaos(ChaosPlan::none());
+            }
+            sim.run_ms(300_000);
+            sim.coords().to_vec()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn landmark_takedown_fails_over_through_membership() {
+        let mut sim = small_sim(80, 32);
+        sim.run_ms(600_000);
+        let landmarks = sim.landmark_ids();
+        assert_eq!(landmarks.len(), 12);
+        let replaced_before = sim.counters().refs_replaced;
+        // Take down half the landmark backbone, permanently.
+        sim.install_chaos(ChaosPlan::none().takedown(&landmarks[..6], 0, None));
+        sim.run_ms(600_000);
+        let c = sim.chaos_counters().unwrap();
+        assert_eq!(c.crashes, 6);
+        assert!(c.timeouts > 0 && c.retries > 0, "{c:?}");
+        assert!(c.failovers > 0, "dead landmarks must be failed over: {c:?}");
+        assert!(
+            sim.counters().refs_replaced > replaced_before,
+            "fail-over must route through membership replacement"
+        );
+        // Landmarks stay pinned even across a crash (no coordinate reset).
+        assert!(sim.positioned()[landmarks[0]]);
+    }
+
+    #[test]
+    fn restarted_ordinary_nodes_rejoin_from_scratch() {
+        let mut sim = small_sim(60, 33);
+        sim.run_ms(600_000);
+        // Find a positioned ordinary node and bounce it for two rounds.
+        let victim = (0..60)
+            .find(|&i| sim.layers_of()[i] != 0 && sim.positioned()[i])
+            .unwrap();
+        let coord_before = sim.coords()[victim].clone();
+        sim.install_chaos(ChaosPlan::none().takedown(&[victim], 0, Some(120_000)));
+        sim.run_ms(600_000);
+        assert!(
+            sim.positioned()[victim],
+            "restarted node must reposition again"
+        );
+        assert_eq!(sim.chaos_counters().unwrap().restarts, 1);
+        // The rejoin started from scratch (origin + cold seed), so the
+        // re-fit lands somewhere new rather than resuming the old state.
+        assert_ne!(sim.coords()[victim], coord_before);
+    }
+
+    #[test]
+    fn probation_lets_decay_compose_with_banishment() {
+        use crate::adversary::{AttackStrategy, CoordView, Lie, Probe};
+        use crate::defense::{DriftCap, DriftDecay};
+        use vcoord_attackkit::Collusion;
+
+        // Attack hard for a fixed number of rounds after injection, then
+        // reform — the Vivaldi decay test's story, on the NPS seam.
+        struct BurstThenReform {
+            attack_rounds: u64,
+            injected_at: Option<u64>,
+        }
+        impl AttackStrategy for BurstThenReform {
+            fn inject(
+                &mut self,
+                _attackers: &[usize],
+                _collusion: &mut Collusion,
+                view: &CoordView<'_>,
+                _rng: &mut ChaCha12Rng,
+            ) {
+                self.injected_at = Some(view.round);
+            }
+            fn respond(
+                &mut self,
+                probe: &Probe,
+                _collusion: &mut Collusion,
+                view: &CoordView<'_>,
+                _rng: &mut ChaCha12Rng,
+            ) -> Option<Lie> {
+                let start = self.injected_at.unwrap_or(0);
+                if view.round.saturating_sub(start) >= self.attack_rounds {
+                    return None; // reformed
+                }
+                let mut coord = view.coords[probe.attacker].clone();
+                coord.vec[0] += 250.0;
+                Some(Lie {
+                    coord,
+                    error: 0.01,
+                    delay_ms: 0.0,
+                })
+            }
+            fn label(&self) -> &'static str {
+                "burst-then-reform"
+            }
+        }
+
+        let run = |probation_every: u64| {
+            let seeds = SeedStream::new(34);
+            let matrix =
+                KingLike::new(KingLikeConfig::with_nodes(60)).generate(&mut seeds.rng("topo"));
+            let config = NpsConfig {
+                landmarks: 12,
+                refs_per_node: 12,
+                space: Space::Euclidean(4),
+                probation_every,
+                ..NpsConfig::default()
+            };
+            let mut sim = NpsSim::new(matrix, config, &seeds);
+            sim.run_ms(600_000);
+            let attackers = sim.pick_attackers(0.25);
+            sim.inject_adversary(
+                &attackers,
+                Box::new(BurstThenReform {
+                    attack_rounds: 10,
+                    injected_at: None,
+                }),
+            );
+            sim.deploy_defense(Box::new(DriftCap::with_decay(40.0, DriftDecay::new(5.0))));
+            sim.run_ms(3_000_000);
+            let stats = sim.defense_stats().unwrap();
+            (
+                stats.bans,
+                stats.reinstated,
+                sim.counters().probation_probes,
+            )
+        };
+
+        // Without the probation channel, membership-mediated banning cuts
+        // the evidence stream: the decay never observes reform.
+        let (bans_off, reinstated_off, probes_off) = run(0);
+        assert!(bans_off > 0, "the burst must get banned");
+        assert_eq!(probes_off, 0);
+        // With probation, banned references keep being re-measured and the
+        // reformed attackers earn reinstatement.
+        let (bans_on, reinstated_on, probes_on) = run(2);
+        assert!(bans_on > 0);
+        assert!(probes_on > 0, "probation probes must flow");
+        assert!(
+            reinstated_on > reinstated_off,
+            "probation must let decay forgive reformed references \
+             (off: {reinstated_off}, on: {reinstated_on})"
+        );
     }
 }

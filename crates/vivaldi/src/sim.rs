@@ -19,12 +19,26 @@ use crate::node::vivaldi_update_scaled;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
+use vcoord_chaos::{ChaosCounters, ChaosPlan, ChaosState, ProbeFate};
 use vcoord_netsim::{time, Engine, NodeId, Scheduler, SeedStream, World};
 use vcoord_space::{Coord, Space};
 use vcoord_topo::RttMatrix;
 
 /// Timer tag: a node's probe tick.
 const TAG_PROBE: u64 = 0;
+
+/// Retry timers are odd tags packing the attempt and target peer:
+/// `1 | attempt << 1 | peer << 8`. Only scheduled when chaos is installed
+/// and a probe timed out, so a chaos-free run sees `TAG_PROBE` only.
+const TAG_RETRY_BIT: u64 = 1;
+
+fn retry_tag(peer: usize, attempt: u32) -> u64 {
+    TAG_RETRY_BIT | (u64::from(attempt) << 1) | ((peer as u64) << 8)
+}
+
+fn retry_tag_decode(tag: u64) -> (usize, u32) {
+    ((tag >> 8) as usize, ((tag >> 1) & 0x7f) as u32)
+}
 
 /// A probe response in flight.
 #[derive(Debug, Clone)]
@@ -70,6 +84,16 @@ struct VivaldiWorld {
     /// Reusable reputation-event drain buffers.
     rep_banned: Vec<usize>,
     rep_reinstated: Vec<usize>,
+    /// Installed fault schedule, if any. `None` costs one discriminant
+    /// check per probe and keeps the run bitwise identical to a build
+    /// without the chaos subsystem (all chaos randomness lives on the
+    /// plan's own stream).
+    chaos: Option<ChaosState>,
+    /// Consecutive exhausted probe cycles per neighbor-list slot, parallel
+    /// to `neighbors`; sized on [`VivaldiSim::install_chaos`], empty (and
+    /// untouched) otherwise. At `evict_after` strikes the stale neighbor
+    /// is shed and a replacement drawn from the chaos stream.
+    fail: Vec<Vec<u32>>,
     probe_rng: ChaCha12Rng,
     update_rng: ChaCha12Rng,
     adv_rng: ChaCha12Rng,
@@ -80,16 +104,72 @@ impl World for VivaldiWorld {
     type Payload = Sample;
 
     fn on_timer(&mut self, sched: &mut Scheduler<Sample>, node: NodeId, tag: u64) {
+        if tag & TAG_RETRY_BIT != 0 {
+            // A probe retry after a chaos timeout: re-probe the specific
+            // peer unless the prober meanwhile crashed or turned.
+            let (peer, attempt) = retry_tag_decode(tag);
+            if self.malicious[node] {
+                return;
+            }
+            if let Some(chaos) = self.chaos.as_ref() {
+                if chaos.is_down(node) {
+                    return;
+                }
+            }
+            self.send_probe(sched, node, peer, attempt);
+            return;
+        }
         debug_assert_eq!(tag, TAG_PROBE);
         // Keep ticking (even for malicious nodes, so a cured node could
         // resume; cheap either way).
         sched.timer_after(self.config.tick_ms, node, TAG_PROBE);
+        if let Some(chaos) = self.chaos.as_mut() {
+            // Apply churn that came due. Restarted nodes rejoin from the
+            // cold-start state; their strike counts are wiped.
+            for &r in chaos.advance(sched.now()) {
+                if !self.malicious[r] {
+                    self.coords[r] = self.config.space.origin();
+                    self.errors[r] = self.config.initial_error;
+                }
+                self.fail[r].fill(0);
+            }
+            if chaos.is_down(node) {
+                return; // crashed nodes neither probe nor tick forward state
+            }
+        }
         if self.malicious[node] {
             return; // infected nodes no longer maintain their own position
         }
         let Some(&peer) = self.neighbors[node].choose(&mut self.probe_rng) else {
             return;
         };
+        self.send_probe(sched, node, peer, 0);
+    }
+
+    fn on_message(&mut self, sched: &mut Scheduler<Sample>, from: NodeId, to: NodeId, s: Sample) {
+        if self.malicious[to] {
+            return; // infected after the probe left: ignore the sample
+        }
+        if let Some(chaos) = self.chaos.as_ref() {
+            if chaos.is_down(to) {
+                return; // crashed while the response was in flight
+            }
+        }
+        self.apply_sample(sched, from, to, s);
+    }
+}
+
+impl VivaldiWorld {
+    /// One probe attempt from `node` to `peer` (`attempt` 0 is the tick's
+    /// regular probe; higher attempts are chaos retries). Chaos-free runs
+    /// always take the `attempt == 0` path with no chaos branch taken.
+    fn send_probe(
+        &mut self,
+        sched: &mut Scheduler<Sample>,
+        node: usize,
+        peer: usize,
+        attempt: u32,
+    ) {
         self.counters.probes_sent += 1;
 
         let base_rtt = self.matrix.rtt(node, peer);
@@ -97,6 +177,22 @@ impl World for VivaldiWorld {
             self.counters.probes_lost += 1;
             return;
         };
+        let rtt = match self.chaos.as_mut() {
+            None => rtt,
+            Some(chaos) => match chaos.probe_fate(node, peer, sched.now(), rtt) {
+                ProbeFate::Delivered(rtt) => rtt,
+                ProbeFate::Timeout => {
+                    self.handle_timeout(sched, node, peer, attempt);
+                    return;
+                }
+            },
+        };
+        if self.chaos.is_some() {
+            // The peer answered: clear its staleness strikes.
+            if let Some(idx) = self.neighbors[node].iter().position(|&p| p == peer) {
+                self.fail[node][idx] = 0;
+            }
+        }
 
         let response =
             if let (true, Some(scenario)) = (self.malicious[peer], self.scenario.as_mut()) {
@@ -159,10 +255,46 @@ impl World for VivaldiWorld {
         );
     }
 
-    fn on_message(&mut self, sched: &mut Scheduler<Sample>, from: NodeId, to: NodeId, s: Sample) {
-        if self.malicious[to] {
-            return; // infected after the probe left: ignore the sample
+    /// A probe attempt to `peer` timed out: schedule the next
+    /// exponential-backoff retry, or — once the cycle is exhausted — put a
+    /// strike on the neighbor and evict it for staleness at the policy
+    /// threshold, drawing a replacement from the chaos stream so the
+    /// spring count survives churn.
+    fn handle_timeout(
+        &mut self,
+        sched: &mut Scheduler<Sample>,
+        node: usize,
+        peer: usize,
+        attempt: u32,
+    ) {
+        let chaos = self.chaos.as_mut().expect("timeout without chaos");
+        if attempt < chaos.max_retries() {
+            chaos.note_retry();
+            let delay = chaos.retry_delay_ms(attempt + 1);
+            sched.timer_after(time::from_ms_f64(delay), node, retry_tag(peer, attempt + 1));
+            return;
         }
+        let Some(idx) = self.neighbors[node].iter().position(|&p| p == peer) else {
+            return; // already evicted by an earlier cycle
+        };
+        self.fail[node][idx] += 1;
+        if self.fail[node][idx] < chaos.evict_after() {
+            return;
+        }
+        self.neighbors[node].swap_remove(idx);
+        self.fail[node].swap_remove(idx);
+        chaos.note_eviction(node, peer, sched.now());
+        // Exclude the dead peer itself from the replacement draw.
+        self.neighbors[node].push(peer);
+        let replacement = chaos.replacement(self.matrix.len(), node, &self.neighbors[node]);
+        self.neighbors[node].pop();
+        if let Some(repl) = replacement {
+            self.neighbors[node].push(repl);
+            self.fail[node].push(0);
+        }
+    }
+
+    fn apply_sample(&mut self, sched: &mut Scheduler<Sample>, from: NodeId, to: NodeId, s: Sample) {
         // Screen the sample through the deployed defense (if any) before
         // the update rule sees it. No deployment and a `NoDefense`
         // deployment both leave `scale = 1.0`, which is bit-identical to
@@ -265,6 +397,8 @@ impl VivaldiSim {
             quarantined: vec![false; n],
             rep_banned: Vec::new(),
             rep_reinstated: Vec::new(),
+            chaos: None,
+            fail: Vec::new(),
             probe_rng: seeds.rng("vivaldi/probe"),
             update_rng: seeds.rng("vivaldi/update"),
             adv_rng: seeds.rng("vivaldi/adversary"),
@@ -437,6 +571,45 @@ impl VivaldiSim {
     /// Verdict accounting of the deployed defense, if any.
     pub fn defense_stats(&self) -> Option<&DefenseStats> {
         self.world.defense.as_ref().map(|d| d.stats())
+    }
+
+    /// Install `plan` as the run's fault schedule, times relative to now
+    /// (the harness installs at attack injection, on the converged
+    /// system). Replaces any previous plan. An empty plan is inert: it
+    /// draws nothing from any stream and the run stays bitwise identical
+    /// to one without chaos (pinned by the `chaos_properties` proptests).
+    pub fn install_chaos(&mut self, plan: ChaosPlan) {
+        let n = self.world.matrix.len();
+        log::trace!(
+            "vivaldi: installed chaos plan ({} churn events, {} partitions, bursts: {}) at t={}ms",
+            plan.churn.len(),
+            plan.partitions.len(),
+            plan.bursts.is_some(),
+            self.engine.now()
+        );
+        self.world.chaos = Some(ChaosState::new(plan, n, self.engine.now()));
+        self.world.fail = self
+            .world
+            .neighbors
+            .iter()
+            .map(|ns| vec![0; ns.len()])
+            .collect();
+    }
+
+    /// The installed fault schedule's runtime state, if any.
+    pub fn chaos(&self) -> Option<&ChaosState> {
+        self.world.chaos.as_ref()
+    }
+
+    /// Fault totals of the installed chaos plan, if any.
+    pub fn chaos_counters(&self) -> Option<&ChaosCounters> {
+        self.world.chaos.as_ref().map(|c| c.counters())
+    }
+
+    /// Current neighbor lists (springs). Chaos staleness eviction mutates
+    /// these; without chaos they are fixed at construction.
+    pub fn neighbors(&self) -> &[Vec<usize>] {
+        &self.world.neighbors
     }
 }
 
@@ -692,6 +865,92 @@ mod tests {
         assert!(stats.bans > 0, "the frog must get banned");
         assert_eq!(stats.reinstated, 0, "permanent bans never forgive");
         assert!(attackers.iter().any(|&a| sim.quarantined()[a]));
+    }
+
+    #[test]
+    fn empty_chaos_plan_is_bit_identical_to_no_chaos() {
+        let run = |install: bool| {
+            let mut sim = small_sim(30, 21);
+            sim.run_ticks(40);
+            if install {
+                sim.install_chaos(ChaosPlan::none());
+            }
+            sim.run_ticks(60);
+            (sim.coords().to_vec(), sim.errors().to_vec())
+        };
+        let (ca, ea) = run(false);
+        let (cb, eb) = run(true);
+        assert_eq!(ca, cb);
+        for (a, b) in ea.iter().zip(&eb) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn crashed_nodes_freeze_and_peers_shed_them() {
+        let mut sim = small_sim(30, 22);
+        sim.run_ticks(100);
+        // Take down nodes 0..3 permanently at injection time.
+        sim.install_chaos(ChaosPlan::none().takedown(&[0, 1, 2], 0, None));
+        let frozen: Vec<Coord> = (0..3).map(|i| sim.coords()[i].clone()).collect();
+        sim.run_ticks(120);
+        for (i, f) in frozen.iter().enumerate() {
+            assert_eq!(&sim.coords()[i], f, "crashed node {i} moved");
+        }
+        let c = sim.chaos_counters().unwrap();
+        assert!(c.crashes == 3 && c.timeouts > 0 && c.retries > 0, "{c:?}");
+        assert!(c.evictions > 0, "peers must evict dead neighbors: {c:?}");
+        // Eviction keeps the spring count: replacements were drawn.
+        let degree_ok = sim
+            .neighbors()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i >= 3)
+            .all(|(_, ns)| !ns.is_empty());
+        assert!(degree_ok);
+    }
+
+    #[test]
+    fn restarted_nodes_rejoin_and_reconverge() {
+        let mut sim = small_sim(40, 23);
+        sim.run_ticks(150);
+        let plan = EvalPlan::new(&sim.honest_nodes(), &mut SeedStream::new(9).rng("plan"));
+        let steady = plan.avg_error(sim.coords(), sim.space(), sim.matrix());
+        let tick = sim.config().tick_ms;
+        // A quarter of the population bounces: down for 10 ticks.
+        sim.install_chaos(ChaosPlan::with_seed(5).churn_wave(40, 0.25, 2 * tick, 10 * tick));
+        sim.run_ticks(15);
+        let c = sim.chaos_counters().unwrap();
+        assert_eq!(c.crashes, 10);
+        assert_eq!(c.restarts, 10);
+        // Mid-churn the restarted quarter is at the origin: error is up.
+        let during = plan.avg_error(sim.coords(), sim.space(), sim.matrix());
+        assert!(during > steady * 1.5, "steady={steady} during={during}");
+        sim.run_ticks(250);
+        let after = plan.avg_error(sim.coords(), sim.space(), sim.matrix());
+        assert!(
+            after < steady * 1.5 + 0.05,
+            "no re-convergence: steady={steady} after={after}"
+        );
+    }
+
+    #[test]
+    fn partitions_time_probes_out_until_healed() {
+        let mut sim = small_sim(20, 24);
+        sim.run_ticks(30);
+        let tick = sim.config().tick_ms;
+        sim.install_chaos(ChaosPlan::with_seed(2).split(20, 0.5, 0, 20 * tick));
+        sim.run_ticks(10);
+        let mid = sim.chaos_counters().unwrap().timeouts;
+        assert!(mid > 0, "cross-partition probes must time out");
+        sim.run_ticks(40);
+        let healed = sim.chaos_counters().unwrap().timeouts;
+        sim.run_ticks(10);
+        assert_eq!(
+            sim.chaos_counters().unwrap().timeouts,
+            healed,
+            "after the window heals, probes flow again"
+        );
     }
 
     #[test]

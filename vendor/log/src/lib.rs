@@ -137,6 +137,15 @@ pub fn max_level() -> LevelFilter {
     }
 }
 
+/// Macro plumbing for [`log_enabled!`] — not public API.
+#[doc(hidden)]
+pub fn __enabled(level: Level, target: &str) -> bool {
+    level <= max_level()
+        && LOGGER
+            .get()
+            .is_some_and(|logger| logger.enabled(&Metadata { level, target }))
+}
+
 /// Macro plumbing — not public API.
 #[doc(hidden)]
 pub fn __log(level: Level, target: &str, args: fmt::Arguments<'_>) {
@@ -161,6 +170,19 @@ macro_rules! log {
     }};
     ($lvl:expr, $($arg:tt)+) => {
         $crate::log!(target: module_path!(), $lvl, $($arg)+)
+    };
+}
+
+/// Would a record at this level (and optional target) actually be logged?
+/// Mirrors upstream `log_enabled!`: checks the global max level, then asks
+/// the installed logger's own filter.
+#[macro_export]
+macro_rules! log_enabled {
+    (target: $target:expr, $lvl:expr) => {
+        $crate::__enabled($lvl, $target)
+    };
+    ($lvl:expr) => {
+        $crate::log_enabled!(target: module_path!(), $lvl)
     };
 }
 
