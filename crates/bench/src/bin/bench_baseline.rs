@@ -12,17 +12,18 @@
 //!   --out DIR  output directory (default .)
 //! ```
 //!
-//! Emits one machine-readable JSON file (schema 3) holding (a) per-figure
+//! Emits one machine-readable JSON file (schema 4) holding (a) per-figure
 //! wall-clock seconds at the chosen scale — figures are timed one at a time
 //! (no `--jobs` overlap), though each figure still uses its internal
 //! repetition/eval pools, so pin `VCOORD_THREADS` (recorded in the JSON as
 //! `"threads"`) when comparing numbers across machines — (b) per-figure
-//! `evals_per_round` (mean/median Simplex objective evaluations per NPS
-//! positioning round, from snapshot deltas of the `vcoord::nps::evals`
+//! `evals_per_round` (mean/median/p99 Simplex objective evaluations per
+//! NPS positioning round, from snapshot deltas of the `vcoord::nps::evals`
 //! histogram; Vivaldi-only figures record no entry), plus a per-figure
-//! `"obs"` block (schema 3): the figure sweep runs with the `vcoord-obs`
+//! `"obs"` block: the figure sweep runs with the `vcoord-obs`
 //! gated plane in `Metrics` mode and each figure's drained counters and
-//! histogram summaries (count + mean, wall-clock ones included — this file
+//! histogram summaries (count, mean, and — schema 4, from the HDR bucket
+//! upgrade — p50/p90/p95/p99; wall-clock ones included — this file
 //! is a perf record, not a byte-compared trace) land beside its wall-clock
 //! — (c) the
 //! strict-vs-warm **eval-collapse fixture** — one steady-state NPS run per
@@ -336,7 +337,7 @@ fn main() {
     // that never reposition an NPS node (the Vivaldi family) record no
     // entry. The figures run one at a time, so each snapshot delta of the
     // process-global histogram is attributable to exactly one figure.
-    let mut figure_evals: Vec<(String, f64, f64, u64)> = Vec::new();
+    let mut figure_evals: Vec<(String, f64, f64, f64, u64)> = Vec::new();
     // Per-figure gated-plane summaries for the schema-3 "obs" block. The
     // sweep (and only the sweep) runs in Metrics mode: kernel timings above
     // stay on the disabled path, comparable with pre-obs baselines.
@@ -358,7 +359,13 @@ fn main() {
                         d.mean(),
                         d.rounds()
                     );
-                    figure_evals.push((id.clone(), d.mean(), d.median(), d.rounds()));
+                    figure_evals.push((
+                        id.clone(),
+                        d.mean(),
+                        d.median(),
+                        d.quantile(0.99),
+                        d.rounds(),
+                    ));
                 } else {
                     println!("{id:<20} {secs:>8.2}s");
                 }
@@ -377,7 +384,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"label\": \"{}\",\n", json_escape(&label)));
-    json.push_str("  \"schema\": 3,\n");
+    json.push_str("  \"schema\": 4,\n");
     json.push_str(&format!("  \"scale\": \"{}\",\n", args.scale_name));
     json.push_str(&format!("  \"seed\": {},\n", args.seed));
     json.push_str(&format!(
@@ -404,9 +411,9 @@ fn main() {
         "  \"nps_eval_collapse\": {{\"nodes\": {collapse_nodes}, \"strict_mean\": {collapse_strict:.3}, \"warm_mean\": {collapse_warm:.3}, \"ratio\": {collapse_ratio:.3}}},\n"
     ));
     json.push_str("  \"evals_per_round\": {\n");
-    for (i, (id, mean, median, rounds)) in figure_evals.iter().enumerate() {
+    for (i, (id, mean, median, p99, rounds)) in figure_evals.iter().enumerate() {
         json.push_str(&format!(
-            "    \"{}\": {{\"mean\": {mean:.3}, \"median\": {median:.1}, \"rounds\": {rounds}}}{}\n",
+            "    \"{}\": {{\"mean\": {mean:.3}, \"median\": {median:.1}, \"p99\": {p99:.1}, \"rounds\": {rounds}}}{}\n",
             json_escape(id),
             if i + 1 < figure_evals.len() { "," } else { "" }
         ));
@@ -425,8 +432,9 @@ fn main() {
         }
         json.push_str("}, \"hists\": {");
         for (k, (metric, h)) in report.hists().iter().enumerate() {
+            let (p50, p90, p95, p99) = h.percentiles();
             json.push_str(&format!(
-                "{}\"{}\": {{\"count\": {}, \"mean\": {:e}}}",
+                "{}\"{}\": {{\"count\": {}, \"mean\": {:e}, \"p50\": {p50:e}, \"p90\": {p90:e}, \"p95\": {p95:e}, \"p99\": {p99:e}}}",
                 if k > 0 { ", " } else { "" },
                 json_escape(vcoord::obs::metric_name(*metric)),
                 h.count,

@@ -1,0 +1,160 @@
+//! Compare two runs — JSONL traces, trace directories, or `BENCH_*.json`
+//! baselines — under a declarative tolerance spec, and fail on regression.
+//!
+//! ```text
+//! obs-diff [--tolerances FILE] [--report-only] [--verbose] BASE NEW
+//!
+//!   BASE, NEW      a trace file (figures --trace-out), a directory of
+//!                  *.jsonl traces, or a BENCH_*.json baseline; BASE and
+//!                  NEW must be the same kind
+//!   --tolerances   TOML tolerance spec (see vcoord-obs::diff docs);
+//!                  defaults to exact counters + 10 % everywhere else
+//!   --report-only  print the delta table but always exit 0 on regression
+//!   --verbose      include in-tolerance rows in the table
+//! ```
+//!
+//! Exit codes: 0 in tolerance (or `--report-only`), 1 regression,
+//! 2 usage error, 3 unreadable/unparseable input.
+
+use std::path::Path;
+use vcoord::obs::diff::{
+    diff_samples, parse_json, samples_from_bench, samples_from_trace, Sample, ToleranceSpec,
+};
+use vcoord::obs::{parse_jsonl, TraceLine};
+
+const USAGE: &str = "usage: obs-diff [--tolerances FILE] [--report-only] [--verbose] BASE NEW";
+
+fn die_input(msg: &str) -> ! {
+    eprintln!("obs-diff: {msg}");
+    std::process::exit(3);
+}
+
+/// Parse one file as either a JSONL trace (first) or a BENCH baseline.
+fn samples_from_file(path: &Path) -> Vec<Sample> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die_input(&format!("{}: {e}", path.display())));
+    match parse_jsonl(&text) {
+        Ok(lines) => {
+            let fig = lines
+                .iter()
+                .find_map(|l| match l {
+                    TraceLine::Meta { fig, .. } => Some(fig.clone()),
+                    _ => None,
+                })
+                .unwrap_or_else(|| {
+                    die_input(&format!("{}: trace has no meta line", path.display()))
+                });
+            samples_from_trace(&fig, &lines)
+        }
+        Err(trace_err) => match parse_json(&text).and_then(|j| samples_from_bench(&j)) {
+            Ok(samples) => samples,
+            Err(bench_err) => die_input(&format!(
+                "{}: not a trace ({trace_err}) and not a BENCH baseline ({bench_err})",
+                path.display()
+            )),
+        },
+    }
+}
+
+/// Sorted `*.jsonl` names in a directory.
+fn trace_names(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| die_input(&format!("{}: {e}", dir.display())))
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            name.ends_with(".jsonl").then_some(name)
+        })
+        .collect();
+    names.sort();
+    names
+}
+
+fn main() {
+    let mut tolerances: Option<String> = None;
+    let mut report_only = false;
+    let mut verbose = false;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tolerances" => match args.next() {
+                Some(f) => tolerances = Some(f),
+                None => {
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--report-only" => report_only = true,
+            "--verbose" => verbose = true,
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [base, new] = paths.as_slice() else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let base = Path::new(base);
+    let new = Path::new(new);
+
+    let spec = match &tolerances {
+        None => ToleranceSpec::default(),
+        Some(file) => {
+            let text = std::fs::read_to_string(file)
+                .unwrap_or_else(|e| die_input(&format!("{file}: {e}")));
+            ToleranceSpec::parse(&text).unwrap_or_else(|e| die_input(&format!("{file}: {e}")))
+        }
+    };
+
+    // Directories compare per-name: a base trace missing from the new run
+    // is itself a regression (the suite shrank); extra new traces are
+    // informational (the suite grew).
+    let mut missing_files = 0usize;
+    let (base_samples, new_samples) = if base.is_dir() || new.is_dir() {
+        if !(base.is_dir() && new.is_dir()) {
+            die_input("BASE and NEW must both be directories (or both files)");
+        }
+        let base_names = trace_names(base);
+        let new_names = trace_names(new);
+        if base_names.is_empty() {
+            die_input(&format!("{}: no *.jsonl traces", base.display()));
+        }
+        let mut b = Vec::new();
+        let mut n = Vec::new();
+        for name in &base_names {
+            if new_names.contains(name) {
+                b.extend(samples_from_file(&base.join(name)));
+                n.extend(samples_from_file(&new.join(name)));
+            } else {
+                println!("missing in new: {name}  REGRESSION");
+                missing_files += 1;
+            }
+        }
+        for name in &new_names {
+            if !base_names.contains(name) {
+                println!("only in new: {name}");
+            }
+        }
+        (b, n)
+    } else {
+        (samples_from_file(base), samples_from_file(new))
+    };
+
+    let report = diff_samples(&base_samples, &new_samples, &spec);
+    print!("{}", report.to_text(verbose));
+    let regressions = report.regressions() + missing_files;
+    if regressions > 0 {
+        if report_only {
+            println!("report-only: {regressions} regressions ignored");
+        } else {
+            std::process::exit(1);
+        }
+    }
+}

@@ -70,6 +70,7 @@ struct ChaosAgg {
     failovers: f64,
     burst_losses: f64,
     spiked: f64,
+    readmits: f64,
 }
 
 fn aggregate_chaos<'a>(counters: impl Iterator<Item = Option<&'a ChaosCounters>>) -> ChaosAgg {
@@ -86,6 +87,7 @@ fn aggregate_chaos<'a>(counters: impl Iterator<Item = Option<&'a ChaosCounters>>
         agg.failovers += c.failovers as f64;
         agg.burst_losses += c.burst_losses as f64;
         agg.spiked += c.spiked as f64;
+        agg.readmits += c.readmits as f64;
     }
     let n = n.max(1) as f64;
     agg.crashes /= n;
@@ -96,6 +98,7 @@ fn aggregate_chaos<'a>(counters: impl Iterator<Item = Option<&'a ChaosCounters>>
     agg.failovers /= n;
     agg.burst_losses /= n;
     agg.spiked /= n;
+    agg.readmits /= n;
     agg
 }
 
@@ -788,6 +791,111 @@ pub fn chaos_probation_nps(scale: &Scale, seed: u64) -> FigureResult {
     }
 }
 
+/// Post-injection window multipliers for the leak sweep, ×recovery-scale
+/// rounds (the 1× row is the short-window contrast the leak rate is read
+/// against).
+const LEAK_WINDOWS: [u64; 4] = [1, 2, 4, 8];
+
+/// `chaos-probation-leak` — the starvation-relief readmission guard's
+/// healed-evidence leak, measured directly. With the probation channel
+/// *off* (`probation_every: 0`) and the tight reference economy of
+/// `chaos-probation-nps`, a banned reference has exactly one path back
+/// into anyone's probe set: the guard in `NpsSim::reposition` re-admits
+/// the oldest ban when fault noise starves a node below the `dim + 1`
+/// positioning constraint. Each re-admitted (by then reformed) attacker
+/// hands honest samples to the decaying drift cap, its reputation heals,
+/// and a reinstatement appears on a channel that is nominally closed.
+/// The sweep stretches the post-injection window and reports that leak —
+/// reinstatements per ban — which the probation figure's off-row only
+/// hints at (and caps its window to avoid).
+pub fn chaos_probation_leak(scale: &Scale, seed: u64) -> FigureResult {
+    let mut base = recovery_scale(scale);
+    // Same variance argument as chaos-probation-nps: a single late
+    // readmission moves a whole row, so average more repetitions.
+    base.repetitions = base.repetitions.max(5);
+    let columns = vec![
+        "point_idx".to_string(),
+        "window_rounds".to_string(),
+        "err_tail".to_string(),
+        "readmits".to_string(),
+        "bans".to_string(),
+        "leaked_reinstated".to_string(),
+        "leak_rate".to_string(),
+        "banned_malicious_final".to_string(),
+    ];
+    let factory: NpsFactory<'_> = &|_sim, _attackers, _seeds| {
+        (
+            Box::new(BurstThenReform::new(10)) as Box<dyn AttackStrategy>,
+            None,
+        )
+    };
+    let chaos: NpsChaosFactory<'_> =
+        &move |_sim, _seeds| ChaosPlan::with_seed(seed ^ 0x1EAC).bursts(BurstModel::mild());
+    // Tight reference economy (see chaos-probation-nps): no spare
+    // membership candidates means bans are structurally final — until the
+    // guard leaks them back.
+    let config = NpsConfig {
+        probation_every: 0,
+        landmarks: 12,
+        refs_per_node: 12,
+        space: Space::Euclidean(4),
+        ..NpsConfig::default()
+    };
+    let mut rows = Vec::new();
+    let mut notes = Vec::new();
+    for (i, &mult) in LEAK_WINDOWS.iter().enumerate() {
+        let mut s = base.clone();
+        s.nps_attack_rounds = base.nps_attack_rounds * mult;
+        let runs = run_repetitions(s.repetitions, |rep| {
+            run_nps_chaos(
+                &s,
+                config.clone(),
+                s.nodes,
+                FRACTION,
+                seed,
+                rep,
+                factory,
+                Some(&|_sim, _seeds| {
+                    Box::new(DriftCap::with_decay(40.0, DriftDecay::new(5.0)))
+                        as Box<dyn DefenseStrategy>
+                }),
+                Some(chaos),
+            )
+        });
+        let err = mean_tails(&runs, |r| &r.attack_series);
+        let agg = aggregate_chaos(runs.iter().map(|r| r.chaos.as_ref()));
+        let (_, bans, leaked, _, banned_malicious) =
+            merge_outcomes(runs.iter().map(|r| r.defense.as_ref()));
+        let leak_rate = if bans > 0.0 { leaked / bans } else { 0.0 };
+        rows.push(vec![
+            i as f64,
+            s.nps_attack_rounds as f64,
+            err,
+            agg.readmits,
+            bans,
+            leaked,
+            leak_rate,
+            banned_malicious,
+        ]);
+        notes.push(format!(
+            "window {} rounds: {:.1} starvation readmits, {bans:.1} bans, {leaked:.1} \
+             reinstated with the channel off (leak rate {leak_rate:.3}), steady-state \
+             banned malicious {banned_malicious:.1}, tail err {err:.3}",
+            s.nps_attack_rounds, agg.readmits,
+        ));
+    }
+    FigureResult {
+        id: "chaos-probation-leak".into(),
+        title: "Starvation-relief readmission as a covert probation channel: healed \
+                evidence leaking to reputation decay over long windows (NPS, probation \
+                off, burst-then-reform collusion, decaying drift cap, mild loss bursts)"
+            .into(),
+        columns,
+        rows,
+        notes,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -885,6 +993,33 @@ mod tests {
             "probation every {} failed to recover: ratio {:.3}",
             fastest[1],
             fastest[3]
+        );
+    }
+
+    #[test]
+    fn probation_leak_grows_with_the_window() {
+        let fig = chaos_probation_leak(&Scale::smoke(), 2006);
+        assert_shape(&fig, LEAK_WINDOWS.len());
+        // The guard must actually fire — no readmissions means the sweep
+        // isn't exercising starvation relief at all.
+        assert!(
+            fig.rows.iter().all(|r| r[3] > 0.0),
+            "every window must observe starvation readmits"
+        );
+        // The roadmap claim: over long enough windows the readmitted
+        // (reformed) references heal their reputation and reinstatements
+        // appear despite the probation channel being off.
+        let (first, last) = (&fig.rows[0], fig.rows.last().unwrap());
+        assert!(
+            last[6] > 0.0,
+            "long window must leak reinstatements: rate {:.3}",
+            last[6]
+        );
+        assert!(
+            last[6] >= first[6],
+            "leak rate must not shrink with the window: {:.3} -> {:.3}",
+            first[6],
+            last[6]
         );
     }
 

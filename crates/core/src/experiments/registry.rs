@@ -256,6 +256,11 @@ pub const FIGURES: &[(&str, Runner, &str)] = &[
         chaos_figs::chaos_probation_nps,
         "CHAOS: probation channel — reputation decay composing with membership banishment (NPS)",
     ),
+    (
+        "chaos-probation-leak",
+        chaos_figs::chaos_probation_leak,
+        "CHAOS: starvation-relief readmission leaking healed evidence over long windows (NPS)",
+    ),
 ];
 
 /// All known figure ids, in paper order.
@@ -288,9 +293,9 @@ mod tests {
         let ids = figure_ids();
         assert_eq!(
             ids.len(),
-            47,
+            48,
             "26 paper figures + 2 extensions + 3 attackkit sweeps + 4 defensekit \
-             sweeps + 5 arms-race sweeps + 7 chaos sweeps"
+             sweeps + 5 arms-race sweeps + 8 chaos sweeps"
         );
         for k in 1..=26 {
             assert!(ids.contains(&format!("fig{k}").as_str()), "missing fig{k}");
@@ -317,6 +322,7 @@ mod tests {
             "chaos-frog-hides-in-churn",
             "chaos-partition-recovery",
             "chaos-probation-nps",
+            "chaos-probation-leak",
         ] {
             assert!(ids.contains(&id), "missing {id}");
         }

@@ -232,6 +232,10 @@ impl Defense {
         if !(u.rtt.is_finite() && u.rtt > 0.0 && u.reported_coord.is_finite()) {
             return Verdict::Accept;
         }
+        // Wall-clock attribution for the profiling plane. Per-sample, but
+        // only past the passthrough/validity fast paths, so NoDefense stays
+        // span-free and the timed region is the real detector work.
+        let _span = vcoord_obs::span(vcoord_obs::metric_id!("defense.inspect_ns"));
 
         let from = self.last_round.unwrap_or(u.round);
         for r in from..u.round {

@@ -15,24 +15,19 @@
 //! so eval accounting and the tracing metrics share one registry. This
 //! module keeps the original API as a thin veneer: parallel figure workers
 //! all land in the same histogram, and callers that need a per-run view
-//! take a [`snapshot`] before and after and subtract.
+//! take a [`snapshot`] before and after and subtract. The buckets are the
+//! shared HDR layout (`vcoord_obs::hdr`), so quantile resolution scales
+//! with magnitude instead of saturating at a fixed bucket cap.
 
 use std::sync::OnceLock;
 use vcoord_obs::{global_hist, GlobalHist, HistSnapshot};
-
-/// Histogram bucket width (objective evaluations per round).
-const BUCKET_WIDTH: usize = 25;
-/// Bucket count; the last bucket is open-ended. With width 25 this covers
-/// rounds up to 1 575 evals exactly — far beyond the ~2 × (cap = 150)
-/// worst case of the default Simplex options.
-const BUCKETS: usize = 64;
 
 /// Metric name in the shared `vcoord_obs` registry.
 pub const METRIC: &str = "nps.position.evals";
 
 fn hist() -> &'static GlobalHist {
     static HIST: OnceLock<&'static GlobalHist> = OnceLock::new();
-    HIST.get_or_init(|| global_hist(METRIC, BUCKET_WIDTH, BUCKETS))
+    HIST.get_or_init(|| global_hist(METRIC))
 }
 
 /// Record one positioning round that performed `evals` objective
@@ -45,7 +40,7 @@ pub fn record_round(evals: usize) {
 ///
 /// Subtract two snapshots ([`EvalSnapshot::delta_since`]) to get the rounds
 /// recorded in between, then read [`EvalSnapshot::mean`] /
-/// [`EvalSnapshot::median`].
+/// [`EvalSnapshot::median`] / [`EvalSnapshot::quantile`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EvalSnapshot(HistSnapshot);
 
@@ -79,17 +74,23 @@ impl EvalSnapshot {
         self.0.mean()
     }
 
-    /// Approximate median evaluations per round: the midpoint of the
-    /// histogram bucket containing the median round (`NaN` with no rounds).
-    /// Resolution is the bucket width (25 evals).
+    /// Approximate median evaluations per round (`NaN` with no rounds).
+    /// Resolution is one HDR bucket width at that magnitude.
     pub fn median(&self) -> f64 {
         self.0.median()
+    }
+
+    /// Nearest-rank quantile of evaluations per round (`NaN` with no
+    /// rounds).
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.0.quantile(q)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vcoord_obs::hdr;
 
     // The histogram is process-global and other tests in this binary drive
     // whole simulations through it, so every assertion here works on
@@ -105,19 +106,32 @@ mod tests {
         assert_eq!(d.rounds(), 3);
         assert_eq!(d.evals(), 240);
         assert!((d.mean() - 80.0).abs() < 1e-12);
-        // Median round is the 30-eval one: bucket [25, 50), midpoint 37.5.
-        assert_eq!(d.median(), 37.5);
+        // Median round is the 30-eval one, within one HDR bucket width.
+        assert!((d.median() - 30.0).abs() <= hdr::width_of(30) as f64);
     }
 
     #[test]
-    fn overflow_bucket_catches_huge_rounds() {
+    fn huge_rounds_keep_relative_resolution() {
         let before = snapshot();
         record_round(1_000_000);
         let d = snapshot().delta_since(&before);
         assert_eq!(d.rounds(), 1);
         assert_eq!(d.evals(), 1_000_000);
-        // Far past the last bucket boundary: lands in the open-ended one.
-        assert!((d.median() - ((63 * 25) as f64 + 12.5)).abs() < 1e-9);
+        // The old linear layout saturated at 1 575 evals; the HDR buckets
+        // resolve a 1e6-eval round to within ~3 % instead.
+        assert!((d.median() - 1_000_000.0).abs() <= hdr::width_of(1_000_000) as f64);
+    }
+
+    #[test]
+    fn quantiles_split_mixed_rounds() {
+        let before = snapshot();
+        for _ in 0..9 {
+            record_round(50);
+        }
+        record_round(5_000);
+        let d = snapshot().delta_since(&before);
+        assert!((d.quantile(0.5) - 50.0).abs() <= hdr::width_of(50) as f64);
+        assert!((d.quantile(1.0) - 5_000.0).abs() <= hdr::width_of(5_000) as f64);
     }
 
     #[test]
@@ -133,8 +147,6 @@ mod tests {
     fn shares_the_obs_registry() {
         record_round(0); // ensure registration
         let id = vcoord_obs::metric(METRIC);
-        assert!(vcoord_obs::global_hists()
-            .iter()
-            .any(|h| h.id() == id && h.bucket_width() == BUCKET_WIDTH));
+        assert!(vcoord_obs::global_hists().iter().any(|h| h.id() == id));
     }
 }

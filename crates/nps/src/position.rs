@@ -299,12 +299,14 @@ fn fit_samples(
             })
             .sum()
     };
+    let fit_span = vcoord_obs::span(vcoord_obs::metric_id!("simplex.fit_ns"));
     let result = match seed {
         Some((policy, seed)) => {
             simplex_downhill_resume(objective, &start.vec, opts, policy, seed, simplex)
         }
         None => simplex_downhill_scratch(objective, &start.vec, opts, simplex),
     };
+    drop(fit_span);
     let mut coord = Coord::from_vec(result.point);
     coord.sanitize();
     (coord, result.value, result.evals)

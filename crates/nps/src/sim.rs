@@ -528,6 +528,11 @@ impl NpsSim {
     /// # Panics
     /// Panics if the matrix is smaller than `landmarks + refs_per_node`.
     pub fn new(matrix: RttMatrix, config: NpsConfig, seeds: &SeedStream) -> NpsSim {
+        // Construction embeds the landmark layer (Simplex fits per landmark
+        // per round), which is real engine time that `nps.run_rounds_ns`
+        // never sees; span it so profiles attribute it to the engine rather
+        // than harness overhead.
+        let _span = vcoord_obs::span(vcoord_obs::metric_id!("nps.embed_ns"));
         let n = matrix.len();
         assert!(
             n >= config.landmarks + 2,
@@ -640,6 +645,7 @@ impl NpsSim {
 
     /// Advance the simulation by `ms` simulated milliseconds.
     pub fn run_ms(&mut self, ms: u64) {
+        let _span = vcoord_obs::span(vcoord_obs::metric_id!("nps.run_rounds_ns"));
         let target = self.engine.now() + ms;
         self.engine.run_until(&mut self.world, target);
     }

@@ -1,22 +1,23 @@
 //! The aggregate plane: process-global, always-on, lock-free histograms
-//! with linear buckets and monotone snapshot/delta semantics. This is the
-//! generalization of the old `vcoord_nps::evals` module, which now
-//! registers its histogram here; bench harnesses snapshot around a run and
-//! subtract.
+//! with HDR-style log buckets ([`crate::hdr`]) and monotone snapshot/delta
+//! semantics. This is the generalization of the old `vcoord_nps::evals`
+//! module, which now registers its histogram here; bench harnesses
+//! snapshot around a run and subtract.
 
+use crate::hdr;
 use crate::registry::{metric, metric_name, MetricId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
-/// A process-global histogram over non-negative integer samples with
-/// fixed-width linear buckets (last bucket open-ended). Recording is a few
+/// A process-global histogram over non-negative integer samples with the
+/// shared HDR bucket layout ([`hdr::BUCKET_COUNT`] log buckets covering all
+/// of `u64` at ≤ 2^-[`hdr::SUB_BITS`] relative width). Recording is a few
 /// relaxed atomic adds — safe from any thread, never gated on the
 /// [`mode`](crate::mode) flag, so accounting that predates the gated plane
 /// keeps its always-on semantics.
 #[derive(Debug)]
 pub struct GlobalHist {
     id: MetricId,
-    bucket_width: usize,
     total_value: AtomicU64,
     total_count: AtomicU64,
     buckets: Box<[AtomicU64]>,
@@ -27,30 +28,20 @@ fn registry() -> &'static Mutex<Vec<&'static GlobalHist>> {
     REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
 }
 
-/// Register (or look up) the global histogram `name` with `buckets` linear
-/// buckets of `bucket_width`. Re-registration with the same shape returns
-/// the existing histogram; a different shape panics (two call sites
-/// disagreeing about one metric is a programming error).
-pub fn global_hist(name: &'static str, bucket_width: usize, buckets: usize) -> &'static GlobalHist {
-    assert!(
-        bucket_width > 0 && buckets > 0,
-        "degenerate histogram shape"
-    );
+/// Register (or look up) the global histogram `name`. All global
+/// histograms share the HDR bucket layout, so re-registration simply
+/// returns the existing histogram.
+pub fn global_hist(name: &'static str) -> &'static GlobalHist {
     let id = metric(name);
     let mut reg = registry().lock().expect("global hist registry poisoned");
     if let Some(h) = reg.iter().find(|h| h.id == id) {
-        assert!(
-            h.bucket_width == bucket_width && h.buckets.len() == buckets,
-            "global_hist({name:?}) re-registered with a different shape"
-        );
         return h;
     }
     let hist: &'static GlobalHist = Box::leak(Box::new(GlobalHist {
         id,
-        bucket_width,
         total_value: AtomicU64::new(0),
         total_count: AtomicU64::new(0),
-        buckets: (0..buckets).map(|_| AtomicU64::new(0)).collect(),
+        buckets: (0..hdr::BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
     }));
     reg.push(hist);
     hist
@@ -73,24 +64,18 @@ impl GlobalHist {
         metric_name(self.id)
     }
 
-    pub fn bucket_width(&self) -> usize {
-        self.bucket_width
-    }
-
     /// Record one sample of `value`. Relaxed ordering: each counter is an
     /// independent monotone tally, no cross-counter invariant.
     pub fn record(&self, value: usize) {
         self.total_value.fetch_add(value as u64, Ordering::Relaxed);
         self.total_count.fetch_add(1, Ordering::Relaxed);
-        let b = (value / self.bucket_width).min(self.buckets.len() - 1);
-        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.buckets[hdr::index_of(value as u64)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// A point-in-time copy; subtract two with
     /// [`HistSnapshot::delta_since`] for a per-run view.
     pub fn snapshot(&self) -> HistSnapshot {
         HistSnapshot {
-            bucket_width: self.bucket_width,
             total_value: self.total_value.load(Ordering::Relaxed),
             total_count: self.total_count.load(Ordering::Relaxed),
             hist: self
@@ -106,7 +91,6 @@ impl GlobalHist {
 /// such copies).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistSnapshot {
-    bucket_width: usize,
     total_value: u64,
     total_count: u64,
     hist: Vec<u64>,
@@ -120,16 +104,11 @@ impl HistSnapshot {
     /// monotone, so a negative delta means the snapshots were swapped).
     pub fn delta_since(&self, earlier: &HistSnapshot) -> HistSnapshot {
         assert_eq!(
-            self.bucket_width, earlier.bucket_width,
-            "snapshot shapes differ"
-        );
-        assert_eq!(
             self.hist.len(),
             earlier.hist.len(),
             "snapshot shapes differ"
         );
         HistSnapshot {
-            bucket_width: self.bucket_width,
             total_value: self
                 .total_value
                 .checked_sub(earlier.total_value)
@@ -157,13 +136,9 @@ impl HistSnapshot {
         self.total_value
     }
 
-    /// Per-bucket sample counts.
+    /// Per-bucket sample counts (HDR layout, see [`hdr::bounds_of`]).
     pub fn buckets(&self) -> &[u64] {
         &self.hist
-    }
-
-    pub fn bucket_width(&self) -> usize {
-        self.bucket_width
     }
 
     /// Exact mean sample value (`NaN` with no samples).
@@ -174,22 +149,27 @@ impl HistSnapshot {
         self.total_value as f64 / self.total_count as f64
     }
 
-    /// Approximate median sample value: the midpoint of the bucket
-    /// containing the median sample (`NaN` with no samples). Resolution is
-    /// the bucket width.
+    /// Nearest-rank quantile estimate: the midpoint of the HDR bucket
+    /// holding the `ceil(q·count)`-th sample (`NaN` with no samples).
+    /// Error is bounded by the bucket width at that magnitude —
+    /// ≤ 2^-[`hdr::SUB_BITS`] relative.
+    pub fn quantile(&self, q: f64) -> f64 {
+        hdr::quantile_from_buckets(&self.hist, self.total_count, q)
+    }
+
+    /// Approximate median: [`Self::quantile`]`(0.5)`.
     pub fn median(&self) -> f64 {
-        if self.total_count == 0 {
-            return f64::NAN;
-        }
-        let target = self.total_count.div_ceil(2);
-        let mut seen = 0u64;
-        for (i, &count) in self.hist.iter().enumerate() {
-            seen += count;
-            if seen >= target {
-                return (i * self.bucket_width) as f64 + self.bucket_width as f64 / 2.0;
-            }
-        }
-        unreachable!("histogram counts sum to total_count");
+        self.quantile(0.5)
+    }
+
+    /// Tail quantiles in one call: `(p50, p90, p95, p99)`.
+    pub fn percentiles(&self) -> (f64, f64, f64, f64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
     }
 }
 
@@ -202,7 +182,7 @@ mod tests {
 
     #[test]
     fn deltas_track_recorded_samples() {
-        let h = global_hist("test.aggregate.delta", 25, 64);
+        let h = global_hist("test.aggregate.delta");
         let before = h.snapshot();
         h.record(10);
         h.record(30);
@@ -211,24 +191,48 @@ mod tests {
         assert_eq!(d.count(), 3);
         assert_eq!(d.sum(), 240);
         assert!((d.mean() - 80.0).abs() < 1e-12);
-        // Median sample is the 30-value one: bucket [25, 50), midpoint 37.5.
-        assert_eq!(d.median(), 37.5);
+        // Median sample is the 30-value one; the HDR bucket [30, 31) has
+        // midpoint 30.5, and 30 is within one bucket width of it.
+        assert!((d.median() - 30.0).abs() <= hdr::width_of(30) as f64);
     }
 
     #[test]
-    fn overflow_lands_in_last_bucket() {
-        let h = global_hist("test.aggregate.overflow", 10, 4);
+    fn quantiles_reach_the_tail() {
+        let h = global_hist("test.aggregate.tail");
+        let before = h.snapshot();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(100_000);
+        let d = h.snapshot().delta_since(&before);
+        assert_eq!(d.quantile(0.5), 10.5);
+        assert_eq!(d.quantile(0.95), 10.5);
+        // p99 with 100 samples is the 99th sample (rank ceil(0.99*100)=99),
+        // still a 10; p100 is the outlier.
+        assert_eq!(d.quantile(0.99), 10.5);
+        let p100 = d.quantile(1.0);
+        assert!((p100 - 100_000.0).abs() <= hdr::width_of(100_000) as f64);
+        let (p50, p90, p95, p99) = d.percentiles();
+        assert_eq!((p50, p90, p95, p99), (10.5, 10.5, 10.5, 10.5));
+    }
+
+    #[test]
+    fn huge_samples_keep_relative_resolution() {
+        let h = global_hist("test.aggregate.huge");
         let before = h.snapshot();
         h.record(1_000_000);
         let d = h.snapshot().delta_since(&before);
         assert_eq!(d.count(), 1);
-        assert_eq!(d.buckets()[3], 1);
+        // Resolution at 1e6 is the bucket width there, not a fixed cap.
+        let w = hdr::width_of(1_000_000) as f64;
+        assert!(w <= 1_000_000.0 / 16.0);
+        assert!((d.median() - 1_000_000.0).abs() <= w);
     }
 
     #[test]
     fn reregistration_returns_the_same_histogram() {
-        let a = global_hist("test.aggregate.same", 5, 8);
-        let b = global_hist("test.aggregate.same", 5, 8);
+        let a = global_hist("test.aggregate.same");
+        let b = global_hist("test.aggregate.same");
         assert!(std::ptr::eq(a, b));
         assert_eq!(a.name(), "test.aggregate.same");
     }
@@ -236,7 +240,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "snapshots out of order")]
     fn swapped_snapshots_panic() {
-        let h = global_hist("test.aggregate.swap", 5, 8);
+        let h = global_hist("test.aggregate.swap");
         let before = h.snapshot();
         h.record(1);
         let after = h.snapshot();

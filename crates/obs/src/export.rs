@@ -6,8 +6,10 @@
 use crate::record::{ObsReport, NO_NODE};
 use crate::registry::metric_name;
 
-/// Version stamped into every `meta` line.
-pub const TRACE_SCHEMA: u32 = 1;
+/// Version stamped into every `meta` line. Schema 2 added the
+/// `p50`/`p90`/`p95`/`p99` fields on `hist` lines; [`parse_line`] treats
+/// them as optional so schema-1 traces still parse.
+pub const TRACE_SCHEMA: u32 = 2;
 
 /// Identity of one trace: which run, figure, seed, and scale produced it.
 /// Deliberately free of wall-clock fields so traces of the same run are
@@ -40,6 +42,9 @@ pub enum TraceLine {
         sum: f64,
         min: f64,
         max: f64,
+        /// `[p50, p90, p95, p99]` from the HDR buckets; `None` when parsed
+        /// from a schema-1 trace that predates quantile extraction.
+        quantiles: Option<[f64; 4]>,
     },
     Event {
         metric: String,
@@ -86,8 +91,9 @@ pub fn render_jsonl(meta: &TraceMeta, report: &ObsReport) -> String {
         ));
     }
     for (id, h) in report.hists() {
+        let (p50, p90, p95, p99) = h.percentiles();
         out.push_str(&format!(
-            "{{\"type\":\"hist\",\"metric\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}\n",
+            "{{\"type\":\"hist\",\"metric\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{p50},\"p90\":{p90},\"p95\":{p95},\"p99\":{p99}}}\n",
             json_escape(metric_name(*id)),
             h.count,
             h.sum,
@@ -275,6 +281,18 @@ pub fn parse_line(line: &str) -> Result<TraceLine, String> {
             sum: fields.num("sum")?,
             min: fields.num("min")?,
             max: fields.num("max")?,
+            // Schema 1 lines have no quantile fields; require all four
+            // once any is present.
+            quantiles: if fields.get("p50").is_ok() {
+                Some([
+                    fields.num("p50")?,
+                    fields.num("p90")?,
+                    fields.num("p95")?,
+                    fields.num("p99")?,
+                ])
+            } else {
+                None
+            },
         }),
         "event" => Ok(TraceLine::Event {
             metric: fields.str("metric")?,
@@ -352,12 +370,15 @@ mod tests {
             metric: "test.export.counter".to_string(),
             value: 42
         }));
+        // Samples 1.5 and 2.25 land in the exact HDR buckets [1,2) and
+        // [2,3): p50 is the first sample's midpoint, the rest the second's.
         assert!(lines.contains(&TraceLine::Hist {
             metric: "test.export.hist".to_string(),
             count: 2,
             sum: 3.75,
             min: 1.5,
-            max: 2.25
+            max: 2.25,
+            quantiles: Some([1.5, 2.5, 2.5, 2.5]),
         }));
         assert!(lines.contains(&TraceLine::Event {
             metric: "test.export.event".to_string(),
@@ -375,6 +396,27 @@ mod tests {
         }));
         // Render of the parse is byte-identical (lossless f64 formatting).
         assert_eq!(render_jsonl(&meta, &report), text);
+    }
+
+    #[test]
+    fn schema1_hist_lines_still_parse() {
+        // A pre-quantile (schema 1) hist line: quantiles come back None.
+        let line =
+            "{\"type\":\"hist\",\"metric\":\"m\",\"count\":2,\"sum\":3.0,\"min\":1.0,\"max\":2.0}";
+        assert_eq!(
+            parse_line(line).expect("parses"),
+            TraceLine::Hist {
+                metric: "m".to_string(),
+                count: 2,
+                sum: 3.0,
+                min: 1.0,
+                max: 2.0,
+                quantiles: None,
+            }
+        );
+        // A partial quantile set is an error, not a silent None.
+        let partial = "{\"type\":\"hist\",\"metric\":\"m\",\"count\":2,\"sum\":3.0,\"min\":1.0,\"max\":2.0,\"p50\":1.5}";
+        assert!(parse_line(partial).unwrap_err().contains("p90"));
     }
 
     #[test]

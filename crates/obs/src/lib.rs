@@ -42,9 +42,9 @@
 //! [`parse_line`]), schema version [`TRACE_SCHEMA`]:
 //!
 //! ```text
-//! {"type":"meta","schema":1,"run":"smoke-seed2006","fig":"fig1","seed":2006,"scale":"smoke"}
+//! {"type":"meta","schema":2,"run":"smoke-seed2006","fig":"fig1","seed":2006,"scale":"smoke"}
 //! {"type":"counter","metric":"defense.accept","value":123}
-//! {"type":"hist","metric":"nps.round_evals","count":10,"sum":521,"min":8,"max":120}
+//! {"type":"hist","metric":"nps.round_evals","count":10,"sum":521,"min":8,"max":120,"p50":44.5,"p90":101,"p95":118,"p99":118}
 //! {"type":"event","metric":"defense.flag","rep":0,"round":12,"node":5,"value":1}
 //! ```
 //!
@@ -59,7 +59,9 @@
 //! remain available in-process (e.g. the bench-baseline `"obs"` block).
 
 mod aggregate;
+pub mod diff;
 mod export;
+pub mod hdr;
 mod record;
 mod registry;
 mod report;
@@ -73,7 +75,9 @@ pub use record::{
     HIST_BUCKETS, NO_NODE, NO_REP,
 };
 pub use registry::{metric, metric_name, MetricId};
-pub use report::{digest, Digest};
+pub use report::{
+    digest, summarize, summary_csv, summary_text, Digest, HistRow, RoundRow, SummaryRow,
+};
 pub use ring::{clear_recent_events, recent_events, EventRing, FLIGHT_RING_CAP};
 
 use std::sync::atomic::{AtomicU8, Ordering};

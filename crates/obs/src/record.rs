@@ -1,16 +1,16 @@
 //! The gated recording plane: per-thread counters, histograms, spans, and
 //! event buffers, drained into [`ObsReport`]s and merged sequentially.
 
+use crate::hdr;
 use crate::registry::MetricId;
 use crate::ring;
 use crate::{enabled, mode, ObsMode};
 use std::cell::RefCell;
 use std::time::Instant;
 
-/// Log-2 bucket count for per-thread histograms: bucket `k` holds values
-/// in `[2^(k-1), 2^k)`, with bucket 0 for values `< 1` and the last bucket
-/// open-ended. 32 buckets cover ~4.3e9 — nanosecond spans up to ~4.3 s.
-pub const HIST_BUCKETS: usize = 32;
+/// Bucket count for per-thread histograms — the shared HDR layout from
+/// [`crate::hdr`], same as the aggregate plane.
+pub const HIST_BUCKETS: usize = hdr::BUCKET_COUNT;
 
 /// `node` value for events with no node subject.
 pub const NO_NODE: u32 = u32::MAX;
@@ -31,14 +31,15 @@ pub struct Event {
 }
 
 /// Summary histogram of [`observe`]d values for one metric: count, sum,
-/// min/max, and log-2 magnitude buckets.
+/// min/max, and HDR log buckets (allocated lazily on the first sample, so
+/// an empty `HistData` costs nothing).
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistData {
     pub count: u64,
     pub sum: f64,
     pub min: f64,
     pub max: f64,
-    pub buckets: [u64; HIST_BUCKETS],
+    pub buckets: Vec<u64>,
 }
 
 impl Default for HistData {
@@ -48,38 +49,39 @@ impl Default for HistData {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
-            buckets: [0; HIST_BUCKETS],
+            buckets: Vec::new(),
         }
     }
 }
 
-fn bucket_of(value: f64) -> usize {
-    let u = if value >= 1.0 {
-        if value >= u64::MAX as f64 {
-            u64::MAX
-        } else {
-            value as u64
-        }
-    } else {
-        0
-    };
-    ((u64::BITS - u.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
-}
-
 impl HistData {
-    fn record(&mut self, value: f64) {
+    /// Record one sample: running count/sum/min/max plus an HDR bucket
+    /// increment (buckets allocate lazily on the first sample).
+    pub fn record(&mut self, value: f64) {
         self.count += 1;
         self.sum += value;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
-        self.buckets[bucket_of(value)] += 1;
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; HIST_BUCKETS];
+        }
+        self.buckets[hdr::index_of(hdr::value_to_u64(value))] += 1;
     }
 
-    fn merge(&mut self, other: &HistData) {
+    /// Fold `other` into `self`: bucket-wise addition, so quantiles of the
+    /// merge equal quantiles of recording the union into one histogram.
+    pub fn merge(&mut self, other: &HistData) {
         self.count += other.count;
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        if other.buckets.is_empty() {
+            return;
+        }
+        if self.buckets.is_empty() {
+            self.buckets = other.buckets.clone();
+            return;
+        }
         for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
             *b += o;
         }
@@ -95,6 +97,22 @@ impl HistData {
             return f64::NAN;
         }
         self.sum / self.count as f64
+    }
+
+    /// Nearest-rank quantile estimate from the HDR buckets (`NaN` when
+    /// empty); error bounded by one bucket width at that magnitude.
+    pub fn quantile(&self, q: f64) -> f64 {
+        hdr::quantile_from_buckets(&self.buckets, self.count, q)
+    }
+
+    /// Tail quantiles in one call: `(p50, p90, p95, p99)`.
+    pub fn percentiles(&self) -> (f64, f64, f64, f64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
     }
 }
 
@@ -427,13 +445,35 @@ mod tests {
     }
 
     #[test]
-    fn log2_buckets_split_magnitudes() {
-        assert_eq!(bucket_of(0.0), 0);
-        assert_eq!(bucket_of(0.5), 0);
-        assert_eq!(bucket_of(1.0), 1);
-        assert_eq!(bucket_of(1.9), 1);
-        assert_eq!(bucket_of(2.0), 2);
-        assert_eq!(bucket_of(1024.0), 11);
-        assert_eq!(bucket_of(f64::MAX), HIST_BUCKETS - 1);
+    fn hist_quantiles_track_samples() {
+        let mut h = HistData::default();
+        assert!(h.buckets.is_empty());
+        for v in [10.0, 30.0, 200.0] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets.len(), HIST_BUCKETS);
+        // Median sample is 30; HDR resolution there is one bucket width.
+        assert!((h.quantile(0.5) - 30.0).abs() <= hdr::width_of(30) as f64);
+        let (p50, _, _, p99) = h.percentiles();
+        assert_eq!(p50, h.quantile(0.5));
+        assert!((p99 - 200.0).abs() <= hdr::width_of(200) as f64);
+    }
+
+    #[test]
+    fn merge_handles_lazy_buckets() {
+        let mut empty = HistData::default();
+        let mut full = HistData::default();
+        full.record(5.0);
+        // empty ← full clones; full ← empty is a no-op on buckets.
+        empty.merge(&full);
+        assert_eq!(empty.count, 1);
+        assert_eq!(empty.quantile(0.5), 5.5);
+        full.merge(&HistData::default());
+        assert_eq!(full.count, 1);
+        let mut both = HistData::default();
+        both.record(5.0);
+        both.merge(&full);
+        assert_eq!(both.count, 2);
+        assert_eq!(both.buckets[hdr::index_of(5)], 2);
     }
 }

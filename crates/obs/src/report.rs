@@ -13,6 +13,8 @@ pub struct HistRow {
     pub sum: f64,
     pub min: f64,
     pub max: f64,
+    /// `[p50, p90, p95, p99]`; `None` for schema-1 traces.
+    pub quantiles: Option<[f64; 4]>,
 }
 
 /// One per-round aggregation row of a [`Digest`]: how many events of
@@ -67,12 +69,14 @@ pub fn digest(lines: &[TraceLine]) -> Digest {
                 sum,
                 min,
                 max,
+                quantiles,
             } => d.hists.push(HistRow {
                 metric: metric.clone(),
                 count: *count,
                 sum: *sum,
                 min: *min,
                 max: *max,
+                quantiles: *quantiles,
             }),
             TraceLine::Event {
                 metric,
@@ -118,18 +122,24 @@ impl Digest {
         if !self.hists.is_empty() {
             let _ = writeln!(
                 out,
-                "histograms: {:<25} {:>10} {:>14} {:>14} {:>14}",
-                "", "count", "mean", "min", "max"
+                "histograms: {:<25} {:>10} {:>14} {:>14} {:>14} {:>14} {:>14}",
+                "", "count", "mean", "min", "max", "p50", "p99"
             );
             for h in &self.hists {
+                let (p50, p99) = match h.quantiles {
+                    Some([p50, _, _, p99]) => (format!("{p50:.1}"), format!("{p99:.1}")),
+                    None => ("-".to_string(), "-".to_string()),
+                };
                 let _ = writeln!(
                     out,
-                    "  {:<34} {:>10} {:>14.1} {:>14.1} {:>14.1}",
+                    "  {:<34} {:>10} {:>14.1} {:>14.1} {:>14.1} {:>14} {:>14}",
                     h.metric,
                     h.count,
                     h.sum / h.count.max(1) as f64,
                     h.min,
-                    h.max
+                    h.max,
+                    p50,
+                    p99
                 );
             }
         }
@@ -150,29 +160,119 @@ impl Digest {
         out
     }
 
-    /// Machine-readable CSV: `kind,metric,round,count,sum,min,max` with
-    /// empty cells where a column does not apply.
+    /// Machine-readable CSV:
+    /// `kind,metric,round,count,sum,min,max,p50,p90,p95,p99` with empty
+    /// cells where a column does not apply.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("kind,metric,round,count,sum,min,max\n");
+        let mut out = String::from("kind,metric,round,count,sum,min,max,p50,p90,p95,p99\n");
         for (metric, value) in &self.counters {
-            let _ = writeln!(out, "counter,{metric},,{value},,,");
+            let _ = writeln!(out, "counter,{metric},,{value},,,,,,,");
         }
         for h in &self.hists {
+            let q = match h.quantiles {
+                Some([p50, p90, p95, p99]) => format!("{p50},{p90},{p95},{p99}"),
+                None => ",,,".to_string(),
+            };
             let _ = writeln!(
                 out,
-                "hist,{},,{},{},{},{}",
+                "hist,{},,{},{},{},{},{q}",
                 h.metric, h.count, h.sum, h.min, h.max
             );
         }
         for r in &self.rounds {
             let _ = writeln!(
                 out,
-                "round,{},{},{},{},,",
+                "round,{},{},{},{},,,,,,",
                 r.metric, r.round, r.events, r.sum
             );
         }
         out
     }
+}
+
+/// One row of the cross-trace health matrix: the defense / chaos /
+/// warm-start vitals of a single figure's trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryRow {
+    pub fig: String,
+    pub accepts: u64,
+    pub rejects: u64,
+    pub bans: u64,
+    pub reinstates: u64,
+    /// Injected faults: `chaos.crashes + chaos.timeouts + chaos.burst_losses`.
+    pub faults: u64,
+    /// Recovery actions: `chaos.restarts + chaos.retries + chaos.failovers
+    /// + chaos.readmits`.
+    pub recoveries: u64,
+    /// `simplex.warm_start / (warm_start + cold_restart)`; `NaN` when the
+    /// figure ran no Simplex fits.
+    pub warm_share: f64,
+}
+
+/// Reduce one digest to its health-matrix row.
+pub fn summarize(d: &Digest) -> SummaryRow {
+    let c = |name: &str| -> u64 {
+        d.counters
+            .iter()
+            .find(|(m, _)| m == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    let warm = c("simplex.warm_start");
+    let cold = c("simplex.cold_restart");
+    SummaryRow {
+        fig: d.fig.clone(),
+        accepts: c("defense.accept"),
+        rejects: c("defense.reject"),
+        bans: c("defense.ban"),
+        reinstates: c("defense.reinstate"),
+        faults: c("chaos.crashes") + c("chaos.timeouts") + c("chaos.burst_losses"),
+        recoveries: c("chaos.restarts")
+            + c("chaos.retries")
+            + c("chaos.failovers")
+            + c("chaos.readmits"),
+        warm_share: warm as f64 / (warm + cold) as f64,
+    }
+}
+
+/// Render the health matrix (one row per trace) as an aligned text table.
+pub fn summary_text(rows: &[SummaryRow]) -> String {
+    let mut out = format!(
+        "{:<28} {:>10} {:>10} {:>8} {:>8} {:>8} {:>10} {:>8}\n",
+        "fig", "accepts", "rejects", "bans", "reinst", "faults", "recover", "warm%"
+    );
+    for r in rows {
+        let warm = if r.warm_share.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{:.1}", r.warm_share * 100.0)
+        };
+        let _ = writeln!(
+            out,
+            "{:<28} {:>10} {:>10} {:>8} {:>8} {:>8} {:>10} {:>8}",
+            r.fig, r.accepts, r.rejects, r.bans, r.reinstates, r.faults, r.recoveries, warm
+        );
+    }
+    out
+}
+
+/// Render the health matrix as CSV.
+pub fn summary_csv(rows: &[SummaryRow]) -> String {
+    let mut out =
+        String::from("fig,accepts,rejects,bans,reinstates,faults,recoveries,warm_share\n");
+    for r in rows {
+        let warm = if r.warm_share.is_nan() {
+            String::new()
+        } else {
+            format!("{}", r.warm_share)
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{warm}",
+            r.fig, r.accepts, r.rejects, r.bans, r.reinstates, r.faults, r.recoveries
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -249,7 +349,69 @@ mod tests {
         assert!(text.contains("trace figX"));
         assert!(text.contains("a.counter"));
         let csv = d.to_csv();
-        assert!(csv.starts_with("kind,metric,round,count,sum,min,max\n"));
-        assert!(csv.contains("round,e.flag,2,2,2,,"));
+        assert!(csv.starts_with("kind,metric,round,count,sum,min,max,p50,p90,p95,p99\n"));
+        assert!(csv.contains("round,e.flag,2,2,2,,,,,,"));
+    }
+
+    #[test]
+    fn hist_quantiles_flow_into_digest_outputs() {
+        let lines = vec![
+            TraceLine::Meta {
+                schema: 2,
+                run: "r".into(),
+                fig: "figQ".into(),
+                seed: 9,
+                scale: "smoke".into(),
+            },
+            TraceLine::Hist {
+                metric: "h.q".into(),
+                count: 4,
+                sum: 10.0,
+                min: 1.0,
+                max: 4.0,
+                quantiles: Some([2.5, 4.5, 4.5, 4.5]),
+            },
+        ];
+        let d = digest(&lines);
+        assert_eq!(d.hists[0].quantiles, Some([2.5, 4.5, 4.5, 4.5]));
+        assert!(d.to_csv().contains("hist,h.q,,4,10,1,4,2.5,4.5,4.5,4.5"));
+        assert!(d.to_text().contains("p50"));
+    }
+
+    #[test]
+    fn summary_reduces_vitals() {
+        let mk = |fig: &str, counters: Vec<(&str, u64)>| Digest {
+            fig: fig.to_string(),
+            counters: counters
+                .into_iter()
+                .map(|(m, v)| (m.to_string(), v))
+                .collect(),
+            ..Digest::default()
+        };
+        let chaos = mk(
+            "chaos-x",
+            vec![
+                ("chaos.crashes", 3),
+                ("chaos.restarts", 2),
+                ("chaos.retries", 5),
+                ("defense.ban", 7),
+                ("defense.reinstate", 1),
+                ("simplex.warm_start", 30),
+                ("simplex.cold_restart", 10),
+            ],
+        );
+        let quiet = mk("fig1", vec![]);
+        let rows = vec![summarize(&chaos), summarize(&quiet)];
+        assert_eq!(rows[0].faults, 3);
+        assert_eq!(rows[0].recoveries, 7);
+        assert_eq!(rows[0].bans, 7);
+        assert!((rows[0].warm_share - 0.75).abs() < 1e-12);
+        assert!(rows[1].warm_share.is_nan());
+        let text = summary_text(&rows);
+        assert!(text.contains("chaos-x") && text.contains("75.0"));
+        let csv = summary_csv(&rows);
+        assert!(csv.starts_with("fig,accepts,"));
+        assert!(csv.contains("chaos-x,0,0,7,1,3,7,0.75"));
+        assert!(csv.contains("fig1,0,0,0,0,0,0,\n"));
     }
 }

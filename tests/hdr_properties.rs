@@ -1,0 +1,131 @@
+//! Property pins for the HDR histogram layer under `vcoord::obs`: the
+//! log-bucketed geometry must hold its advertised resolution across the
+//! full u64 magnitude range, and the quantiles extracted from bucketed
+//! counts must stay within one bucket width of the exact nearest-rank
+//! sample — the error bound `obs-diff` tolerances and the trace-schema
+//! quantile fields are designed around.
+
+use proptest::prelude::*;
+use vcoord::obs::hdr;
+use vcoord::obs::HistData;
+
+/// One value drawn log-uniformly: pick a magnitude (bit position), then a
+/// uniform offset inside that power-of-two band. Exercises every bucket
+/// major instead of clustering at u64::MAX like a uniform draw would.
+fn log_uniform() -> impl Strategy<Value = u64> {
+    (0u32..63, 0u64..u64::MAX).prop_map(|(e, m)| {
+        let lo = 1u64 << e;
+        lo + m % lo // in [2^e, 2^{e+1})
+    })
+}
+
+/// Exact nearest-rank quantile of a sorted sample set (the definition the
+/// bucketed estimate approximates).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let target = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(target - 1) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ---- Bucket geometry ------------------------------------------------
+
+    #[test]
+    fn every_value_lands_in_its_bucket(v in 0u64..u64::MAX) {
+        let idx = hdr::index_of(v);
+        prop_assert!(idx < hdr::BUCKET_COUNT);
+        let (lo, hi) = hdr::bounds_of(idx);
+        prop_assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}] (bucket {idx})");
+    }
+
+    #[test]
+    fn bucket_width_is_bounded_relative(v in log_uniform()) {
+        // The advertised resolution: for values past the exact range the
+        // bucket holding `v` is never wider than v / 2^(SUB_BITS - 1), so
+        // any in-bucket point is within ~2^-5 relative error of any other.
+        let w = hdr::width_of(v);
+        if v < hdr::SUB_BUCKETS {
+            prop_assert_eq!(w, 1, "values below {} are exact", hdr::SUB_BUCKETS);
+        } else {
+            prop_assert!(
+                (w as f64) / (v as f64) <= 1.0 / (hdr::SUB_BUCKETS as f64 / 2.0),
+                "bucket width {w} too wide for value {v}"
+            );
+        }
+    }
+
+    // ---- Quantile error bound -------------------------------------------
+
+    #[test]
+    fn bucketed_quantile_within_one_bucket_width(
+        values in prop::collection::vec(log_uniform(), 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut buckets = vec![0u64; hdr::BUCKET_COUNT];
+        for &v in &values {
+            buckets[hdr::index_of(v)] += 1;
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let est = hdr::quantile_from_buckets(&buckets, values.len() as u64, q);
+        // The estimate is the midpoint of the bucket holding the exact
+        // nearest-rank sample, so it can miss by at most that bucket's
+        // width (f64 rounding of huge u64s is far below bucket width at
+        // every magnitude; 1.0 covers the exact-value range).
+        let width = hdr::width_of(exact) as f64;
+        prop_assert!(
+            (est - exact as f64).abs() <= width.max(1.0),
+            "q={q}: estimate {est} vs exact {exact} (bucket width {width})"
+        );
+    }
+
+    #[test]
+    fn gated_hist_quantiles_hold_the_same_bound(
+        values in prop::collection::vec(0.0f64..1.0e9, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        // Same bound through the gated-plane recording path: f64 samples
+        // truncate to u64 on record (±1), then bucket as above.
+        let mut h = HistData::default();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted: Vec<u64> = values.iter().map(|&v| v as u64).collect();
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let est = h.quantile(q);
+        let width = hdr::width_of(exact) as f64;
+        prop_assert!(
+            (est - exact as f64).abs() <= width.max(1.0) + 1.0,
+            "q={q}: estimate {est} vs exact {exact} (bucket width {width})"
+        );
+    }
+
+    #[test]
+    fn merged_hists_quantile_like_the_union(
+        a in prop::collection::vec(0.0f64..1.0e6, 1..100),
+        b in prop::collection::vec(0.0f64..1.0e6, 1..100),
+    ) {
+        // Merging two gated histograms must yield exactly the quantiles of
+        // recording the union into one — merge is bucket-wise addition, so
+        // the estimates agree to the bit, not just within tolerance.
+        let mut ha = HistData::default();
+        let mut hb = HistData::default();
+        let mut hu = HistData::default();
+        for &v in &a {
+            ha.record(v);
+            hu.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hu.record(v);
+        }
+        ha.merge(&hb);
+        for &q in &[0.5, 0.9, 0.95, 0.99] {
+            prop_assert_eq!(ha.quantile(q).to_bits(), hu.quantile(q).to_bits());
+        }
+    }
+}
