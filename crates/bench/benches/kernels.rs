@@ -9,7 +9,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use vcoord::defense::testing::ring_fill_samples;
-use vcoord::defense::{Defense, DriftCap, ResidualOutlier, Update};
+use vcoord::defense::{Defense, DriftCap, Provenance, ResidualOutlier, Update};
 use vcoord::metrics::EvalPlan;
 use vcoord::netsim::SeedStream;
 use vcoord::obs::testing::{allocations, CountingAllocator};
@@ -150,6 +150,7 @@ fn bench_defense_inspect(c: &mut Criterion) {
         rtt: 100.0,
         round,
         now_ms: round * 1000,
+        provenance: Provenance::Normal,
     };
     let mut group = c.benchmark_group("defense_inspect");
 

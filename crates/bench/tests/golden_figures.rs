@@ -77,7 +77,7 @@ const ARMS_IDS: [&str; 5] = [
 /// installed**, so a diff anywhere else means the chaos seam leaked into
 /// fault-free numerics — the exact regression `tests/chaos_properties.rs`
 /// exists to prevent.
-const CHAOS_IDS: [&str; 8] = [
+const CHAOS_IDS: [&str; 9] = [
     "chaos-churn-vivaldi",
     "chaos-churn-nps",
     "chaos-landmark-takedown",
@@ -86,6 +86,7 @@ const CHAOS_IDS: [&str; 8] = [
     "chaos-partition-recovery",
     "chaos-probation-nps",
     "chaos-probation-leak",
+    "chaos-detectors-under-faults",
 ];
 
 /// The committed reference CSVs: `<workspace root>/results`.
@@ -176,8 +177,8 @@ fn smoke_suite_reproduces_committed_csvs_byte_for_byte() {
         }
     }
     assert!(
-        committed.len() >= 48,
-        "expected the full 48-figure suite under results/, found {} CSVs",
+        committed.len() >= 49,
+        "expected the full 49-figure suite under results/, found {} CSVs",
         committed.len()
     );
     assert!(
@@ -308,7 +309,7 @@ fn traced_smoke_suite_matches_committed_csvs_and_emits_valid_traces() {
             );
         }
     }
-    assert!(ids >= 48, "expected the full 48-figure suite, saw {ids}");
+    assert!(ids >= 49, "expected the full 49-figure suite, saw {ids}");
 
     // The profile sidecar: non-golden (wall-clock) but schema-stable — a
     // meta first line, then exactly one phase-attribution object per

@@ -26,8 +26,12 @@ pub struct ChaosCounters {
     pub evictions: u64,
     /// NPS references failed over through membership replacement.
     pub failovers: u64,
-    /// Banned NPS references re-admitted to relieve reference starvation.
-    pub readmits: u64,
+    /// Readmission leases granted: banned NPS references re-admitted into
+    /// the probe rotation — still on the ban ledger, their evidence
+    /// quarantined — to relieve reference starvation.
+    pub leases: u64,
+    /// Leases ended early by a fresh ban on the leased reference.
+    pub lease_returns: u64,
 }
 
 /// What the fault layer did to one probe attempt.
@@ -239,22 +243,41 @@ impl ChaosState {
         );
     }
 
-    /// Record an NPS banned-reference re-admission. Under churn, fail-over
-    /// bans are leases, not verdicts: when a node's reference set starves
-    /// below the positioning constraint (dim+1) the sim re-admits its
-    /// oldest banned references rather than strand the node unpositioned.
-    pub fn note_readmit(&mut self, node: usize, re_ref: usize, now_ms: u64) {
-        self.counters.readmits += 1;
-        obs::counter_add(obs::metric_id!("chaos.readmits"), 1);
+    /// Record an NPS readmission lease. Under churn, starvation relief is
+    /// a *lease*, not a verdict: when a node's reference set starves below
+    /// the positioning constraint (dim+1) the sim re-admits its oldest
+    /// banned reference into the probe rotation — but the reference stays
+    /// on the ban ledger and its evidence is quarantined (`Lease`
+    /// provenance) so the relief channel can never launder a ban away.
+    pub fn note_lease(&mut self, node: usize, leased_ref: usize, now_ms: u64) {
+        self.counters.leases += 1;
+        obs::counter_add(obs::metric_id!("chaos.leases"), 1);
         obs::event(
-            obs::metric_id!("chaos.readmit"),
+            obs::metric_id!("chaos.lease"),
             now_ms,
             node as u32,
-            re_ref as f64,
+            leased_ref as f64,
         );
         simlog::fault_event(
             "vcoord_chaos",
-            format_args!("readmit node={node} banned_ref={re_ref} t={now_ms}ms"),
+            format_args!("lease node={node} banned_ref={leased_ref} t={now_ms}ms"),
+        );
+    }
+
+    /// Record a lease ending early: the leased reference earned a fresh
+    /// ban (relapse) and leaves the probe rotation again.
+    pub fn note_lease_return(&mut self, node: usize, leased_ref: usize, now_ms: u64) {
+        self.counters.lease_returns += 1;
+        obs::counter_add(obs::metric_id!("chaos.lease_returns"), 1);
+        obs::event(
+            obs::metric_id!("chaos.lease_return"),
+            now_ms,
+            node as u32,
+            leased_ref as f64,
+        );
+        simlog::fault_event(
+            "vcoord_chaos",
+            format_args!("lease_return node={node} banned_ref={leased_ref} t={now_ms}ms"),
         );
     }
 

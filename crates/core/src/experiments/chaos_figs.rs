@@ -29,7 +29,9 @@ use crate::experiments::{average_series, run_repetitions, FigureResult, Scale};
 use rand_chacha::ChaCha12Rng;
 use vcoord_attackkit::{AttackStrategy, Collusion, CoordView, Honest, Lie, Probe};
 use vcoord_chaos::{BurstModel, ChaosCounters, ChaosPlan};
-use vcoord_defense::{DefenseStrategy, DriftCap, DriftDecay};
+use vcoord_defense::{
+    DefenseStrategy, DriftCap, DriftDecay, EwmaChangePoint, ResidualOutlier, TriangleCheck,
+};
 use vcoord_netsim::TICK_MS;
 use vcoord_nps::NpsConfig;
 use vcoord_space::Space;
@@ -70,7 +72,8 @@ struct ChaosAgg {
     failovers: f64,
     burst_losses: f64,
     spiked: f64,
-    readmits: f64,
+    leases: f64,
+    lease_returns: f64,
 }
 
 fn aggregate_chaos<'a>(counters: impl Iterator<Item = Option<&'a ChaosCounters>>) -> ChaosAgg {
@@ -87,7 +90,8 @@ fn aggregate_chaos<'a>(counters: impl Iterator<Item = Option<&'a ChaosCounters>>
         agg.failovers += c.failovers as f64;
         agg.burst_losses += c.burst_losses as f64;
         agg.spiked += c.spiked as f64;
-        agg.readmits += c.readmits as f64;
+        agg.leases += c.leases as f64;
+        agg.lease_returns += c.lease_returns as f64;
     }
     let n = n.max(1) as f64;
     agg.crashes /= n;
@@ -98,7 +102,8 @@ fn aggregate_chaos<'a>(counters: impl Iterator<Item = Option<&'a ChaosCounters>>
     agg.failovers /= n;
     agg.burst_losses /= n;
     agg.spiked /= n;
-    agg.readmits /= n;
+    agg.leases /= n;
+    agg.lease_returns /= n;
     agg
 }
 
@@ -106,8 +111,19 @@ fn aggregate_chaos<'a>(counters: impl Iterator<Item = Option<&'a ChaosCounters>>
 fn merge_outcomes<'a>(
     outcomes: impl Iterator<Item = Option<&'a DefenseOutcome>>,
 ) -> (vcoord_metrics::Confusion, f64, f64, f64, f64) {
+    let (confusion, bans, reinstated, honest, malicious, _) = merge_outcomes_full(outcomes);
+    (confusion, bans, reinstated, honest, malicious)
+}
+
+/// [`merge_outcomes`] plus the per-repetition mean of quarantined
+/// (lease-provenance) samples — the leak sweep's direct evidence that the
+/// relief valve's readmissions are on loan rather than forgiven.
+fn merge_outcomes_full<'a>(
+    outcomes: impl Iterator<Item = Option<&'a DefenseOutcome>>,
+) -> (vcoord_metrics::Confusion, f64, f64, f64, f64, f64) {
     let mut confusion = vcoord_metrics::Confusion::default();
-    let (mut bans, mut reinstated, mut honest, mut malicious, mut n) = (0.0, 0.0, 0.0, 0.0, 0u64);
+    let (mut bans, mut reinstated, mut honest, mut malicious, mut quarantined, mut n) =
+        (0.0, 0.0, 0.0, 0.0, 0.0, 0u64);
     for d in outcomes {
         n += 1;
         let Some(d) = d else { continue };
@@ -116,6 +132,7 @@ fn merge_outcomes<'a>(
         reinstated += d.reinstated as f64;
         honest += d.banned_honest_final as f64;
         malicious += d.banned_malicious_final as f64;
+        quarantined += d.quarantined as f64;
     }
     let n = n.max(1) as f64;
     (
@@ -124,6 +141,7 @@ fn merge_outcomes<'a>(
         reinstated / n,
         honest / n,
         malicious / n,
+        quarantined / n,
     )
 }
 
@@ -691,11 +709,11 @@ pub fn chaos_probation_nps(scale: &Scale, seed: u64) -> FigureResult {
     let mut scale = recovery_scale(scale);
     // Reinstatement timing is the noisiest statistic in the chaos family
     // (a single late probation probe moves the tail by a round's worth of
-    // error), so this figure averages more repetitions than the rest. The
-    // window itself must NOT be stretched further: over a long enough run
-    // the starvation-relief readmissions (sim.rs) leak healed evidence to
-    // the decay even with the channel off, flattening the off-row contrast
-    // this sweep exists to show.
+    // error), so this figure averages more repetitions than the rest.
+    // Starvation-relief readmissions are leases now (sim.rs): the relief
+    // valve's evidence is quarantined by provenance, so the off-row stays
+    // a true evidence-starvation baseline at any window length —
+    // `chaos-probation-leak` pins that directly.
     scale.repetitions = scale.repetitions.max(7);
     let periods = [0u64, 8, 4, 2];
     let columns = vec![
@@ -797,17 +815,21 @@ pub fn chaos_probation_nps(scale: &Scale, seed: u64) -> FigureResult {
 const LEAK_WINDOWS: [u64; 4] = [1, 2, 4, 8];
 
 /// `chaos-probation-leak` — the starvation-relief readmission guard's
-/// healed-evidence leak, measured directly. With the probation channel
-/// *off* (`probation_every: 0`) and the tight reference economy of
+/// healed-evidence leak, measured directly — and, since readmissions
+/// became *leases*, pinned closed. With the probation channel *off*
+/// (`probation_every: 0`) and the tight reference economy of
 /// `chaos-probation-nps`, a banned reference has exactly one path back
-/// into anyone's probe set: the guard in `NpsSim::reposition` re-admits
-/// the oldest ban when fault noise starves a node below the `dim + 1`
-/// positioning constraint. Each re-admitted (by then reformed) attacker
-/// hands honest samples to the decaying drift cap, its reputation heals,
-/// and a reinstatement appears on a channel that is nominally closed.
-/// The sweep stretches the post-injection window and reports that leak —
-/// reinstatements per ban — which the probation figure's off-row only
-/// hints at (and caps its window to avoid).
+/// into anyone's probe set: the relief valve in `NpsSim::reposition`
+/// leases the oldest ban back when fault noise starves a node below the
+/// `dim + 1` positioning constraint. Before the fix, each re-admitted (by
+/// then reformed) attacker handed honest samples to the decaying drift
+/// cap, its reputation healed, and reinstatements appeared on a channel
+/// that is nominally closed — leak rate 0.31 at short windows, saturating
+/// to 1.00 from 64 rounds. Now every leased sample carries
+/// `Provenance::Lease` and the defense quarantines it (judged, never
+/// recorded), so the sweep's long windows show leases firing and
+/// quarantined evidence piling up while the leak rate stays ≤ 0.05 at
+/// every window.
 pub fn chaos_probation_leak(scale: &Scale, seed: u64) -> FigureResult {
     let mut base = recovery_scale(scale);
     // Same variance argument as chaos-probation-nps: a single late
@@ -817,11 +839,12 @@ pub fn chaos_probation_leak(scale: &Scale, seed: u64) -> FigureResult {
         "point_idx".to_string(),
         "window_rounds".to_string(),
         "err_tail".to_string(),
-        "readmits".to_string(),
+        "leases".to_string(),
         "bans".to_string(),
         "leaked_reinstated".to_string(),
         "leak_rate".to_string(),
         "banned_malicious_final".to_string(),
+        "quarantined".to_string(),
     ];
     let factory: NpsFactory<'_> = &|_sim, _attackers, _seeds| {
         (
@@ -832,8 +855,8 @@ pub fn chaos_probation_leak(scale: &Scale, seed: u64) -> FigureResult {
     let chaos: NpsChaosFactory<'_> =
         &move |_sim, _seeds| ChaosPlan::with_seed(seed ^ 0x1EAC).bursts(BurstModel::mild());
     // Tight reference economy (see chaos-probation-nps): no spare
-    // membership candidates means bans are structurally final — until the
-    // guard leaks them back.
+    // membership candidates means bans are structurally final — the
+    // relief valve can only *lease* them back.
     let config = NpsConfig {
         probation_every: 0,
         landmarks: 12,
@@ -864,31 +887,135 @@ pub fn chaos_probation_leak(scale: &Scale, seed: u64) -> FigureResult {
         });
         let err = mean_tails(&runs, |r| &r.attack_series);
         let agg = aggregate_chaos(runs.iter().map(|r| r.chaos.as_ref()));
-        let (_, bans, leaked, _, banned_malicious) =
-            merge_outcomes(runs.iter().map(|r| r.defense.as_ref()));
+        let (_, bans, leaked, _, banned_malicious, quarantined) =
+            merge_outcomes_full(runs.iter().map(|r| r.defense.as_ref()));
         let leak_rate = if bans > 0.0 { leaked / bans } else { 0.0 };
         rows.push(vec![
             i as f64,
             s.nps_attack_rounds as f64,
             err,
-            agg.readmits,
+            agg.leases,
             bans,
             leaked,
             leak_rate,
             banned_malicious,
+            quarantined,
         ]);
         notes.push(format!(
-            "window {} rounds: {:.1} starvation readmits, {bans:.1} bans, {leaked:.1} \
-             reinstated with the channel off (leak rate {leak_rate:.3}), steady-state \
-             banned malicious {banned_malicious:.1}, tail err {err:.3}",
-            s.nps_attack_rounds, agg.readmits,
+            "window {} rounds: {:.1} readmission leases, {bans:.1} bans, {leaked:.1} \
+             reinstated with the channel off (leak rate {leak_rate:.3}), {quarantined:.0} \
+             quarantined samples, steady-state banned malicious {banned_malicious:.1}, \
+             tail err {err:.3}",
+            s.nps_attack_rounds, agg.leases,
         ));
     }
     FigureResult {
         id: "chaos-probation-leak".into(),
-        title: "Starvation-relief readmission as a covert probation channel: healed \
-                evidence leaking to reputation decay over long windows (NPS, probation \
+        title: "Readmission leases close the covert probation channel: quarantined \
+                lease evidence never heals a decaying ban, at any window (NPS, probation \
                 off, burst-then-reform collusion, decaying drift cap, mild loss bursts)"
+            .into(),
+        columns,
+        rows,
+        notes,
+    }
+}
+
+/// Detector grid for `chaos-detectors-under-faults`.
+const FAULT_DETECTORS: [&str; 3] = ["mad", "ewma", "triangle"];
+/// Fault regimes crossed against the detectors (0 = clean baseline).
+const FAULT_REGIMES: [&str; 3] = ["none", "churn", "loss"];
+
+fn detector_by(label: &str) -> Box<dyn DefenseStrategy> {
+    match label {
+        "mad" => Box::new(ResidualOutlier::default()),
+        "ewma" => Box::new(EwmaChangePoint::default()),
+        "triangle" => Box::new(TriangleCheck::default()),
+        other => unreachable!("unknown detector label {other}"),
+    }
+}
+
+/// `chaos-detectors-under-faults` — the lightweight per-sample detectors
+/// (MAD residual outlier, EWMA change-point, triangle-inequality check)
+/// crossed with benign fault regimes (churn wave, correlated loss bursts)
+/// under a loud inflation collusion on Vivaldi. The drift cap owns the
+/// chaos family's other sweeps; this one asks how the *rest* of the
+/// defense rack degrades when fault noise pollutes exactly the statistics
+/// each detector keys on — residual spread (MAD), residual trend (EWMA),
+/// and RTT-vs-prediction consistency (triangle).
+pub fn chaos_detectors_under_faults(scale: &Scale, seed: u64) -> FigureResult {
+    let scale = recovery_scale(scale);
+    let columns = vec![
+        "point_idx".to_string(),
+        "detector_idx".to_string(),
+        "regime_idx".to_string(),
+        "tpr".to_string(),
+        "fpr".to_string(),
+        "err_tail".to_string(),
+        "err_ratio".to_string(),
+    ];
+    let factory: VivaldiFactory<'_> = &|_sim, _attackers, _seeds| (strategy_by("inflation"), None);
+    let nodes = scale.nodes;
+    let cell = |detector: &'static str, regime: &'static str| {
+        let chaos: VivaldiChaosFactory<'_> = &move |_sim, _seeds| {
+            let plan = ChaosPlan::with_seed(seed ^ 0xDE7EC7);
+            match regime {
+                "churn" => plan.churn_wave(nodes, 0.2, 10 * TICK_MS, 30 * TICK_MS),
+                "loss" => plan.bursts(BurstModel::mild()),
+                _ => unreachable!("the clean regime installs no plan"),
+            }
+        };
+        let runs = run_repetitions(scale.repetitions, |rep| {
+            run_vivaldi_chaos(
+                &scale,
+                Space::Euclidean(2),
+                nodes,
+                FRACTION,
+                seed,
+                rep,
+                factory,
+                Some(&move |_sim, _seeds| detector_by(detector)),
+                if regime == "none" { None } else { Some(chaos) },
+            )
+        });
+        let err = mean_tails(&runs, |r| &r.attack_series);
+        let (confusion, _, _, _, _) = merge_outcomes(runs.iter().map(|r| r.defense.as_ref()));
+        (err, confusion)
+    };
+    let mut rows = Vec::new();
+    let mut notes = Vec::new();
+    let mut point = 0usize;
+    for (di, &detector) in FAULT_DETECTORS.iter().enumerate() {
+        let mut baseline = f64::NAN;
+        for (ri, &regime) in FAULT_REGIMES.iter().enumerate() {
+            let (err, confusion) = cell(detector, regime);
+            if ri == 0 {
+                baseline = err.max(1e-9);
+            }
+            let tpr = confusion.tpr().unwrap_or(0.0);
+            let fpr = confusion.fpr().unwrap_or(0.0);
+            rows.push(vec![
+                point as f64,
+                di as f64,
+                ri as f64,
+                tpr,
+                fpr,
+                err,
+                err / baseline,
+            ]);
+            notes.push(format!(
+                "{detector} under {regime}: tpr {tpr:.2} / fpr {fpr:.3}, tail err {err:.3} \
+                 ({:.2}x its clean row)",
+                err / baseline,
+            ));
+            point += 1;
+        }
+    }
+    FigureResult {
+        id: "chaos-detectors-under-faults".into(),
+        title: "MAD / EWMA / triangle detectors under benign fault noise: detection \
+                quality vs churn and loss bursts (Vivaldi, inflation collusion, 30% \
+                malicious)"
             .into(),
         columns,
         rows,
@@ -997,30 +1124,56 @@ mod tests {
     }
 
     #[test]
-    fn probation_leak_grows_with_the_window() {
+    fn probation_leak_is_closed_by_leases() {
         let fig = chaos_probation_leak(&Scale::smoke(), 2006);
         assert_shape(&fig, LEAK_WINDOWS.len());
-        // The guard must actually fire — no readmissions means the sweep
+        // The relief valve must actually fire — no leases means the sweep
         // isn't exercising starvation relief at all.
         assert!(
             fig.rows.iter().all(|r| r[3] > 0.0),
-            "every window must observe starvation readmits"
+            "every window must observe readmission leases"
         );
-        // The roadmap claim: over long enough windows the readmitted
-        // (reformed) references heal their reputation and reinstatements
-        // appear despite the probation channel being off.
+        // The fix's acceptance gate: before leases the leak rate was 0.31
+        // at the shortest window and 1.00 from 64 rounds; with lease
+        // evidence quarantined it must stay ≤ 0.05 at EVERY window —
+        // including the longest, where the old guard saturated.
+        for row in &fig.rows {
+            assert!(
+                row[6] <= 0.05,
+                "window {} rounds leaked: rate {:.3} (reinstated {:.1} of {:.1} bans)",
+                row[1],
+                row[6],
+                row[5],
+                row[4]
+            );
+        }
+        // And the quarantine must be doing the closing: leased references
+        // keep probing, so quarantined evidence accumulates with the
+        // window instead of healing anyone.
         let (first, last) = (&fig.rows[0], fig.rows.last().unwrap());
         assert!(
-            last[6] > 0.0,
-            "long window must leak reinstatements: rate {:.3}",
-            last[6]
+            last[8] > 0.0 && last[8] >= first[8],
+            "quarantined evidence must accumulate: {:.0} -> {:.0}",
+            first[8],
+            last[8]
         );
-        assert!(
-            last[6] >= first[6],
-            "leak rate must not shrink with the window: {:.3} -> {:.3}",
-            first[6],
-            last[6]
-        );
+    }
+
+    #[test]
+    fn detectors_under_faults_covers_the_grid() {
+        let fig = chaos_detectors_under_faults(&Scale::smoke(), 2006);
+        assert_shape(&fig, FAULT_DETECTORS.len() * FAULT_REGIMES.len());
+        // Every detector must actually flag the loud inflation on its
+        // clean row — a detector that can't see the attack without fault
+        // noise makes the degradation columns meaningless.
+        for (di, &detector) in FAULT_DETECTORS.iter().enumerate() {
+            let clean = &fig.rows[di * FAULT_REGIMES.len()];
+            assert!(
+                clean[3] > 0.0,
+                "{detector} must flag inflation on the clean row: tpr {:.2}",
+                clean[3]
+            );
+        }
     }
 
     #[test]

@@ -52,6 +52,9 @@ pub struct DefenseOutcome {
     pub banned_honest_final: u64,
     /// Malicious nodes still banned when the run ended.
     pub banned_malicious_final: u64,
+    /// Samples quarantined by provenance (readmission-lease evidence that
+    /// was judged but never recorded — see `vcoord_defense::Provenance`).
+    pub quarantined: u64,
     /// Node-level detection quality at [`DETECTION_MIN_FLAGS`].
     pub confusion: Confusion,
     /// Rejections per recording interval (the defense's activity trace).
@@ -79,6 +82,7 @@ impl DefenseOutcome {
             reinstated: stats.reinstated,
             banned_honest_final: banned_now.len() as u64 - banned_malicious_final,
             banned_malicious_final,
+            quarantined: stats.quarantined,
             confusion: stats.confusion_rated(malicious, DETECTION_MIN_FLAGS, DETECTION_MIN_RATE),
             reject_series,
         }
@@ -472,6 +476,15 @@ pub fn run_nps_chaos(
 ) -> NpsRun {
     let seeds = SeedStream::new(master_seed).derive_indexed("nps-rep", rep);
     let matrix = KingLike::new(KingLikeConfig::with_nodes(nodes)).generate(&mut seeds.rng("topo"));
+    let mut config = config;
+    // CI seam: `VCOORD_NPS_WARM=1` forces warm-started positioning so the
+    // quick-tier NPS figures can run as a non-golden, property-bounded
+    // lane (.github/workflows/ci.yml). Unset, nothing changes — the
+    // goldens are recorded with whatever mode the figure asked for.
+    if std::env::var_os("VCOORD_NPS_WARM").is_some_and(|v| v == "1") {
+        config.positioning =
+            vcoord_nps::PositioningMode::Warm(vcoord_space::ResumePolicy::default_warm());
+    }
     let layers = config.layers;
     let mut sim = NpsSim::new(matrix, config, &seeds);
     let threads = eval_threads(scale);

@@ -259,7 +259,12 @@ pub const FIGURES: &[(&str, Runner, &str)] = &[
     (
         "chaos-probation-leak",
         chaos_figs::chaos_probation_leak,
-        "CHAOS: starvation-relief readmission leaking healed evidence over long windows (NPS)",
+        "CHAOS: readmission leases quarantining relief-valve evidence at every window (NPS)",
+    ),
+    (
+        "chaos-detectors-under-faults",
+        chaos_figs::chaos_detectors_under_faults,
+        "CHAOS: MAD/EWMA/triangle detectors crossed with churn and loss-burst noise (Vivaldi)",
     ),
 ];
 
@@ -293,9 +298,9 @@ mod tests {
         let ids = figure_ids();
         assert_eq!(
             ids.len(),
-            48,
+            49,
             "26 paper figures + 2 extensions + 3 attackkit sweeps + 4 defensekit \
-             sweeps + 5 arms-race sweeps + 8 chaos sweeps"
+             sweeps + 5 arms-race sweeps + 9 chaos sweeps"
         );
         for k in 1..=26 {
             assert!(ids.contains(&format!("fig{k}").as_str()), "missing fig{k}");
@@ -323,6 +328,7 @@ mod tests {
             "chaos-partition-recovery",
             "chaos-probation-nps",
             "chaos-probation-leak",
+            "chaos-detectors-under-faults",
         ] {
             assert!(ids.contains(&id), "missing {id}");
         }

@@ -84,8 +84,8 @@ pub mod prelude {
     };
     pub use vcoord_chaos::{BurstModel, ChaosCounters, ChaosPlan, ProbePolicy};
     pub use vcoord_defense::{
-        Defense, DefenseStrategy, DriftCap, EwmaChangePoint, NoDefense, ResidualOutlier,
-        TriangleCheck, TrustedBaseline, Verdict,
+        Defense, DefenseStrategy, DriftCap, DriftDecay, EwmaChangePoint, NoDefense, Provenance,
+        ResidualOutlier, TriangleCheck, TrustedBaseline, Verdict,
     };
     pub use vcoord_metrics::{relative_error, Cdf, Confusion, EvalPlan, FilterLedger, TimeSeries};
     pub use vcoord_netsim::{LinkModel, SeedStream};

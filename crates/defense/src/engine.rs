@@ -19,7 +19,7 @@ use vcoord_metrics::Confusion;
 use vcoord_space::{Coord, Space};
 
 use crate::history::NeighborHistory;
-use crate::strategy::{DefenseScratch, DefenseStrategy, UpdateView, Verdict};
+use crate::strategy::{DefenseScratch, DefenseStrategy, Provenance, UpdateView, Verdict};
 
 /// One incoming sample, as the simulator hands it to [`Defense::inspect`].
 #[derive(Debug, Clone, Copy)]
@@ -39,6 +39,11 @@ pub struct Update<'a> {
     pub round: u64,
     /// Current simulated time, ms.
     pub now_ms: u64,
+    /// Where the sample came from. [`Provenance::Lease`] evidence is
+    /// quarantined: judged, tallied, but never recorded into the history
+    /// windows that feed healed-window reinstatement or threshold
+    /// calibration.
+    pub provenance: Provenance,
 }
 
 /// Verdict tallies, overall and per remote node.
@@ -54,6 +59,9 @@ pub struct DefenseStats {
     pub bans: u64,
     /// Node-level reinstatements drained through the reputation channel.
     pub reinstated: u64,
+    /// Lease-provenance samples whose evidence was quarantined (judged and
+    /// tallied above, but kept out of every history window).
+    pub quarantined: u64,
     /// Flag events (rejections + strict dampenings) per remote node.
     flags: HashMap<usize, u64>,
     /// Inspections per remote node.
@@ -256,6 +264,7 @@ impl Defense {
             predicted,
             round: u.round,
             now_ms: u.now_ms,
+            provenance: u.provenance,
             remote_history: self.history.remote(u.remote).expect("ensured just above"),
             recent: self.history.recent(u.observer),
         };
@@ -272,24 +281,36 @@ impl Defense {
         // fill it with its own rejected residuals would drag the threshold
         // up until the same lie passes — the filter defeated by the
         // samples it rejected.
-        self.history.record_remote(
-            observer_coord,
-            u.remote,
-            u.round,
-            u.reported_coord,
-            residual,
-            rel_residual,
-        );
-        if verdict != Verdict::Reject {
-            self.history.record_observer(
-                u.observer,
+        //
+        // Leased samples are the exception: readmission-lease evidence is
+        // judged (a relapser can still be flagged) but *quarantined* — it
+        // enters neither the remote trail (whose healed window is the
+        // reinstatement condition reputation decay checks) nor the observer
+        // ring (the calibration population). A still-banned reference must
+        // not be able to heal its own window through the relief channel.
+        if u.provenance.is_quarantined() {
+            self.stats.quarantined += 1;
+            vcoord_obs::counter_add(vcoord_obs::metric_id!("defense.quarantined_evidence"), 1);
+        } else {
+            self.history.record_remote(
+                observer_coord,
                 u.remote,
                 u.round,
                 u.reported_coord,
-                u.rtt,
                 residual,
                 rel_residual,
             );
+            if verdict != Verdict::Reject {
+                self.history.record_observer(
+                    u.observer,
+                    u.remote,
+                    u.round,
+                    u.reported_coord,
+                    u.rtt,
+                    residual,
+                    rel_residual,
+                );
+            }
         }
         self.stats.record(u.remote, &verdict);
         if vcoord_obs::enabled() {
@@ -364,6 +385,7 @@ mod tests {
             rtt,
             round,
             now_ms: round * 1000,
+            provenance: Provenance::Normal,
         }
     }
 
@@ -442,6 +464,39 @@ mod tests {
         assert_eq!(c2.true_positives, 1);
         assert_eq!(c2.false_positives, 0);
         assert_eq!(c2.true_negatives, 1);
+    }
+
+    #[test]
+    fn leased_evidence_is_judged_but_never_recorded() {
+        let space = Space::Euclidean(2);
+        let me = Coord::origin(2);
+        let them = Coord::from_vec(vec![30.0, 40.0]);
+        let mut d = Defense::new(Box::new(Trip {
+            inspections: 0,
+            rounds: Rc::new(RefCell::new(Vec::new())),
+            reject_after: u64::MAX,
+        }));
+        for r in 0..4 {
+            let mut u = update(1, &them, 50.0, r);
+            u.provenance = Provenance::Lease;
+            assert_eq!(d.inspect(&space, &me, u), Verdict::Accept);
+        }
+        assert_eq!(d.stats().accepted, 4, "leased samples are still tallied");
+        assert_eq!(d.stats().quarantined, 4);
+        assert_eq!(
+            d.history().remote(1).map(|h| h.samples()),
+            Some(0),
+            "quarantined evidence must not build a remote trail"
+        );
+        assert!(
+            d.history().recent(0).is_empty(),
+            "quarantined evidence must not enter the calibration ring"
+        );
+
+        // A normal sample from the same remote still records.
+        d.inspect(&space, &me, update(1, &them, 50.0, 4));
+        assert_eq!(d.history().remote(1).unwrap().samples(), 1);
+        assert_eq!(d.stats().quarantined, 4);
     }
 
     #[test]

@@ -32,7 +32,7 @@
 //! ## Example
 //!
 //! ```
-//! use vcoord_defense::{Defense, DriftCap, Update, Verdict};
+//! use vcoord_defense::{Defense, DriftCap, Provenance, Update, Verdict};
 //! use vcoord_space::{Coord, Space};
 //!
 //! let space = Space::Euclidean(2);
@@ -56,6 +56,7 @@
 //!             rtt: 100.0,
 //!             round,
 //!             now_ms: round * 1000,
+//!             provenance: Provenance::Normal,
 //!         },
 //!     );
 //! }
@@ -75,4 +76,4 @@ pub use strategies::{
     Dampener, DriftCap, DriftDecay, EwmaChangePoint, NoDefense, ResidualOutlier, TriangleCheck,
     TrustedBaseline,
 };
-pub use strategy::{DefenseScratch, DefenseStrategy, UpdateView, Verdict};
+pub use strategy::{DefenseScratch, DefenseStrategy, Provenance, UpdateView, Verdict};

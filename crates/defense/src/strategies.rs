@@ -383,6 +383,14 @@ impl DefenseStrategy for DriftCap {
             let Some(decay) = self.decay else {
                 return Verdict::Reject; // permanent bans (the legacy path)
             };
+            if view.provenance.is_quarantined() {
+                // Readmission-lease evidence: the node is on loan, not
+                // forgiven. The engine already keeps leased samples out of
+                // the history windows; refusing to even *evaluate* the
+                // healed/weight condition here means a lease can never be
+                // the inspection that springs a reinstatement.
+                return Verdict::Reject;
+            }
             let weight = self.decayed_weight(view.remote, view.round);
             // The engine keeps recording every inspected sample, so the
             // window under the ban reflects the node's *current* conduct:
@@ -595,6 +603,7 @@ impl DefenseStrategy for TrustedBaseline {
 mod tests {
     use super::*;
     use crate::engine::{Defense, Update};
+    use crate::strategy::Provenance;
     use vcoord_space::{Coord, Space};
 
     /// Drive `defense` with `n` samples from `remote` whose residual is
@@ -624,6 +633,7 @@ mod tests {
                         rtt,
                         round: r,
                         now_ms: r * 1000,
+                        provenance: Provenance::Normal,
                     },
                 )
             })
@@ -686,6 +696,7 @@ mod tests {
                     rtt,
                     round: r,
                     now_ms: r * 1000,
+                    provenance: Provenance::Normal,
                 },
             );
             assert_eq!(v, Verdict::Accept, "zero-mean noise tripped the cap");
@@ -763,6 +774,77 @@ mod tests {
         d.drain_reputation(&mut bans, &mut reinstated);
         assert_eq!(bans, vec![2]);
         assert!(reinstated.is_empty());
+    }
+
+    /// [`feed`] with [`Provenance::Lease`] on every sample — the
+    /// readmission-lease evidence channel.
+    fn feed_leased(
+        defense: &mut Defense,
+        space: &Space,
+        observer: usize,
+        remote: usize,
+        predicted: f64,
+        rtt: f64,
+        rounds: std::ops::Range<u64>,
+    ) -> Vec<Verdict> {
+        let me = Coord::origin(2);
+        let them = Coord::from_vec(vec![predicted, 0.0]);
+        rounds
+            .map(|r| {
+                defense.inspect(
+                    space,
+                    &me,
+                    Update {
+                        observer,
+                        remote,
+                        reported_coord: &them,
+                        reported_error: 1.0,
+                        rtt,
+                        round: r,
+                        now_ms: r * 1000,
+                        provenance: Provenance::Lease,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn leased_evidence_never_heals_a_ban() {
+        let space = Space::Euclidean(2);
+        let half_life = 10.0;
+        let mut d = Defense::new(Box::new(DriftCap::with_decay(
+            40.0,
+            DriftDecay::new(half_life),
+        )));
+        // Ban the node on persistent drag, as usual.
+        let v = feed(&mut d, &space, 0, 2, 200.0, 100.0, 0..20);
+        assert!(v.contains(&Verdict::Reject), "the cap must trip");
+        // Reform — but every post-ban sample arrives on a lease. Honest
+        // residuals, many half-lives of elapsed weight decay: without
+        // quarantine this is exactly the stream that healed the window and
+        // sprang the reinstatement (the probation leak). With it, the ban
+        // holds forever.
+        let v = feed_leased(&mut d, &space, 0, 2, 100.0, 100.0, 20..220);
+        assert!(
+            v.iter().all(|v| *v == Verdict::Reject),
+            "leased evidence must never be the path back in"
+        );
+        let (mut bans, mut reinstated) = (Vec::new(), Vec::new());
+        d.drain_reputation(&mut bans, &mut reinstated);
+        assert_eq!(bans, vec![2]);
+        assert!(
+            reinstated.is_empty(),
+            "quarantined evidence produced a reinstatement"
+        );
+        assert_eq!(d.stats().quarantined, 200);
+        // The same reformed stream on normal provenance *does* reinstate —
+        // the quarantine, not some other regression, is what held the ban.
+        let v = feed(&mut d, &space, 0, 2, 100.0, 100.0, 220..300);
+        assert!(
+            v.contains(&Verdict::Accept),
+            "normal-provenance reform must still be forgivable"
+        );
     }
 
     #[test]
@@ -846,6 +928,7 @@ mod tests {
                         rtt: 100.0,
                         round: r,
                         now_ms: r,
+                        provenance: Provenance::Normal,
                     },
                 );
             }
@@ -863,6 +946,7 @@ mod tests {
                 rtt: 100.0,
                 round: 3,
                 now_ms: 3,
+                provenance: Provenance::Normal,
             },
         );
         assert_eq!(v, Verdict::Reject, "inflation must violate the upper bound");
@@ -881,6 +965,7 @@ mod tests {
                 rtt: 700.0,
                 round: 3,
                 now_ms: 3,
+                provenance: Provenance::Normal,
             },
         );
         assert_eq!(v, Verdict::Reject, "deflation must violate the lower bound");
@@ -897,6 +982,7 @@ mod tests {
                 rtt: 99.0,
                 round: 3,
                 now_ms: 3,
+                provenance: Provenance::Normal,
             },
         );
         assert_eq!(v, Verdict::Accept);

@@ -16,6 +16,37 @@ use vcoord_space::{Coord, Space};
 
 use crate::history::{ObserverSample, RemoteHistory};
 
+/// Where a sample came from, as far as the defense is concerned.
+///
+/// Almost every sample is [`Normal`]: a probe of a reference the observer
+/// freely chose (or was handed by membership). [`Lease`] marks evidence
+/// from a *readmission lease* — a banned reference the NPS starvation
+/// relief valve readmitted into the probe rotation without un-banning it.
+/// Leased evidence is **quarantined** in the engine: it never enters the
+/// remote-history windows that feed reputation decay's healed-window
+/// condition, so a reformed attacker cannot launder its way back to
+/// `Reinstate` through a channel the ban was supposed to close (the
+/// probation-leak defect measured by `chaos-probation-leak`).
+///
+/// [`Normal`]: Provenance::Normal
+/// [`Lease`]: Provenance::Lease
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Provenance {
+    /// An ordinary probe of a freely chosen reference.
+    #[default]
+    Normal,
+    /// A probe of a lease-readmitted, still-banned reference.
+    Lease,
+}
+
+impl Provenance {
+    /// Whether the engine quarantines this sample's evidence (keeps it out
+    /// of the history windows that feed healed-window reinstatement).
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self, Provenance::Lease)
+    }
+}
+
 /// A strategy's decision about one incoming coordinate/RTT sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Verdict {
@@ -94,6 +125,10 @@ pub struct UpdateView<'a> {
     pub round: u64,
     /// Current simulated time, ms.
     pub now_ms: u64,
+    /// Where the sample came from ([`Provenance::Lease`] evidence is
+    /// quarantined by the engine and judged — but never *credited* — by
+    /// reputation-decay strategies).
+    pub provenance: Provenance,
     /// Accumulated history of the remote node's reports (all observers).
     pub remote_history: &'a RemoteHistory,
     /// The observer's recent samples across all its neighbors, unordered.
@@ -239,11 +274,19 @@ mod tests {
             predicted: 50.0,
             round: 3,
             now_ms: 3000,
+            provenance: Provenance::Normal,
             remote_history: &remote_history,
             recent: &[],
         };
         assert_eq!(view.residual(), 50.0);
         assert_eq!(view.rel_residual(), 0.5);
+    }
+
+    #[test]
+    fn provenance_quarantine_flag() {
+        assert!(!Provenance::Normal.is_quarantined());
+        assert!(Provenance::Lease.is_quarantined());
+        assert_eq!(Provenance::default(), Provenance::Normal);
     }
 
     #[test]

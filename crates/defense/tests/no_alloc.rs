@@ -9,8 +9,8 @@
 //! corrupt the global counter.
 
 use vcoord_defense::testing::ring_fill_samples;
-use vcoord_defense::{Defense, DriftCap, Update};
-use vcoord_obs::testing::{allocations, CountingAllocator};
+use vcoord_defense::{Defense, DriftCap, Provenance, Update};
+use vcoord_obs::testing::{min_allocations_over, CountingAllocator};
 use vcoord_space::{Coord, Space};
 
 #[global_allocator]
@@ -32,20 +32,23 @@ fn inspection_loops_are_allocation_free() {
         rtt: 100.0,
         round,
         now_ms: round * 1000,
+        provenance: Provenance::Normal,
     };
 
     // --- NoDefense: zero allocation from the very first call. ---
     let mut none = Defense::none();
     none.inspect(&space, &me, sample(1, 0)); // pay one-time lazy init, if any
-    let before = allocations();
-    for round in 1..=10_000u64 {
-        none.inspect(
-            &space,
-            &me,
-            sample((round % REMOTES as u64) as usize, round),
-        );
-    }
-    let allocs = allocations() - before;
+    let mut round = 1u64;
+    let allocs = min_allocations_over(3, || {
+        for _ in 0..10_000u64 {
+            none.inspect(
+                &space,
+                &me,
+                sample((round % REMOTES as u64) as usize, round),
+            );
+            round += 1;
+        }
+    });
     assert_eq!(
         allocs, 0,
         "NoDefense fast path allocated {allocs} times over 10k samples"
@@ -62,15 +65,17 @@ fn inspection_loops_are_allocation_free() {
             sample((round % REMOTES as u64) as usize, round),
         );
     }
-    let before = allocations();
-    for round in warmup..warmup + 10_000 {
-        armed.inspect(
-            &space,
-            &me,
-            sample((round % REMOTES as u64) as usize, round),
-        );
-    }
-    let allocs = allocations() - before;
+    let mut round = warmup;
+    let allocs = min_allocations_over(3, || {
+        for _ in 0..10_000u64 {
+            armed.inspect(
+                &space,
+                &me,
+                sample((round % REMOTES as u64) as usize, round),
+            );
+            round += 1;
+        }
+    });
     assert_eq!(
         allocs, 0,
         "warmed-up DriftCap inspection allocated {allocs} times over 10k samples"

@@ -27,8 +27,8 @@
 
 pub use vcoord_defense::{
     Dampener, Defense, DefenseScratch, DefenseStats, DefenseStrategy, DriftCap, DriftDecay,
-    EwmaChangePoint, NeighborHistory, NoDefense, ResidualOutlier, TriangleCheck, TrustedBaseline,
-    Update, UpdateView, Verdict,
+    EwmaChangePoint, NeighborHistory, NoDefense, Provenance, ResidualOutlier, TriangleCheck,
+    TrustedBaseline, Update, UpdateView, Verdict,
 };
 
 #[cfg(test)]
@@ -53,6 +53,7 @@ mod tests {
                 rtt: 40.0,
                 round: 2,
                 now_ms: 120_000,
+                provenance: Provenance::Normal,
             },
         );
         assert_eq!(v, Verdict::Accept);

@@ -2,6 +2,7 @@
 //! functions (directly testable against §3.1 of the paper).
 
 use serde::{Deserialize, Serialize};
+use vcoord_defense::Provenance;
 use vcoord_space::{
     simplex_downhill_resume, simplex_downhill_scratch, Coord, ResumePolicy, SimplexOptions,
     SimplexScratch, SimplexSeed, Space,
@@ -43,16 +44,22 @@ pub struct RefSample {
     /// dampened reference is still judged (and eliminable) at full
     /// strength.
     pub weight: f64,
+    /// How the sample entered the probe rotation: `Normal` for freely
+    /// chosen references, `Lease` for a starvation-relief readmission of a
+    /// still-banned reference (the defense engine quarantines the
+    /// latter's evidence). The fit itself ignores this tag.
+    pub provenance: Provenance,
 }
 
 impl RefSample {
-    /// A full-strength sample (weight 1.0).
+    /// A full-strength sample (weight 1.0, normal provenance).
     pub fn new(id: usize, coord: Coord, rtt: f64) -> RefSample {
         RefSample {
             id,
             coord,
             rtt,
             weight: 1.0,
+            provenance: Provenance::Normal,
         }
     }
 }

@@ -17,7 +17,9 @@
 
 use crate::adversary::{AttackStrategy, CoordView, Lie, Probe, Protocol, Scenario};
 use crate::config::NpsConfig;
-use crate::defense::{Defense, DefenseStats, DefenseStrategy, Update as DefenseUpdate, Verdict};
+use crate::defense::{
+    Defense, DefenseStats, DefenseStrategy, Provenance, Update as DefenseUpdate, Verdict,
+};
 use crate::evals;
 use crate::layers::{assign_layers, select_landmarks};
 use crate::membership::Membership;
@@ -27,6 +29,7 @@ use crate::position::{
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
+use std::collections::VecDeque;
 use vcoord_chaos::{ChaosCounters, ChaosPlan, ChaosState, ProbeFate};
 use vcoord_metrics::FilterLedger;
 use vcoord_netsim::{Engine, NodeId, Scheduler, SeedStream, World};
@@ -71,7 +74,17 @@ struct NpsWorld {
     coords: Vec<Coord>,
     positioned: Vec<bool>,
     refs: Vec<Vec<usize>>,
-    banned: Vec<Vec<usize>>,
+    /// Per-node rolling ban ledger, FIFO: `push_back` on ban, `pop_front`
+    /// on window expiry and starvation-relief lease selection — a
+    /// `VecDeque` so long ledgers under heavy churn stay O(1) per event
+    /// instead of the old `Vec::remove(0)` front-pop going quadratic.
+    banned: Vec<VecDeque<usize>>,
+    /// Per-node readmission leases: references readmitted into the probe
+    /// rotation by starvation relief while *still on the ban ledger*.
+    /// Their samples carry `Provenance::Lease` and are quarantined by the
+    /// defense engine. Always a subset of `refs[node]`; empty in every
+    /// non-chaos run.
+    leased: Vec<Vec<usize>>,
     malicious: Vec<bool>,
     scenario: Option<Scenario>,
     defense: Option<Defense>,
@@ -136,7 +149,7 @@ impl NpsWorld {
                     // The reference is unreachable after a full retry
                     // cycle: fail over through the existing membership /
                     // replacement channel, exactly like a distrusted one.
-                    self.ban_ref(node, r);
+                    self.ban_ref(node, r, now_ms);
                     return None;
                 }
             }
@@ -199,9 +212,19 @@ impl NpsWorld {
             // striking nearby victims (§5.4.3).
             self.counters.probes_discarded += 1;
             self.threshold_ledger.record(self.malicious[r]);
-            self.ban_ref(node, r);
+            self.ban_ref(node, r, now_ms);
             return None;
         }
+
+        // Was this reference handed out on a readmission lease? Leased
+        // evidence is tagged so the defense engine quarantines it (the
+        // `leased` lists are empty outside chaos runs, so this is one
+        // scan of an empty Vec on the pre-chaos path).
+        let provenance = if self.leased[node].contains(&r) {
+            Provenance::Lease
+        } else {
+            Provenance::Normal
+        };
 
         // Screen the surviving sample through the deployed defense (if
         // any) before it can enter the fit. No deployment and a
@@ -220,6 +243,7 @@ impl NpsWorld {
                     rtt,
                     round: now_ms / self.config.reposition_ms.max(1),
                     now_ms,
+                    provenance,
                 },
             );
             // Arms-race feedback: a malicious reference observes whether
@@ -238,7 +262,7 @@ impl NpsWorld {
                 // permanently-banning strategy (the drift cap) would
                 // silently starve the node's reference set until it can no
                 // longer position at all.
-                self.ban_ref(node, r);
+                self.ban_ref(node, r, now_ms);
                 return None;
             }
             weight = verdict.factor();
@@ -248,6 +272,7 @@ impl NpsWorld {
             coord,
             rtt,
             weight,
+            provenance,
         })
     }
 
@@ -275,15 +300,33 @@ impl NpsWorld {
 
     /// Ban reference `bad` for `node` and request a replacement from the
     /// membership server.
-    fn ban_ref(&mut self, node: usize, bad: usize) {
-        self.banned[node].push(bad);
+    fn ban_ref(&mut self, node: usize, bad: usize, now_ms: u64) {
+        if let Some(pos) = self.leased[node].iter().position(|&l| l == bad) {
+            // A leased reference earned a fresh ban: the loan is called in.
+            // Its old ledger entries dissolve (the new ban below re-files it
+            // at the FIFO tail, so it goes to the back of the relief queue).
+            self.leased[node].swap_remove(pos);
+            self.banned[node].retain(|&b| b != bad);
+            if let Some(chaos) = self.chaos.as_mut() {
+                chaos.note_lease_return(node, bad, now_ms);
+            }
+        }
+        self.banned[node].push_back(bad);
         // Rolling exclusion window, not a permanent blacklist: NPS replaces
         // a rejected reference "for future repositioning"; an unbounded
         // blacklist would exhaust the reference pool under false positives
         // (and the paper's attackers demonstrably keep getting reprieves).
         let window = (2 * self.config.refs_per_node).max(8);
         if self.banned[node].len() > window {
-            self.banned[node].remove(0);
+            if let Some(expired) = self.banned[node].pop_front() {
+                // If the expiring entry was the *last* ledger record of a
+                // leased reference, the lease dissolves with it: the window
+                // has rolled past the ban, so the reference is an ordinary
+                // member again, exactly as a non-leased ban would age out.
+                if !self.banned[node].contains(&expired) {
+                    self.leased[node].retain(|&l| l != expired);
+                }
+            }
         }
         let had = self.refs[node].len();
         self.refs[node].retain(|&r| r != bad);
@@ -293,11 +336,12 @@ impl NpsWorld {
             // opened, so no replacement is due.
             return;
         }
+        self.banned[node].make_contiguous();
         if let Some(replacement) = self.membership.replacement(
             node,
             self.layer[node],
             &self.refs[node],
-            &self.banned[node],
+            self.banned[node].as_slices().0,
             &mut self.probe_rng,
         ) {
             self.refs[node].push(replacement);
@@ -323,6 +367,12 @@ impl NpsWorld {
             for list in self.banned.iter_mut() {
                 list.retain(|&x| x != id);
             }
+            // A strategy-level reinstatement clears leases too: the node is
+            // genuinely forgiven, so holding it on quarantined evidence
+            // would re-open the very gap the lease closed.
+            for list in self.leased.iter_mut() {
+                list.retain(|&x| x != id);
+            }
         }
     }
 
@@ -333,36 +383,48 @@ impl NpsWorld {
         // slot permanently, and under churn that can starve a node's
         // reference set below the dim+1 positioning constraint — a
         // restarted (origin-reset) node would then skip every round
-        // forever. Refill: first re-ask the membership server (bans are
-        // scrubbed on reinstatement, so the pool recovers over time), then
-        // fall back to re-admitting the oldest banned references — under
-        // fire, fail-over bans are leases, not verdicts. Without a chaos
-        // plan installed a starved node keeps a valid incumbent
-        // coordinate, so the pre-chaos behavior (and its goldens) is
-        // untouched. Gated on the plan carrying actual faults — an empty
-        // plan must stay bitwise inert (tests/chaos_properties.rs), and
-        // starvation without faults cannot strand a node at the origin.
+        // forever. Refill: first re-ask the membership server for
+        // never-banned candidates (bans are scrubbed on reinstatement, so
+        // the pool recovers over time), then fall back to *leasing* the
+        // oldest banned references back into the rotation — readmission is
+        // a loan, not forgiveness: the reference stays on the ban ledger
+        // and every sample it produces is tagged `Provenance::Lease`, so
+        // the defense quarantines its evidence instead of letting it heal
+        // the ban. Without a chaos plan installed a starved node keeps a
+        // valid incumbent coordinate, so the pre-chaos behavior (and its
+        // goldens) is untouched. Gated on the plan carrying actual faults
+        // — an empty plan must stay bitwise inert
+        // (tests/chaos_properties.rs), and starvation without faults
+        // cannot strand a node at the origin.
         if self.chaos.as_ref().is_some_and(|c| !c.plan().is_empty()) {
             let need = self.config.space.dim() + 1;
             while self.refs[node].len() < need {
+                self.banned[node].make_contiguous();
                 if let Some(repl) = self.membership.replacement(
                     node,
                     self.layer[node],
                     &self.refs[node],
-                    &self.banned[node],
+                    self.banned[node].as_slices().0,
                     &mut self.probe_rng,
                 ) {
                     self.refs[node].push(repl);
                     self.counters.refs_replaced += 1;
                     continue;
                 }
-                if self.banned[node].is_empty() {
+                // FIFO over the ban ledger: oldest entry whose reference is
+                // not already in the rotation (skips live leases — `leased`
+                // is a subset of `refs` — and duplicate ledger entries).
+                let candidate = self.banned[node]
+                    .iter()
+                    .copied()
+                    .find(|b| !self.refs[node].contains(b));
+                let Some(back) = candidate else {
                     break;
-                }
-                let back = self.banned[node].remove(0);
+                };
                 self.refs[node].push(back);
+                self.leased[node].push(back);
                 if let Some(chaos) = self.chaos.as_mut() {
-                    chaos.note_readmit(node, back, now_ms);
+                    chaos.note_lease(node, back, now_ms);
                 }
             }
         }
@@ -438,7 +500,7 @@ impl NpsWorld {
                 bad as u32,
                 if self.malicious[bad] { 1.0 } else { 0.0 },
             );
-            self.ban_ref(node, bad);
+            self.ban_ref(node, bad, now_ms);
         }
     }
 
@@ -461,8 +523,25 @@ impl NpsWorld {
             return;
         }
         let cursor = self.probation_cursor[node];
-        let candidate = self.banned[node][cursor % self.banned[node].len()];
-        self.probation_cursor[node] = cursor.wrapping_add(1);
+        // Skip ledger entries whose reference is out on a lease: a leased
+        // reference already feeds (quarantined) evidence through the
+        // regular probe rotation, and probing it here would double-count
+        // the same round's sample — once as probation, once as lease.
+        let len = self.banned[node].len();
+        let mut candidate = None;
+        for k in 0..len {
+            let cand = self.banned[node][cursor.wrapping_add(k) % len];
+            if !self.leased[node].contains(&cand) {
+                candidate = Some(cand);
+                self.probation_cursor[node] = cursor.wrapping_add(k + 1);
+                break;
+            }
+        }
+        let Some(candidate) = candidate else {
+            // Every banned reference is currently leased: nothing to probe.
+            self.probation_cursor[node] = cursor.wrapping_add(1);
+            return;
+        };
         self.counters.probation_probes += 1;
         vcoord_obs::counter_add(vcoord_obs::metric_id!("nps.probation_probes"), 1);
         vcoord_obs::event(
@@ -619,7 +698,8 @@ impl NpsSim {
             coords,
             positioned,
             refs,
-            banned: vec![Vec::new(); n],
+            banned: vec![VecDeque::new(); n],
+            leased: vec![Vec::new(); n],
             malicious: vec![false; n],
             scenario: None,
             defense: None,
@@ -1332,6 +1412,69 @@ mod tests {
             reinstated_on > reinstated_off,
             "probation must let decay forgive reformed references \
              (off: {reinstated_off}, on: {reinstated_on})"
+        );
+    }
+
+    #[test]
+    fn probation_never_double_samples_a_leased_reference() {
+        use crate::defense::DriftCap;
+
+        // The silent double-count seam: a reference that is banned AND out
+        // on a readmission lease already feeds (quarantined) evidence
+        // through the regular probe rotation every round. The probation
+        // round-robin must skip it — one sample per round per reference,
+        // tagged once — and move on to the next non-leased ledger entry.
+        let mut sim = small_sim(60, 24);
+        sim.run_ms(300_000);
+        // An astronomically high cap never bans, so the ledgers below stay
+        // exactly as staged.
+        sim.deploy_defense(Box::new(DriftCap::new(1e12)));
+        sim.world.config.probation_every = 1;
+
+        let node = (0..60)
+            .find(|&i| sim.world.layer[i] != 0 && sim.world.positioned[i])
+            .expect("a positioned ordinary node");
+        let (a, b) = {
+            let mut others = (0..60).filter(|&i| i != node && sim.world.layer[i] != 0);
+            (others.next().unwrap(), others.next().unwrap())
+        };
+        // Stage: both a and b on the ban ledger (a oldest), a out on lease
+        // (leases live inside the rotation, so it is also an active ref).
+        sim.world.banned[node] = VecDeque::from(vec![a, b]);
+        sim.world.refs[node].retain(|&r| r != a && r != b);
+        sim.world.refs[node].push(a);
+        sim.world.leased[node] = vec![a];
+        sim.world.probation_clock[node] = 0;
+        sim.world.probation_cursor[node] = 0;
+
+        sim.world.maybe_probation(node, 600_000);
+        assert_eq!(sim.world.counters.probation_probes, 1);
+        // The cursor started on the leased entry; the probe must have
+        // fallen through to `b`, whose evidence then lands in the defense
+        // history — while the leased `a` got no probation sample at all.
+        let history = sim.world.defense.as_ref().unwrap().history();
+        assert_eq!(
+            history.remote(b).map(|h| h.samples()),
+            Some(1),
+            "the non-leased ledger entry must take the probation probe"
+        );
+        assert_eq!(
+            history.remote(a).map_or(0, |h| h.samples()),
+            0,
+            "a leased reference must never receive a probation probe"
+        );
+        assert_eq!(
+            sim.world.probation_cursor[node], 2,
+            "cursor skips past the lease"
+        );
+
+        // With every ledger entry leased, probation has nothing to probe.
+        sim.world.refs[node].push(b);
+        sim.world.leased[node] = vec![a, b];
+        sim.world.maybe_probation(node, 660_000);
+        assert_eq!(
+            sim.world.counters.probation_probes, 1,
+            "an all-leased ledger must emit no probation probe"
         );
     }
 }

@@ -202,7 +202,7 @@ pub struct SummaryRow {
     /// Injected faults: `chaos.crashes + chaos.timeouts + chaos.burst_losses`.
     pub faults: u64,
     /// Recovery actions: `chaos.restarts + chaos.retries + chaos.failovers
-    /// + chaos.readmits`.
+    /// + chaos.leases`.
     pub recoveries: u64,
     /// `simplex.warm_start / (warm_start + cold_restart)`; `NaN` when the
     /// figure ran no Simplex fits.
@@ -230,7 +230,7 @@ pub fn summarize(d: &Digest) -> SummaryRow {
         recoveries: c("chaos.restarts")
             + c("chaos.retries")
             + c("chaos.failovers")
-            + c("chaos.readmits"),
+            + c("chaos.leases"),
         warm_share: warm as f64 / (warm + cold) as f64,
     }
 }

@@ -22,8 +22,8 @@
 
 pub use vcoord_defense::{
     Dampener, Defense, DefenseScratch, DefenseStats, DefenseStrategy, DriftCap, DriftDecay,
-    EwmaChangePoint, NeighborHistory, NoDefense, ResidualOutlier, TriangleCheck, TrustedBaseline,
-    Update, UpdateView, Verdict,
+    EwmaChangePoint, NeighborHistory, NoDefense, Provenance, ResidualOutlier, TriangleCheck,
+    TrustedBaseline, Update, UpdateView, Verdict,
 };
 
 #[cfg(test)]
@@ -48,6 +48,7 @@ mod tests {
                 rtt: 10.0,
                 round: 0,
                 now_ms: 0,
+                provenance: Provenance::Normal,
             },
         );
         assert_eq!(v, Verdict::Accept);

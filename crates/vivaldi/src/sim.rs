@@ -13,7 +13,9 @@
 
 use crate::adversary::{AttackStrategy, CoordView, Lie, Probe, Protocol, Scenario};
 use crate::config::VivaldiConfig;
-use crate::defense::{Defense, DefenseStats, DefenseStrategy, Update as DefenseUpdate, Verdict};
+use crate::defense::{
+    Defense, DefenseStats, DefenseStrategy, Provenance, Update as DefenseUpdate, Verdict,
+};
 use crate::neighbors::select_neighbors;
 use crate::node::vivaldi_update_scaled;
 use rand::seq::SliceRandom;
@@ -313,6 +315,7 @@ impl VivaldiWorld {
                         rtt: s.rtt,
                         round: sched.now() / self.config.tick_ms.max(1),
                         now_ms: sched.now(),
+                        provenance: Provenance::Normal,
                     },
                 );
                 // Route the reputation side channel into the quarantine

@@ -19,7 +19,7 @@ use vcoord_netsim::SeedStream;
 use vcoord_space::{Coord, Space};
 use vcoord_topo::{KingLike, KingLikeConfig};
 use vcoord_vivaldi::defense::{
-    Dampener, Defense, DriftCap, DriftDecay, NoDefense, Update, Verdict,
+    Dampener, Defense, DriftCap, DriftDecay, NoDefense, Provenance, Update, Verdict,
 };
 use vcoord_vivaldi::{VivaldiConfig, VivaldiSim};
 
@@ -111,6 +111,7 @@ proptest! {
                         rtt,
                         round: r,
                         now_ms: r * 1000,
+                        provenance: Provenance::Normal,
                     });
                     (r, v)
                 })
@@ -151,6 +152,66 @@ proptest! {
             v2.iter().all(|(_, v)| *v == Verdict::Reject),
             "a still-attacking node must never be un-banned (half-life {half_life:.0})"
         );
+    }
+
+    // ---- Leases: quarantined evidence never heals a decaying ban -------
+
+    #[test]
+    fn leased_evidence_never_reaches_the_healed_window(
+        half_life in 18.0f64..60.0,
+        drag in 60.0f64..250.0,
+        seed in 0u64..1000,
+    ) {
+        // The probation-leak fix, as an invariant: samples tagged
+        // `Provenance::Lease` are judged (the banned branch still answers
+        // Reject) but never recorded, so no volume of well-behaved leased
+        // traffic can satisfy DriftDecay's healed-window condition — a
+        // reformed attacker on a readmission lease stays banned no matter
+        // how long the lease runs or where the decayed weight sits.
+        let space = Space::Euclidean(2);
+        let me = Coord::origin(2);
+        let feed = |d: &mut Defense, rng: &mut ChaCha12Rng, predicted: f64,
+                    provenance: Provenance, rounds: std::ops::Range<u64>| -> Vec<Verdict> {
+            let them = Coord::from_vec(vec![predicted, 0.0]);
+            rounds
+                .map(|r| {
+                    let rtt = 100.0 + rng.gen_range(-10.0..10.0);
+                    d.inspect(&space, &me, Update {
+                        observer: 0,
+                        remote: 2,
+                        reported_coord: &them,
+                        reported_error: 1.0,
+                        rtt,
+                        round: r,
+                        now_ms: r * 1000,
+                        provenance,
+                    })
+                })
+                .collect()
+        };
+        let cap = 40.0;
+        let mut d = Defense::new(Box::new(DriftCap::with_decay(cap, DriftDecay::new(half_life))));
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let v1 = feed(&mut d, &mut rng, 100.0 + drag, Provenance::Normal, 0..30);
+        prop_assert!(
+            v1.contains(&Verdict::Reject),
+            "a sustained over-cap drag must be banned (drag {drag:.0})"
+        );
+        // Honest-looking leased traffic far past every decay/half-life
+        // horizon the reform test exercises: all of it must bounce.
+        let horizon = 30 + (half_life as u64 + 40) * 4;
+        let v2 = feed(&mut d, &mut rng, 100.0, Provenance::Lease, 30..horizon);
+        prop_assert!(
+            v2.iter().all(|v| *v == Verdict::Reject),
+            "leased evidence must never be accepted (half-life {half_life:.0}, seed {seed})"
+        );
+        let (mut banned, mut reinstated) = (Vec::new(), Vec::new());
+        d.drain_reputation(&mut banned, &mut reinstated);
+        prop_assert!(
+            reinstated.is_empty(),
+            "leased evidence must never reinstate: {reinstated:?} (seed {seed})"
+        );
+        prop_assert_eq!(d.stats().quarantined, horizon - 30);
     }
 
     // ---- No-decay ≡ never-firing decay, bitwise, on whole sims ---------

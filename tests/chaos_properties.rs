@@ -54,11 +54,19 @@ fn vivaldi_run(seed: u64, empty_plan: bool) -> RunFingerprint {
 fn nps_run(seed: u64, empty_plan: bool) -> RunFingerprint {
     let seeds = SeedStream::new(seed);
     let matrix = KingLike::new(KingLikeConfig::with_nodes(40)).generate(&mut seeds.rng("topo"));
-    let mut sim = NpsSim::new(matrix, NpsConfig::default(), &seeds);
+    // Probation on and a *decaying* cap: the inertness sweep then walks
+    // the whole lease machinery (the probation round-robin's skip-leased
+    // scan, the provenance tag in `probe_ref`, the relief valve's gate) —
+    // every seam must still be bit-dead with an empty plan installed.
+    let config = NpsConfig {
+        probation_every: 2,
+        ..NpsConfig::default()
+    };
+    let mut sim = NpsSim::new(matrix, config, &seeds);
     sim.run_ms(600_000);
     let attackers = sim.pick_attackers(0.25);
     sim.inject_adversary(&attackers, Box::new(NpsSimpleDisorder::default()));
-    sim.deploy_defense(Box::new(DriftCap::new(40.0)));
+    sim.deploy_defense(Box::new(DriftCap::with_decay(40.0, DriftDecay::new(5.0))));
     if empty_plan {
         sim.install_chaos(ChaosPlan::none());
     }
